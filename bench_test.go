@@ -1,0 +1,162 @@
+package caps_test
+
+// One benchmark per paper table/figure: each regenerates the corresponding
+// result through the same experiment drivers used by cmd/capsweep, at
+// reduced scale (shorter instruction cap, subset of workloads for the
+// multi-benchmark sweeps) so `go test -bench=.` completes in minutes on a
+// single core. Run `capsweep -all` for the full-fidelity versions.
+
+import (
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/experiments"
+)
+
+// benchConfig is the reduced-scale machine used by the benchmarks.
+func benchConfig() config.GPUConfig {
+	cfg := config.Default()
+	cfg.MaxInsts = 15_000
+	cfg.MaxCycle = 2_000_000
+	return cfg
+}
+
+// benchSuite restricts the sweep to one benchmark from each behaviour
+// class: bursty-regular (CNV), loop-tiled (MM), and irregular (BFS).
+func benchSuite() *experiments.Suite {
+	s := experiments.NewSuite(benchConfig())
+	s.Benches = []string{"CNV", "MM", "BFS"}
+	return s
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxInsts = 60_000 // needs enough warps per SM to measure distances
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(cfg, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Figure4(); len(tab.Rows) != 16 {
+			b.Fatal("figure 4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := experiments.Figure10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		s.Benches = []string{"CNV"} // 4 CTA configs × 8 schemes
+		if _, err := experiments.Figure11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, _, err := experiments.Figure12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, _, err := experiments.Figure13(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := experiments.Figure14a(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := experiments.Figure14b(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := experiments.Figure15(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if experiments.TableI(cfg) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if experiments.TableII(cfg) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if experiments.TableIII(cfg) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.TableIV(); len(tab.Rows) != 16 {
+			b.Fatal("table IV incomplete")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall second) — the number to watch when optimizing the
+// simulator itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	s := experiments.NewSuite(benchConfig())
+	for i := 0; i < b.N; i++ {
+		k := experiments.BaselineKey("CNV")
+		k.MaxCTAs = 8 // distinct key per iteration set is unnecessary; memoization off via fresh suite
+		if _, err := s.Run(k); err != nil {
+			b.Fatal(err)
+		}
+		s = experiments.NewSuite(benchConfig())
+	}
+}

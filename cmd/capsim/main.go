@@ -1,0 +1,93 @@
+// Command capsim runs one benchmark under one prefetcher/scheduler
+// configuration and prints the collected statistics.
+//
+// Usage:
+//
+//	capsim -bench CNV -prefetch caps [-sched pas] [-ctas 8] [-insts 1000000]
+//	capsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caps/internal/config"
+	"caps/internal/energy"
+	"caps/internal/kernels"
+	"caps/internal/prefetch"
+	"caps/internal/sim"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "CNV", "benchmark abbreviation (see -list)")
+		pf      = flag.String("prefetch", "none", "prefetcher: none, intra, inter, mta, nlp, lap, orch, caps")
+		sched   = flag.String("sched", "", "scheduler: lrr, gto, tlv, pas (default: tlv; pas for caps)")
+		ctas    = flag.Int("ctas", 0, "override max concurrent CTAs per SM")
+		insts   = flag.Int64("insts", 0, "override instruction cap (0 = config default)")
+		noWake  = flag.Bool("nowakeup", false, "disable PAS eager warp wake-up")
+		list    = flag.Bool("list", false, "list benchmarks and prefetchers")
+		showCfg = flag.Bool("config", false, "print the GPU configuration and exit")
+		eEnergy = flag.Bool("energy", false, "print the energy breakdown")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, k := range kernels.All() {
+			fmt.Printf("  %-4s %s (%s)\n", k.Abbr, k.Name, k.Suite)
+		}
+		fmt.Println("prefetchers:", prefetch.Names())
+		return
+	}
+	if *showCfg {
+		fmt.Print(cfg.TableString())
+		return
+	}
+
+	if *ctas > 0 {
+		cfg.MaxCTAsPerSM = *ctas
+	}
+	if *insts > 0 {
+		cfg.MaxInsts = *insts
+	}
+	if *noWake {
+		cfg.PrefetchWakeup = false
+	}
+	switch *sched {
+	case "":
+		if *pf == "caps" {
+			cfg.Scheduler = config.SchedPAS
+		}
+	case "lrr", "gto", "tlv", "pas":
+		cfg.Scheduler = config.SchedulerKind(*sched)
+	default:
+		fmt.Fprintf(os.Stderr, "capsim: unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+
+	k, err := kernels.ByAbbr(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(2)
+	}
+	g, err := sim.New(cfg, k, sim.Options{Prefetcher: *pf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+	st, err := g.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s  prefetch=%s  sched=%s\n", k.Abbr, *pf, cfg.Scheduler)
+	fmt.Print(st.String())
+	if *eEnergy {
+		b := energy.Estimate(energy.DefaultParams(), cfg, st, *pf == "caps")
+		fmt.Printf("energy: total=%.4f J  alu=%.4f shared=%.4f l1=%.4f l2=%.4f icnt=%.4f dram=%.4f caps=%.6f static=%.4f\n",
+			b.Total(), b.ALU, b.Shared, b.L1, b.L2, b.ICNT, b.DRAM, b.CAPS, b.Static)
+	}
+}

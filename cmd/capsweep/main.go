@@ -1,0 +1,184 @@
+// Command capsweep regenerates the CAPS paper's tables and figures.
+//
+// Usage:
+//
+//	capsweep -fig 10            # one figure
+//	capsweep -table 3           # one table
+//	capsweep -all               # everything (several minutes)
+//	capsweep -fig 10 -csv       # machine-readable output
+//	capsweep -fig 10 -insts 200000   # faster, lower-fidelity sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"caps/internal/config"
+	"caps/internal/experiments"
+	"caps/internal/stats"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "comma-separated figures to regenerate: 1, 4, 10, 11, 12, 13, 14a, 14b, 15")
+		table   = flag.String("table", "", "table to regenerate: 1, 2, 3, 4")
+		abl     = flag.String("ablation", "", "ablation to run: tables, buffer, threshold, wakeup, occupancy")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		insts   = flag.Int64("insts", 0, "override the per-run instruction cap")
+		par     = flag.Int("par", 0, "parallel simulations (default: GOMAXPROCS)")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 16)")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	if *insts > 0 {
+		cfg.MaxInsts = *insts
+	}
+	suite := experiments.NewSuite(cfg)
+	if *par > 0 {
+		suite.Parallelism = *par
+	}
+	if *benches != "" {
+		suite.Benches = strings.Split(*benches, ",")
+	}
+
+	emit := func(title string, t *stats.Table) {
+		fmt.Printf("== %s ==\n", title)
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		fmt.Println()
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "capsweep:", err)
+		os.Exit(1)
+	}
+
+	figures := map[string]func(){
+		"1": func() {
+			t, err := experiments.Figure1(cfg, 10)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 1: inter-warp stride prefetch accuracy and cycle gap vs warp distance (MM)", t)
+		},
+		"4": func() {
+			emit("Figure 4: load iteration characterization", experiments.Figure4())
+		},
+		"10": func() {
+			t, err := experiments.Figure10(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 10: normalized IPC over two-level scheduler without prefetch", t)
+		},
+		"11": func() {
+			t, err := experiments.Figure11(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 11: performance by number of concurrent CTAs", t)
+		},
+		"12": func() {
+			cov, acc, err := experiments.Figure12(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 12a: prefetch coverage", cov)
+			emit("Figure 12b: prefetch accuracy", acc)
+		},
+		"13": func() {
+			reqs, reads, err := experiments.Figure13(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 13a: fetch requests from cores (normalized)", reqs)
+			emit("Figure 13b: data read from memory (normalized)", reads)
+		},
+		"14a": func() {
+			t, err := experiments.Figure14a(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 14a: early prefetch ratio", t)
+		},
+		"14b": func() {
+			t, err := experiments.Figure14b(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 14b: prefetch distance of timely prefetches", t)
+		},
+		"15": func() {
+			t, err := experiments.Figure15(suite)
+			if err != nil {
+				fail(err)
+			}
+			emit("Figure 15: energy consumption by CAPS (normalized)", t)
+		},
+	}
+	tables := map[string]func(){
+		"1": func() { fmt.Printf("== Table I ==\n%s\n", experiments.TableI(cfg)) },
+		"2": func() { fmt.Printf("== Table II ==\n%s\n", experiments.TableII(cfg)) },
+		"3": func() { fmt.Printf("== Table III ==\n%s\n", experiments.TableIII(cfg)) },
+		"4": func() { emit("Table IV: workloads", experiments.TableIV()) },
+	}
+
+	ablations := map[string]func() (*stats.Table, error){
+		"tables":    func() (*stats.Table, error) { return experiments.AblationTableSize(cfg, nil) },
+		"buffer":    func() (*stats.Table, error) { return experiments.AblationPrefetchBuffer(cfg, nil) },
+		"threshold": func() (*stats.Table, error) { return experiments.AblationMispredictThreshold(cfg, nil) },
+		"wakeup":    func() (*stats.Table, error) { return experiments.AblationWakeup(cfg) },
+		"occupancy": func() (*stats.Table, error) { return experiments.AblationOccupancy(cfg) },
+	}
+
+	ran := false
+	if *all {
+		for _, id := range []string{"1", "2", "3", "4"} {
+			tables[id]()
+		}
+		for _, id := range []string{"1", "4", "10", "11", "12", "13", "14a", "14b", "15"} {
+			figures[id]()
+		}
+		return
+	}
+	if *abl != "" {
+		f, ok := ablations[*abl]
+		if !ok {
+			fail(fmt.Errorf("unknown ablation %q", *abl))
+		}
+		t, err := f()
+		if err != nil {
+			fail(err)
+		}
+		emit("Ablation: "+*abl, t)
+		ran = true
+	}
+	if *fig != "" {
+		for _, id := range strings.Split(*fig, ",") {
+			f, ok := figures[id]
+			if !ok {
+				fail(fmt.Errorf("unknown figure %q", id))
+			}
+			f()
+		}
+		ran = true
+	}
+	if *table != "" {
+		f, ok := tables[*table]
+		if !ok {
+			fail(fmt.Errorf("unknown table %q", *table))
+		}
+		f()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,21 @@
+// Package caps is a from-scratch Go reproduction of "CTA-Aware Prefetching
+// and Scheduling for GPU" (Koo, Jeon, Liu, Kim, Annavaram — IPDPS 2018).
+//
+// The repository contains a cycle-level GPU timing simulator modelled on
+// the paper's Table III machine (an NVIDIA Fermi GTX480 as configured in
+// GPGPU-Sim v3.2.2), the paper's CTA-aware prefetcher and prefetch-aware
+// warp scheduler (CAPS), six prior-work prefetchers it is compared against,
+// synthetic models of the sixteen evaluated benchmarks, and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// Entry points:
+//
+//   - cmd/capsim — run one benchmark under one prefetcher/scheduler
+//   - cmd/capsweep — regenerate the paper's tables and figures
+//   - examples/ — runnable walkthroughs of the public pieces
+//
+// The benchmarks in bench_test.go exercise the same experiment drivers at
+// reduced scale so `go test -bench=.` completes quickly; use capsweep for
+// full-fidelity sweeps. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package caps

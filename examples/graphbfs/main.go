@@ -1,0 +1,60 @@
+// graphbfs demonstrates CAPS's quality-control mechanisms on an irregular
+// workload (Rodinia BFS, the paper's Fig. 6b example): the thread-indexed
+// metadata loads (g_graph_mask, g_graph_nodes, g_cost) are prefetched,
+// while the data-dependent edge/visited gathers are detected as indirect
+// and excluded — keeping accuracy high at reduced coverage.
+//
+//	go run ./examples/graphbfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caps/internal/config"
+	"caps/internal/kernels"
+	"caps/internal/sim"
+)
+
+func main() {
+	cfg := config.Default()
+	cfg.MaxInsts = 150_000
+
+	bfs, err := kernels.ByAbbr("BFS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loads, indirect := 0, 0
+	for _, l := range bfs.Loads {
+		if l.Store {
+			continue
+		}
+		loads++
+		if l.Indirect {
+			indirect++
+		}
+	}
+	fmt.Printf("BFS static loads: %d total, %d indirect (excluded from prefetch)\n",
+		loads, indirect)
+
+	for _, pf := range []string{"none", "inter", "caps"} {
+		opt := sim.Options{Prefetcher: pf}
+		if pf == "caps" {
+			opt.Scheduler = config.SchedPAS
+		}
+		g, err := sim.New(cfg, bfs, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := g.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s ipc=%.3f coverage=%.3f accuracy=%.3f issued=%d dropped=%d\n",
+			pf, st.IPC(), st.Coverage(), st.Accuracy(), st.PrefIssued, st.PrefDropped)
+	}
+	fmt.Println("\nCAPS keeps accuracy high on the strided metadata loads and")
+	fmt.Println("issues nothing for the indirect gathers; INTER prefetches into")
+	fmt.Println("them blindly and wastes bandwidth.")
+}

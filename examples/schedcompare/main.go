@@ -1,0 +1,46 @@
+// schedcompare reproduces the paper's timeliness argument (Fig. 14b): the
+// same CTA-aware prefetcher gains distance between prefetch and demand as
+// the warp scheduler gets smarter about leading warps — LRR < two-level <
+// prefetch-aware two-level (PAS).
+//
+//	go run ./examples/schedcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caps/internal/config"
+	"caps/internal/kernels"
+	"caps/internal/sim"
+)
+
+func main() {
+	cfg := config.Default()
+	cfg.MaxInsts = 150_000
+
+	kernel, err := kernels.ByAbbr("CNV")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CAPS prefetch timeliness on %s by scheduler:\n\n", kernel.Abbr)
+	fmt.Printf("%-8s %-12s %-10s %-10s %s\n", "sched", "distance", "useful", "late", "wakeups")
+	for _, sc := range []config.SchedulerKind{
+		config.SchedLRR, config.SchedTwoLevel, config.SchedPAS,
+	} {
+		g, err := sim.New(cfg, kernel, sim.Options{Prefetcher: "caps", Scheduler: sc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := g.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %8.1f cyc %-10d %-10d %d\n",
+			sc, st.MeanPrefetchDistance(), st.PrefUseful, st.PrefLate, st.WakeupPromotions)
+	}
+	fmt.Println("\nPAS pushes leading warps ahead so base addresses are known early,")
+	fmt.Println("then wakes the warps whose data arrives — lifting the distance")
+	fmt.Println("between prefetch and demand (the paper reports 64 → 145 → 173).")
+}

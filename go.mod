@@ -1,0 +1,3 @@
+module caps
+
+go 1.22

@@ -1,0 +1,169 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesTableIII(t *testing.T) {
+	cfg := Default()
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"NumSMs", cfg.NumSMs, 15},
+		{"SIMTWidth", cfg.SIMTWidth, 32},
+		{"CoreClockMHz", cfg.CoreClockMHz, 1400},
+		{"MaxWarpsPerSM", cfg.MaxWarpsPerSM, 48},
+		{"MaxCTAsPerSM", cfg.MaxCTAsPerSM, 8},
+		{"RegFileKB", cfg.RegFileKB, 128},
+		{"SharedMemKB", cfg.SharedMemKB, 48},
+		{"ReadyQueueSize", cfg.ReadyQueueSize, 8},
+		{"L1.SizeKB", cfg.L1.SizeKB, 16},
+		{"L1.LineBytes", cfg.L1.LineBytes, 128},
+		{"L1.Ways", cfg.L1.Ways, 4},
+		{"L1.MSHREntries", cfg.L1.MSHREntries, 32},
+		{"L2.SizeKB", cfg.L2.SizeKB, 64},
+		{"L2.Ways", cfg.L2.Ways, 8},
+		{"L2.MSHREntries", cfg.L2.MSHREntries, 32},
+		{"NumPartitions", cfg.NumPartitions, 12},
+		{"DRAM.Channels", cfg.DRAM.Channels, 6},
+		{"DRAM.ClockMHz", cfg.DRAM.ClockMHz, 924},
+		{"DRAM.QueueEntries", cfg.DRAM.QueueEntries, 16},
+		{"DRAM.TCL", cfg.DRAM.TCL, 12},
+		{"DRAM.TRP", cfg.DRAM.TRP, 12},
+		{"DRAM.TRC", cfg.DRAM.TRC, 40},
+		{"DRAM.TRAS", cfg.DRAM.TRAS, 28},
+		{"DRAM.TRCD", cfg.DRAM.TRCD, 12},
+		{"DRAM.TRRD", cfg.DRAM.TRRD, 6},
+		{"DRAM.TCDLR", cfg.DRAM.TCDLR, 5},
+		{"DRAM.TWR", cfg.DRAM.TWR, 12},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (Table III)", c.name, c.got, c.want)
+		}
+	}
+	if cfg.Scheduler != SchedTwoLevel {
+		t.Errorf("Scheduler = %q, want two-level baseline", cfg.Scheduler)
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	l1 := Default().L1
+	if got := l1.Sets(); got != 32 {
+		t.Errorf("L1 sets = %d, want 32 (16KB / (128B × 4 ways))", got)
+	}
+	if got := l1.Lines(); got != 128 {
+		t.Errorf("L1 lines = %d, want 128", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := map[string]func(*GPUConfig){
+		"zero SMs":           func(c *GPUConfig) { c.NumSMs = 0 },
+		"zero SIMT":          func(c *GPUConfig) { c.SIMTWidth = 0 },
+		"zero warps":         func(c *GPUConfig) { c.MaxWarpsPerSM = 0 },
+		"zero CTAs":          func(c *GPUConfig) { c.MaxCTAsPerSM = 0 },
+		"CTAs > warps":       func(c *GPUConfig) { c.MaxCTAsPerSM = 100 },
+		"zero issue":         func(c *GPUConfig) { c.IssueWidth = 0 },
+		"zero ready queue":   func(c *GPUConfig) { c.ReadyQueueSize = 0 },
+		"zero partitions":    func(c *GPUConfig) { c.NumPartitions = 0 },
+		"negative icnt":      func(c *GPUConfig) { c.ICNTLatency = -1 },
+		"zero icnt width":    func(c *GPUConfig) { c.ICNTWidth = 0 },
+		"zero icnt queue":    func(c *GPUConfig) { c.ICNTQueue = 0 },
+		"bad scheduler":      func(c *GPUConfig) { c.Scheduler = "bogus" },
+		"line mismatch":      func(c *GPUConfig) { c.L2.LineBytes = 64 },
+		"non-pow2 line":      func(c *GPUConfig) { c.L1.LineBytes = 100; c.L2.LineBytes = 100 },
+		"zero L1 size":       func(c *GPUConfig) { c.L1.SizeKB = 0 },
+		"zero L1 ways":       func(c *GPUConfig) { c.L1.Ways = 0 },
+		"zero L1 mshr":       func(c *GPUConfig) { c.L1.MSHREntries = 0 },
+		"zero L1 missq":      func(c *GPUConfig) { c.L1.MissQueue = 0 },
+		"neg L1 hitlat":      func(c *GPUConfig) { c.L1.HitLatency = -1 },
+		"zero channels":      func(c *GPUConfig) { c.DRAM.Channels = 0 },
+		"zero banks":         func(c *GPUConfig) { c.DRAM.BanksPerChannel = 0 },
+		"zero dram queue":    func(c *GPUConfig) { c.DRAM.QueueEntries = 0 },
+		"zero dram clock":    func(c *GPUConfig) { c.DRAM.ClockMHz = 0 },
+		"zero bus width":     func(c *GPUConfig) { c.DRAM.BusWidthBytes = 0 },
+		"zero burst":         func(c *GPUConfig) { c.DRAM.BurstLength = 0 },
+		"non-pow2 row":       func(c *GPUConfig) { c.DRAM.RowBytes = 1000 },
+		"negative timing":    func(c *GPUConfig) { c.DRAM.TCL = -1 },
+		"negative extra lat": func(c *GPUConfig) { c.DRAM.ExtraLatency = -1 },
+		"part not mult chan": func(c *GPUConfig) { c.NumPartitions = 7 },
+		"zero pf accesses":   func(c *GPUConfig) { c.PrefetchMaxAccesses = 0 },
+		"zero pf table":      func(c *GPUConfig) { c.PrefetchTableSize = 0 },
+		"zero mispredict":    func(c *GPUConfig) { c.MispredictThreshold = 0 },
+	}
+	for name, mutate := range mutations {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken config", name)
+		}
+	}
+}
+
+func TestDRAMCyclesToCore(t *testing.T) {
+	cfg := Default() // 1400 MHz core, 924 MHz DRAM
+	if got := cfg.DRAMCyclesToCore(0); got != 0 {
+		t.Errorf("0 dram cycles → %d core cycles, want 0", got)
+	}
+	if got := cfg.DRAMCyclesToCore(-3); got != 0 {
+		t.Errorf("negative dram cycles → %d, want 0", got)
+	}
+	// 924 DRAM cycles = exactly 1400 core cycles.
+	if got := cfg.DRAMCyclesToCore(924); got != 1400 {
+		t.Errorf("924 dram cycles → %d core cycles, want 1400", got)
+	}
+	// Rounds up.
+	if got := cfg.DRAMCyclesToCore(1); got != 2 {
+		t.Errorf("1 dram cycle → %d core cycles, want 2 (ceil 1.515)", got)
+	}
+}
+
+func TestDRAMCyclesToCoreMonotonic(t *testing.T) {
+	cfg := Default()
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return cfg.DRAMCyclesToCore(x) <= cfg.DRAMCyclesToCore(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstCoreCycles(t *testing.T) {
+	cfg := Default()
+	// 128B line over an 8B bus, BL8 quad-pumped: 2 bursts × 2 command
+	// cycles = 4 DRAM cycles → ceil(4 × 1400/924) = 7 core cycles.
+	if got := cfg.BurstCoreCycles(); got != 7 {
+		t.Errorf("BurstCoreCycles = %d, want 7", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := Default().TableString()
+	for _, want := range []string{
+		"1400MHz, 32 SIMT width, 15 cores",
+		"48 concurrent warps, 8 concurrent CTAs",
+		"16KB, 128B line, 4-way, LRU, 32 MSHR entries",
+		"64KB per partition (12 partitions)",
+		"924MHz, x8 interface, 6 channels, FR-FCFS scheduler, 16 scheduler queue entries",
+		"tCL=12, tRP=12, tRC=40, tRAS=28, tRCD=12, tRRD=6, tCDLR=5, tWR=12",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TableString missing %q:\n%s", want, s)
+		}
+	}
+}

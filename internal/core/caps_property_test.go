@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"caps/internal/config"
+	"caps/internal/prefetch"
+	"caps/internal/stats"
+)
+
+// TestCAPSNeverTargetsSeenWarpsProperty feeds randomized observation
+// sequences into CAPS and checks two invariants regardless of ordering:
+// a candidate never targets a warp that already executed the PC at the
+// current iteration, and candidates always carry a valid target CTA.
+func TestCAPSNeverTargetsSeenWarpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(config.Default(), &stats.Sim{})
+
+		// Track, per (ctaSlot, pc), which warps have executed — mirroring
+		// the PerCTA entry semantics (no loops in this stream).
+		type key struct {
+			slot int
+			pc   uint32
+		}
+		executed := map[key]map[int]bool{}
+
+		for step := 0; step < 200; step++ {
+			slot := rng.Intn(4)
+			pc := uint32(1 + rng.Intn(3))
+			warp := rng.Intn(4)
+			base := uint64(0x100000 + slot*0x8000)
+			o := &prefetch.Observation{
+				Now: int64(step), PC: pc,
+				CTASlot: slot, CTAID: slot, // stable occupancy
+				WarpSlot: slot*4 + warp, WarpInCTA: warp,
+				WarpsPerCTA: 4, CTAWarpBase: slot * 4,
+				Addrs: []uint64{base + uint64(warp)*0x200},
+			}
+			k := key{slot, pc}
+			if executed[k] == nil {
+				executed[k] = map[int]bool{}
+			}
+			executed[k][warp] = true
+
+			for _, cand := range c.OnLoad(o) {
+				tSlot := cand.TargetWarpSlot / 4
+				tWarp := cand.TargetWarpSlot % 4
+				if cand.TargetCTAID != tSlot {
+					return false // CTA binding broken
+				}
+				if tSlot == slot && tWarp == warp {
+					return false // prefetched for the demanding warp itself
+				}
+				if executed[key{tSlot, cand.PC}][tWarp] {
+					return false // prefetched for a warp that already loaded
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCAPSCandidateAddressesAreExactProperty: for pure strided streams,
+// every generated candidate address must equal the address its target warp
+// will demand — the mechanism behind the paper's 97% accuracy. Bases are
+// irregular per CTA; the stride is kernel-wide, as in Section IV.
+func TestCAPSCandidateAddressesAreExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(config.Default(), &stats.Sim{})
+		stride := uint64(0x80 * (1 + rng.Intn(8)))
+		const pc = uint32(1)
+
+		bases := make([]uint64, 4)
+		for slot := range bases {
+			bases[slot] = uint64(0x400000 + rng.Intn(1<<16)*64)
+		}
+		demand := func(slot, warp int) uint64 {
+			return bases[slot] + uint64(warp)*stride
+		}
+
+		for step := 0; step < 150; step++ {
+			slot := rng.Intn(4)
+			warp := rng.Intn(4)
+			o := &prefetch.Observation{
+				Now: int64(step), PC: pc,
+				CTASlot: slot, CTAID: slot,
+				WarpSlot: slot*4 + warp, WarpInCTA: warp,
+				WarpsPerCTA: 4, CTAWarpBase: slot * 4,
+				Addrs: []uint64{demand(slot, warp)},
+			}
+			for _, cand := range c.OnLoad(o) {
+				tSlot := cand.TargetWarpSlot / 4
+				tWarp := cand.TargetWarpSlot % 4
+				if cand.Addr != demand(tSlot, tWarp) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

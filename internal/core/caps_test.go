@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/prefetch"
+	"caps/internal/stats"
+)
+
+func newCAPS() (*CAPS, *stats.Sim) {
+	st := &stats.Sim{}
+	return New(config.Default(), st), st
+}
+
+// obs builds an observation for CTA slot/id with one access address.
+func obs(ctaSlot, ctaID, warpInCTA int, pc uint32, addr uint64, iter int64) *prefetch.Observation {
+	return &prefetch.Observation{
+		Now: 10, PC: pc, CTASlot: ctaSlot, CTAID: ctaID,
+		WarpSlot: ctaSlot*4 + warpInCTA, WarpInCTA: warpInCTA,
+		WarpsPerCTA: 4, CTAWarpBase: ctaSlot * 4,
+		Iter: iter, Addrs: []uint64{addr},
+	}
+}
+
+const stride = 0x200
+
+// base address of CTA c (irregular spacing, like real kernels).
+func baseOf(c int) uint64 { return 0x100000 + uint64(c)*0x3780 }
+
+func TestScenario1StrideDiscoveryFansOutToAllCTAs(t *testing.T) {
+	c, _ := newCAPS()
+	// Leading warps of three CTAs register bases first (PAS behaviour).
+	for slot := 0; slot < 3; slot++ {
+		if got := c.OnLoad(obs(slot, slot, 0, 1, baseOf(slot), 0)); len(got) != 0 {
+			t.Fatalf("base registration should not prefetch yet, got %v", got)
+		}
+	}
+	// A trailing warp of CTA 0 reveals the stride.
+	got := c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+stride, 0))
+	// CTA 0 has warps 2,3 left; CTAs 1,2 have warps 1,2,3 each → 8.
+	if len(got) != 8 {
+		t.Fatalf("scenario 1 generated %d candidates, want 8", len(got))
+	}
+	for _, cand := range got {
+		ctaSlot := cand.TargetWarpSlot / 4
+		w := cand.TargetWarpSlot % 4
+		want := baseOf(ctaSlot) + uint64(w)*stride
+		if cand.Addr != want {
+			t.Errorf("candidate for cta %d warp %d = %#x, want %#x", ctaSlot, w, cand.Addr, want)
+		}
+		if cand.TargetCTAID != ctaSlot {
+			t.Errorf("TargetCTAID = %d, want %d", cand.TargetCTAID, ctaSlot)
+		}
+	}
+}
+
+func TestScenario2BaseAfterStride(t *testing.T) {
+	c, _ := newCAPS()
+	// Leading CTA detects the stride first.
+	c.OnLoad(obs(0, 0, 0, 1, baseOf(0), 0))
+	c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+stride, 0))
+	// A NEW CTA's leading warp arrives afterwards: its trailing warps are
+	// prefetched immediately (Fig. 9b).
+	got := c.OnLoad(obs(1, 7, 0, 1, baseOf(7), 0))
+	if len(got) != 3 {
+		t.Fatalf("scenario 2 generated %d candidates, want 3", len(got))
+	}
+	for i, cand := range got {
+		want := baseOf(7) + uint64(i+1)*stride
+		if cand.Addr != want {
+			t.Errorf("candidate %d = %#x, want %#x", i, cand.Addr, want)
+		}
+	}
+}
+
+func TestNoPrefetchForWarpsAlreadyExecuted(t *testing.T) {
+	c, _ := newCAPS()
+	c.OnLoad(obs(0, 0, 0, 1, baseOf(0), 0))
+	c.OnLoad(obs(0, 0, 2, 1, baseOf(0)+2*stride, 0)) // warp 2 discovers stride
+	// Candidates must exclude warps 0 (leading) and 2 (already executed).
+	got := c.OnLoad(obs(1, 1, 0, 1, baseOf(1), 0))
+	for _, cand := range got {
+		if cand.TargetWarpSlot == 4 {
+			t.Error("generated a prefetch for the leading warp itself")
+		}
+	}
+}
+
+func TestIndirectLoadsExcluded(t *testing.T) {
+	c, st := newCAPS()
+	o := obs(0, 0, 0, 1, baseOf(0), 0)
+	o.Indirect = true
+	if got := c.OnLoad(o); got != nil {
+		t.Errorf("indirect load produced candidates: %v", got)
+	}
+	if st.PrefTableLookup != 0 {
+		t.Error("indirect loads must not touch the tables")
+	}
+}
+
+func TestUncoalescedLoadsExcluded(t *testing.T) {
+	c, _ := newCAPS()
+	o := obs(0, 0, 0, 1, baseOf(0), 0)
+	o.Addrs = make([]uint64, 5) // more than PrefetchMaxAccesses=4
+	if got := c.OnLoad(o); got != nil {
+		t.Errorf("uncoalesced load produced candidates: %v", got)
+	}
+}
+
+func TestInconsistentStrideInvalidatesEntry(t *testing.T) {
+	c, _ := newCAPS()
+	// Two-access load with disagreeing per-access strides.
+	o0 := obs(0, 0, 0, 1, baseOf(0), 0)
+	o0.Addrs = []uint64{baseOf(0), baseOf(0) + 0x1000}
+	c.OnLoad(o0)
+	o1 := obs(0, 0, 1, 1, baseOf(0)+stride, 0)
+	o1.Addrs = []uint64{baseOf(0) + stride, baseOf(0) + 0x1000 + 2*stride} // mismatch
+	if got := c.OnLoad(o1); len(got) != 0 {
+		t.Errorf("inconsistent stride generated %v", got)
+	}
+	// Entry invalidated: the next warp becomes a fresh leading warp.
+	got := c.OnLoad(obs(0, 0, 2, 1, baseOf(0)+2*stride, 0))
+	if len(got) != 0 {
+		t.Errorf("after invalidation expected re-registration, got %v", got)
+	}
+}
+
+func TestMispredictionThrottleDisablesPC(t *testing.T) {
+	cfg := config.Default()
+	cfg.MispredictThreshold = 3
+	st := &stats.Sim{}
+	c := New(cfg, st)
+
+	// Establish base + stride on CTA 0.
+	c.OnLoad(obs(0, 0, 0, 1, baseOf(0), 0))
+	c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+stride, 0))
+
+	// Trailing warps mispredict (random addresses) until the counter
+	// crosses the threshold.
+	c.OnLoad(obs(0, 0, 2, 1, baseOf(0)+0x999, 0))
+	c.OnLoad(obs(0, 0, 3, 1, baseOf(0)+0x1234, 0))
+	// New CTA: fresh entry, but verification keeps failing.
+	c.OnLoad(obs(1, 1, 0, 1, baseOf(1), 0))
+	c.OnLoad(obs(1, 1, 1, 1, baseOf(1)+0x777, 0))
+	c.OnLoad(obs(1, 1, 2, 1, baseOf(1)+0x555, 0))
+	if st.PrefVerifyBad < 4 {
+		t.Fatalf("expected >=4 verification failures, got %d", st.PrefVerifyBad)
+	}
+	// The PC is now shut down: a fresh CTA generates nothing.
+	got := c.OnLoad(obs(2, 9, 0, 1, baseOf(9), 0))
+	if len(got) != 0 {
+		t.Errorf("throttled PC still prefetching: %v", got)
+	}
+}
+
+func TestTargetingLimitFourPCs(t *testing.T) {
+	c, _ := newCAPS()
+	// Register four PCs (the DIST table size).
+	for pc := uint32(1); pc <= 4; pc++ {
+		c.OnLoad(obs(0, 0, 0, pc, baseOf(0)+uint64(pc)*0x10000, 0))
+	}
+	// A fifth PC is not targeted: no table churn, no candidates ever.
+	c.OnLoad(obs(0, 0, 0, 5, 0x900000, 0))
+	got := c.OnLoad(obs(0, 0, 1, 5, 0x900000+stride, 0))
+	if len(got) != 0 {
+		t.Errorf("fifth PC should not be targeted, got %v", got)
+	}
+	// The original PCs still work.
+	got = c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+0x10000+stride, 0))
+	if len(got) == 0 {
+		t.Error("original targeted PC stopped prefetching")
+	}
+}
+
+func TestCTARelaunchClearsPerCTATable(t *testing.T) {
+	c, _ := newCAPS()
+	c.OnLoad(obs(0, 0, 0, 1, baseOf(0), 0))
+	c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+stride, 0))
+	// Slot 0 is recycled for CTA 42.
+	c.OnCTALaunch(0)
+	// Its first warp re-registers and immediately benefits from the
+	// already-known stride (scenario 2).
+	got := c.OnLoad(obs(0, 42, 0, 1, baseOf(42), 0))
+	if len(got) != 3 {
+		t.Fatalf("relaunched CTA generated %d candidates, want 3", len(got))
+	}
+	for _, cand := range got {
+		if cand.TargetCTAID != 42 {
+			t.Errorf("candidate CTA id = %d, want 42", cand.TargetCTAID)
+		}
+	}
+}
+
+func TestLoopIterationRefreshTargetsActiveWarps(t *testing.T) {
+	c, _ := newCAPS()
+	// Iteration 0: bases and stride.
+	c.OnLoad(obs(0, 0, 0, 1, baseOf(0), 0))
+	c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+stride, 0))
+	// Warp 2 never executes iteration 0 (it is far behind).
+	// Leading warp reaches iteration 1: only warp 1 (seen at iter 0)
+	// gets a prefetch; warp 2 and 3 would receive data far too early.
+	got := c.OnLoad(obs(0, 0, 0, 1, baseOf(0)+0x40000, 1))
+	if len(got) != 1 {
+		t.Fatalf("iteration refresh generated %d candidates, want 1", len(got))
+	}
+	if got[0].TargetWarpSlot != 1 {
+		t.Errorf("refresh targeted warp slot %d, want 1", got[0].TargetWarpSlot)
+	}
+	if got[0].Addr != baseOf(0)+0x40000+stride {
+		t.Errorf("refresh addr = %#x", got[0].Addr)
+	}
+}
+
+func TestVerificationCountsMatches(t *testing.T) {
+	c, st := newCAPS()
+	c.OnLoad(obs(0, 0, 0, 1, baseOf(0), 0))
+	c.OnLoad(obs(0, 0, 1, 1, baseOf(0)+stride, 0))
+	c.OnLoad(obs(0, 0, 2, 1, baseOf(0)+2*stride, 0)) // exact prediction
+	if st.PrefVerifyOK != 1 || st.PrefVerifyBad != 0 {
+		t.Errorf("verify ok/bad = %d/%d, want 1/0", st.PrefVerifyOK, st.PrefVerifyBad)
+	}
+}
+
+func TestStrideBetween(t *testing.T) {
+	if _, ok := strideBetween([]uint64{100}, []uint64{100}, 0); ok {
+		t.Error("dw=0 must not produce a stride")
+	}
+	if _, ok := strideBetween([]uint64{100}, []uint64{103}, 2); ok {
+		t.Error("non-divisible diff must fail")
+	}
+	if s, ok := strideBetween([]uint64{100, 200}, []uint64{160, 260}, 2); !ok || s != 30 {
+		t.Errorf("strideBetween = %d,%v; want 30,true", s, ok)
+	}
+	if _, ok := strideBetween([]uint64{100, 200}, []uint64{160, 280}, 2); ok {
+		t.Error("disagreeing components must fail")
+	}
+}
+
+func TestHardwareCostTables(t *testing.T) {
+	h := Cost(config.Default())
+	if h.PerCTAEntryBytes != 21 {
+		t.Errorf("PerCTA entry = %dB, want 21B (Table I)", h.PerCTAEntryBytes)
+	}
+	if h.DISTEntryBytes != 9 {
+		t.Errorf("DIST entry = %dB, want 9B (Table I)", h.DISTEntryBytes)
+	}
+	if h.DISTTotalBytes != 36 {
+		t.Errorf("DIST total = %dB, want 36B (Table II)", h.DISTTotalBytes)
+	}
+	if h.PerCTATotalBytes != 672 {
+		t.Errorf("PerCTA total = %dB, want 672B (Table II)", h.PerCTATotalBytes)
+	}
+	if h.TotalBytes != 708 {
+		t.Errorf("total = %dB, want 708B (Table II)", h.TotalBytes)
+	}
+	if h.EnergyPerAccess != 15.07 || h.StaticPowerWatts != 550e-6 {
+		t.Error("synthesis numbers drifted from Section V-D")
+	}
+	for _, s := range []string{h.TableI(), h.TableII()} {
+		if len(s) == 0 {
+			t.Error("empty table rendering")
+		}
+	}
+}

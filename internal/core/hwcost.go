@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"caps/internal/config"
+)
+
+// Hardware cost model reproducing Tables I and II and the Section V-D
+// synthesis numbers.
+
+// Entry field sizes in bytes (Table I).
+const (
+	PCBytes         = 4
+	LeadWarpIDBytes = 1
+	BaseAddrBytes   = 4
+	BaseVectorSlots = 4
+	StrideBytes     = 4
+	MispredictBytes = 1
+)
+
+// PerCTAEntryBytes is the size of one PerCTA table entry: PC (4B), leading
+// warp id (1B), base address vector (4×4B) = 21 B.
+func PerCTAEntryBytes() int {
+	return PCBytes + LeadWarpIDBytes + BaseVectorSlots*BaseAddrBytes
+}
+
+// DISTEntryBytes is the size of one DIST table entry: PC (4B), stride
+// (4B), mispredict counter (1B) = 9 B.
+func DISTEntryBytes() int {
+	return PCBytes + StrideBytes + MispredictBytes
+}
+
+// HardwareCost summarizes the per-SM storage (Table II) and the synthesis
+// estimates quoted in Section V-D.
+type HardwareCost struct {
+	DISTEntryBytes   int
+	DISTEntries      int
+	DISTTotalBytes   int
+	PerCTAEntryBytes int
+	PerCTAEntries    int
+	PerCTATables     int // one per concurrent CTA
+	PerCTATotalBytes int
+	TotalBytes       int
+
+	// Synthesis estimates (FreePDK 45 nm + CACTI, Section V-D).
+	AreaMM2          float64
+	SMAreaMM2        float64
+	AreaFraction     float64
+	EnergyPerAccess  float64 // pJ
+	StaticPowerWatts float64
+}
+
+// Cost computes the hardware cost for a configuration.
+func Cost(cfg config.GPUConfig) HardwareCost {
+	h := HardwareCost{
+		DISTEntryBytes:   DISTEntryBytes(),
+		DISTEntries:      cfg.PrefetchTableSize,
+		PerCTAEntryBytes: PerCTAEntryBytes(),
+		PerCTAEntries:    cfg.PrefetchTableSize,
+		PerCTATables:     cfg.MaxCTAsPerSM,
+
+		AreaMM2:          0.018,
+		SMAreaMM2:        22,
+		EnergyPerAccess:  15.07,
+		StaticPowerWatts: 550e-6,
+	}
+	h.DISTTotalBytes = h.DISTEntryBytes * h.DISTEntries
+	h.PerCTATotalBytes = h.PerCTAEntryBytes * h.PerCTAEntries * h.PerCTATables
+	h.TotalBytes = h.DISTTotalBytes + h.PerCTATotalBytes
+	h.AreaFraction = h.AreaMM2 / h.SMAreaMM2
+	return h
+}
+
+// TableI renders the Table I layout.
+func (h HardwareCost) TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-55s %s\n", "Table", "Fields", "Total")
+	fmt.Fprintf(&b, "%-8s %-55s %dB\n", "PerCTA",
+		fmt.Sprintf("PC (%dB), leading warp id (%dB), base address (%dx%dB)",
+			PCBytes, LeadWarpIDBytes, BaseVectorSlots, BaseAddrBytes),
+		h.PerCTAEntryBytes)
+	fmt.Fprintf(&b, "%-8s %-55s %dB\n", "DIST",
+		fmt.Sprintf("PC (%dB), stride (%dB), mispredict counter (%dB)",
+			PCBytes, StrideBytes, MispredictBytes),
+		h.DISTEntryBytes)
+	return b.String()
+}
+
+// TableII renders the Table II layout.
+func (h HardwareCost) TableII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-45s %s\n", "Table", "Configuration", "Total")
+	fmt.Fprintf(&b, "%-8s %-45s %d bytes\n", "DIST",
+		fmt.Sprintf("%d bytes per entry, %d entries", h.DISTEntryBytes, h.DISTEntries),
+		h.DISTTotalBytes)
+	fmt.Fprintf(&b, "%-8s %-45s %d bytes\n", "PerCTA",
+		fmt.Sprintf("%d bytes per entry, %d entries, %d CTAs",
+			h.PerCTAEntryBytes, h.PerCTAEntries, h.PerCTATables),
+		h.PerCTATotalBytes)
+	fmt.Fprintf(&b, "%-8s %-45s %d bytes\n", "Total", "", h.TotalBytes)
+	return b.String()
+}

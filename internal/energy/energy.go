@@ -1,0 +1,97 @@
+// Package energy estimates GPU energy for a simulation run, replacing the
+// paper's GPUWattch + CACTI + synthesized-RTL flow (Section VI-F) with an
+// event-energy model: each architectural event carries a per-event energy,
+// and idle structures draw static power for the duration of the run. The
+// CAPS table parameters (15.07 pJ per access, 550 µW static per SM) are the
+// paper's own synthesis numbers.
+package energy
+
+import (
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+// Params holds per-event energies in picojoules and static power in watts.
+// Defaults approximate 40 nm-class GPUs (GPUWattch-era numbers).
+type Params struct {
+	ALUOpPJ      float64 // per warp ALU instruction (32 lanes)
+	SharedOpPJ   float64 // per shared-memory operation
+	L1AccessPJ   float64 // per L1 probe/fill
+	L2AccessPJ   float64 // per L2 access
+	ICNTFlitPJ   float64 // per interconnect traversal
+	DRAMAccessPJ float64 // per DRAM line read/write
+
+	// CAPS hardware (Section V-D).
+	CAPSTablePJ     float64 // per PerCTA/DIST access
+	CAPSStaticWatts float64 // per SM
+
+	// Machine static power (whole GPU), watts.
+	StaticWatts float64
+}
+
+// DefaultParams returns the calibration used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		ALUOpPJ:      220,
+		SharedOpPJ:   120,
+		L1AccessPJ:   80,
+		L2AccessPJ:   160,
+		ICNTFlitPJ:   100,
+		DRAMAccessPJ: 2600,
+
+		CAPSTablePJ:     15.07,
+		CAPSStaticWatts: 550e-6,
+
+		StaticWatts: 45,
+	}
+}
+
+// Breakdown reports per-component energy in joules.
+type Breakdown struct {
+	ALU    float64
+	Shared float64
+	L1     float64
+	L2     float64
+	ICNT   float64
+	DRAM   float64
+	CAPS   float64
+	Static float64
+}
+
+// Total returns the summed energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.ALU + b.Shared + b.L1 + b.L2 + b.ICNT + b.DRAM + b.CAPS + b.Static
+}
+
+// Estimate computes the energy of one run. withCAPS adds the prefetcher's
+// dynamic (table accesses) and static contributions.
+func Estimate(p Params, cfg config.GPUConfig, st *stats.Sim, withCAPS bool) Breakdown {
+	const pj = 1e-12
+	seconds := float64(st.Cycles) / (float64(cfg.CoreClockMHz) * 1e6)
+	b := Breakdown{
+		ALU:    float64(st.ALUOps) * p.ALUOpPJ * pj,
+		Shared: float64(st.SharedMemOps) * p.SharedOpPJ * pj,
+		L1:     float64(st.L1Accesses) * p.L1AccessPJ * pj,
+		L2:     float64(st.L2Accesses) * p.L2AccessPJ * pj,
+		ICNT:   float64(st.CoreToMemRequests+st.L2Accesses) * p.ICNTFlitPJ * pj,
+		DRAM:   float64(st.DRAMReads+st.StoresIssued) * p.DRAMAccessPJ * pj,
+		Static: p.StaticWatts * seconds,
+	}
+	if withCAPS {
+		b.CAPS = float64(st.PrefTableLookup)*p.CAPSTablePJ*pj +
+			p.CAPSStaticWatts*float64(cfg.NumSMs)*seconds
+	}
+	return b
+}
+
+// Normalized returns run energy relative to a baseline run (Fig. 15):
+// values below 1.0 mean CAPS saved energy (shorter runtime cuts static
+// energy; extra prefetch traffic adds dynamic energy).
+func Normalized(p Params, cfg config.GPUConfig, caps, baseline *stats.Sim) float64 {
+	e := Estimate(p, cfg, caps, true).Total()
+	base := Estimate(p, cfg, baseline, false).Total()
+	if base == 0 {
+		return 0
+	}
+	return e / base
+}

@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+func TestEstimateComponents(t *testing.T) {
+	cfg := config.Default()
+	p := DefaultParams()
+	st := &stats.Sim{
+		Cycles:            int64(cfg.CoreClockMHz) * 1e6, // exactly one second
+		ALUOps:            1e9,
+		SharedMemOps:      1e6,
+		L1Accesses:        2e6,
+		L2Accesses:        1e6,
+		CoreToMemRequests: 1e6,
+		DRAMReads:         5e5,
+		StoresIssued:      5e5,
+		PrefTableLookup:   1e6,
+	}
+	b := Estimate(p, cfg, st, true)
+	if math.Abs(b.Static-p.StaticWatts) > 1e-9 {
+		t.Errorf("static energy over one second = %v J, want %v", b.Static, p.StaticWatts)
+	}
+	if math.Abs(b.ALU-1e9*p.ALUOpPJ*1e-12) > 1e-9 {
+		t.Errorf("ALU energy = %v", b.ALU)
+	}
+	wantDRAM := 1e6 * p.DRAMAccessPJ * 1e-12
+	if math.Abs(b.DRAM-wantDRAM) > 1e-9 {
+		t.Errorf("DRAM energy = %v, want %v", b.DRAM, wantDRAM)
+	}
+	wantCAPS := 1e6*p.CAPSTablePJ*1e-12 + p.CAPSStaticWatts*float64(cfg.NumSMs)
+	if math.Abs(b.CAPS-wantCAPS) > 1e-12 {
+		t.Errorf("CAPS energy = %v, want %v", b.CAPS, wantCAPS)
+	}
+	total := b.ALU + b.Shared + b.L1 + b.L2 + b.ICNT + b.DRAM + b.CAPS + b.Static
+	if math.Abs(b.Total()-total) > 1e-12 {
+		t.Error("Total does not sum the components")
+	}
+}
+
+func TestEstimateWithoutCAPS(t *testing.T) {
+	st := &stats.Sim{Cycles: 1000, PrefTableLookup: 1e6}
+	b := Estimate(DefaultParams(), config.Default(), st, false)
+	if b.CAPS != 0 {
+		t.Errorf("CAPS energy without CAPS = %v, want 0", b.CAPS)
+	}
+}
+
+func TestNormalizedFasterRunSavesStaticEnergy(t *testing.T) {
+	cfg := config.Default()
+	p := DefaultParams()
+	base := &stats.Sim{Cycles: 2_000_000, ALUOps: 1000, DRAMReads: 1000}
+	faster := &stats.Sim{Cycles: 1_800_000, ALUOps: 1000, DRAMReads: 1000, PrefTableLookup: 100}
+	n := Normalized(p, cfg, faster, base)
+	if n >= 1.0 {
+		t.Errorf("10%% faster run with equal traffic should save energy, got %v", n)
+	}
+	if n < 0.85 {
+		t.Errorf("normalized energy %v implausibly low", n)
+	}
+}
+
+func TestNormalizedExtraTrafficCostsEnergy(t *testing.T) {
+	cfg := config.Default()
+	p := DefaultParams()
+	base := &stats.Sim{Cycles: 1_000_000, DRAMReads: 1000}
+	wasteful := &stats.Sim{Cycles: 1_000_000, DRAMReads: 3000}
+	if n := Normalized(p, cfg, wasteful, base); n <= 1.0 {
+		t.Errorf("3x DRAM traffic at equal runtime must cost energy, got %v", n)
+	}
+}
+
+func TestNormalizedZeroBaseline(t *testing.T) {
+	if n := Normalized(DefaultParams(), config.Default(), &stats.Sim{}, &stats.Sim{}); n != 0 {
+		t.Errorf("zero baseline should yield 0, got %v", n)
+	}
+}

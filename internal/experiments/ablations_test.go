@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"caps/internal/config"
+)
+
+// ablation tests run at a very small scale — they validate plumbing, not
+// absolute numbers.
+func ablationCfg() config.GPUConfig {
+	cfg := config.Default()
+	cfg.MaxInsts = 20_000
+	cfg.MaxCycle = 2_000_000
+	return cfg
+}
+
+func TestAblationTableSize(t *testing.T) {
+	tab, err := AblationTableSize(ablationCfg(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(tab.Rows))
+	}
+}
+
+func TestAblationWakeup(t *testing.T) {
+	tab, err := AblationWakeup(ablationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(tab.Rows))
+	}
+}
+
+func TestKeplerClassValidates(t *testing.T) {
+	cfg := KeplerClass()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Kepler-class config invalid: %v", err)
+	}
+	if cfg.MaxCTAsPerSM != 16 || cfg.MaxWarpsPerSM != 64 {
+		t.Error("Kepler-class occupancy wrong")
+	}
+}
+
+func TestAblationOccupancy(t *testing.T) {
+	tab, err := AblationOccupancy(ablationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(tab.Rows))
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"caps/internal/config"
+)
+
+// quickSuite runs a 3-benchmark subset with a small instruction cap so the
+// drivers execute end to end in seconds.
+func quickSuite() *Suite {
+	cfg := config.Default()
+	cfg.MaxInsts = 40_000
+	cfg.MaxCycle = 3_000_000
+	s := NewSuite(cfg)
+	s.Benches = []string{"CNV", "MM", "BFS"}
+	return s
+}
+
+func TestSchedulerFor(t *testing.T) {
+	if SchedulerFor("caps") != config.SchedPAS {
+		t.Error("CAPS must run under PAS")
+	}
+	for _, pf := range []string{"intra", "inter", "mta", "nlp", "lap", "orch"} {
+		if SchedulerFor(pf) != config.SchedTwoLevel {
+			t.Errorf("%s must run under the two-level baseline", pf)
+		}
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s := quickSuite()
+	k := BaselineKey("CNV")
+	a, err := s.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Run should return the memoized result")
+	}
+}
+
+func TestSuiteRejectsUnknownBenchmark(t *testing.T) {
+	s := quickSuite()
+	if _, err := s.Run(BaselineKey("NOPE")); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	s := quickSuite()
+	tab, err := Figure10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Header) != 1+len(Prefetchers) {
+		t.Errorf("header = %v", tab.Header)
+	}
+	// 3 benchmark rows + 3 mean rows.
+	if len(tab.Rows) != 6 {
+		t.Errorf("rows = %d, want 6", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "CNV" {
+		t.Errorf("first row = %v", tab.Rows[0])
+	}
+	// All normalized IPCs must be positive and sane.
+	for _, row := range tab.Rows[:3] {
+		for _, cell := range row[1:] {
+			if !strings.HasPrefix(cell, "0.") && !strings.HasPrefix(cell, "1.") {
+				t.Errorf("suspicious normalized IPC %q in row %v", cell, row)
+			}
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	s := quickSuite()
+	cov, acc, err := Figure12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Rows) != 4 || len(acc.Rows) != 4 { // 3 benches + mean
+		t.Errorf("rows: cov %d acc %d, want 4 each", len(cov.Rows), len(acc.Rows))
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	s := quickSuite()
+	reqs, reads, err := Figure13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs.Rows) != 4 || len(reads.Rows) != 4 {
+		t.Error("figure 13 row counts wrong")
+	}
+}
+
+func TestFigure14bShape(t *testing.T) {
+	s := quickSuite()
+	tab, err := Figure14b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 schedulers", len(tab.Rows))
+	}
+	labels := []string{"LRR", "TLV", "PA-TLV"}
+	for i, row := range tab.Rows {
+		if row[0] != labels[i] {
+			t.Errorf("row %d = %v", i, row)
+		}
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	s := quickSuite()
+	tab, err := Figure15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestFigure4CoversAllBenchmarks(t *testing.T) {
+	tab := Figure4()
+	if len(tab.Rows) != 16 {
+		t.Errorf("rows = %d, want 16", len(tab.Rows))
+	}
+	if tab.Rows[11][0] != "MM" || tab.Rows[11][1] != "2/2" {
+		t.Errorf("MM row = %v, want looped/total 2/2", tab.Rows[11])
+	}
+}
+
+func TestFigure1ShowsAccuracyDecline(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxInsts = 120_000
+	tab, err := Figure1(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 distances", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := sscan(s, &v); err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	accNear := parse(tab.Rows[0][1])
+	accFar := parse(tab.Rows[9][1])
+	if accNear < 0.8 {
+		t.Errorf("accuracy at distance 1 = %v, want high", accNear)
+	}
+	if accFar >= accNear {
+		t.Errorf("accuracy must decline with distance: d=1 %v vs d=10 %v", accNear, accFar)
+	}
+	gapNear := parse(tab.Rows[0][2])
+	gapFar := parse(tab.Rows[9][2])
+	if gapFar <= gapNear {
+		t.Errorf("cycle gap must grow with distance: %v vs %v", gapNear, gapFar)
+	}
+}
+
+func TestTables(t *testing.T) {
+	cfg := config.Default()
+	if s := TableI(cfg); !strings.Contains(s, "21B") || !strings.Contains(s, "9B") {
+		t.Errorf("Table I missing entry sizes:\n%s", s)
+	}
+	if s := TableII(cfg); !strings.Contains(s, "708") {
+		t.Errorf("Table II missing 708-byte total:\n%s", s)
+	}
+	if s := TableIII(cfg); !strings.Contains(s, "1400MHz") {
+		t.Errorf("Table III missing clock:\n%s", s)
+	}
+	tab := TableIV()
+	if len(tab.Rows) != 16 {
+		t.Errorf("Table IV rows = %d, want 16", len(tab.Rows))
+	}
+}
+
+// sscan parses a single float (strconv wrapper kept local to the tests).
+func sscan(s string, v *float64) (int, error) {
+	f, err := strconvParse(s)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+func strconvParse(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// TestHeadlineResult guards the paper's headline claim at reduced scale:
+// on the best-case benchmark (CNV), CAPS with PAS must beat the two-level
+// no-prefetch baseline, with high prefetch accuracy.
+func TestHeadlineResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline regression needs a moderately sized run")
+	}
+	cfg := config.Default()
+	cfg.MaxInsts = 150_000
+	s := NewSuite(cfg)
+	base, err := s.Run(BaselineKey("CNV"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := s.Run(PrefetcherKey("CNV", "caps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := caps.IPC() / base.IPC()
+	if speedup <= 1.0 {
+		t.Errorf("CAPS speedup on CNV = %.3f, want > 1.0", speedup)
+	}
+	if caps.Accuracy() < 0.9 {
+		t.Errorf("CAPS accuracy on CNV = %.3f, want > 0.9", caps.Accuracy())
+	}
+	if caps.Coverage() < 0.1 {
+		t.Errorf("CAPS coverage on CNV = %.3f, want > 0.1", caps.Coverage())
+	}
+}

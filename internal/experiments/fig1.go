@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"sort"
+
+	"caps/internal/config"
+	"caps/internal/kernels"
+	"caps/internal/prefetch"
+	"caps/internal/sim"
+	"caps/internal/stats"
+)
+
+// Figure1 reproduces the motivation study: the accuracy of naive inter-warp
+// stride prefetching and the cycle gap between load executions, as a
+// function of the warp distance d (1..10), measured on matrixMul.
+//
+// Methodology (Section I): record the first execution of each load PC by
+// every warp slot on every SM (address and cycle). The inter-warp stride Δ
+// is detected from consecutive warp slots within one CTA. A prediction for
+// warp w+d from warp w is addr(w) + d·Δ; accuracy(d) is the fraction of
+// pairs where the prediction matches, and gap(d) is the mean cycle gap
+// between the two executions. Accuracy collapses once d crosses the CTA
+// boundary (matrixMul has 8 warps per CTA).
+func Figure1(cfg config.GPUConfig, maxDistance int) (*stats.Table, error) {
+	if maxDistance <= 0 {
+		maxDistance = 10
+	}
+	type rec struct {
+		addr  uint64
+		cycle int64
+		seen  bool
+	}
+	type streamKey struct {
+		sm int
+		pc uint32
+	}
+	streams := make(map[streamKey][]rec)
+
+	kernel, err := kernels.ByAbbr("MM")
+	if err != nil {
+		return nil, err
+	}
+	tracer := func(obs *prefetch.Observation) {
+		if obs.Iter != 0 || obs.Indirect {
+			return // first execution per warp only, as in the paper's trace
+		}
+		k := streamKey{sm: obs.SMID, pc: obs.PC}
+		s := streams[k]
+		if s == nil {
+			s = make([]rec, cfg.MaxWarpsPerSM)
+			streams[k] = s
+		}
+		if obs.WarpSlot < len(s) && !s[obs.WarpSlot].seen {
+			s[obs.WarpSlot] = rec{addr: obs.Addrs[0], cycle: obs.Now, seen: true}
+		}
+	}
+
+	cfg.Scheduler = config.SchedTwoLevel
+	g, err := sim.New(cfg, kernel, sim.Options{Prefetcher: "none", Tracer: tracer})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(); err != nil {
+		return nil, err
+	}
+
+	// Detect the dominant stride between consecutive warp slots: the most
+	// common difference observed (the in-CTA stride).
+	strideVotes := make(map[int64]int)
+	for _, s := range streams {
+		for w := 0; w+1 < len(s); w++ {
+			if s[w].seen && s[w+1].seen {
+				strideVotes[int64(s[w+1].addr)-int64(s[w].addr)]++
+			}
+		}
+	}
+	var stride int64
+	best := 0
+	// Deterministic tie-break: smallest stride wins.
+	diffs := make([]int64, 0, len(strideVotes))
+	for d := range strideVotes {
+		diffs = append(diffs, d)
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i] < diffs[j] })
+	for _, d := range diffs {
+		if strideVotes[d] > best {
+			best, stride = strideVotes[d], d
+		}
+	}
+
+	t := &stats.Table{Header: []string{"distance", "accuracy", "gap (cycles)"}}
+	for d := 1; d <= maxDistance; d++ {
+		var hits, total int
+		var gapSum int64
+		for _, s := range streams {
+			for w := 0; w+d < len(s); w++ {
+				if !s[w].seen || !s[w+d].seen {
+					continue
+				}
+				total++
+				predicted := int64(s[w].addr) + int64(d)*stride
+				if predicted == int64(s[w+d].addr) {
+					hits++
+				}
+				gap := s[w+d].cycle - s[w].cycle
+				if gap < 0 {
+					gap = -gap
+				}
+				gapSum += gap
+			}
+		}
+		acc, gap := 0.0, 0.0
+		if total > 0 {
+			acc = float64(hits) / float64(total)
+			gap = float64(gapSum) / float64(total)
+		}
+		t.AddRow(fmtF(float64(d), 0), fmtF(acc, 3), fmtF(gap, 1))
+	}
+	return t, nil
+}

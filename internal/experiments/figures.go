@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+
+	"caps/internal/config"
+	"caps/internal/energy"
+	"caps/internal/kernels"
+	"caps/internal/stats"
+)
+
+// Figure10 reproduces the headline result: IPC of each prefetcher
+// normalized to the two-level no-prefetch baseline, per benchmark, with
+// regular / irregular / overall means.
+func Figure10(s *Suite) (*stats.Table, error) {
+	if err := s.Warm(s.sweepKeys()); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: append([]string{"bench"}, Prefetchers...)}
+	norm := make(map[string]map[string]float64) // bench → pf → normalized IPC
+	for _, b := range s.benchNames() {
+		base, err := s.Run(BaselineKey(b))
+		if err != nil {
+			return nil, err
+		}
+		norm[b] = make(map[string]float64)
+		row := []string{b}
+		for _, pf := range Prefetchers {
+			st, err := s.Run(PrefetcherKey(b, pf))
+			if err != nil {
+				return nil, err
+			}
+			v := st.IPC() / base.IPC()
+			norm[b][pf] = v
+			row = append(row, fmtF(v, 3))
+		}
+		t.AddRow(row...)
+	}
+	addMean := func(label string, benches []*kernels.Kernel) {
+		row := []string{label}
+		any := false
+		for _, pf := range Prefetchers {
+			var vs []float64
+			for _, k := range benches {
+				if m, ok := norm[k.Abbr]; ok {
+					vs = append(vs, m[pf])
+					any = true
+				}
+			}
+			row = append(row, fmtF(stats.Mean(vs), 3))
+		}
+		if any {
+			t.AddRow(row...)
+		}
+	}
+	addMean("Mean(reg)", kernels.Regular())
+	addMean("Mean(irreg)", kernels.IrregularSet())
+	addMean("Mean(all)", kernels.All())
+	return t, nil
+}
+
+// Figure11 sweeps the number of concurrent CTAs per SM (1, 2, 4, 8) and
+// reports each prefetcher's mean IPC normalized to the 8-CTA no-prefetch
+// baseline.
+func Figure11(s *Suite) (*stats.Table, error) {
+	ctas := []int{1, 2, 4, 8}
+	var keys []RunKey
+	for _, b := range s.benchNames() {
+		for _, n := range ctas {
+			k := BaselineKey(b)
+			k.MaxCTAs = n
+			keys = append(keys, k)
+			for _, pf := range Prefetchers {
+				pk := PrefetcherKey(b, pf)
+				pk.MaxCTAs = n
+				keys = append(keys, pk)
+			}
+		}
+	}
+	if err := s.Warm(keys); err != nil {
+		return nil, err
+	}
+
+	t := &stats.Table{Header: append([]string{"config"}, append([]string{"none"}, Prefetchers...)...)}
+	for _, n := range ctas {
+		row := []string{fmt.Sprintf("CTA=%d", n)}
+		for _, pf := range append([]string{"none"}, Prefetchers...) {
+			var vs []float64
+			for _, b := range s.benchNames() {
+				base, err := s.Run(BaselineKey(b)) // 8-CTA baseline
+				if err != nil {
+					return nil, err
+				}
+				var k RunKey
+				if pf == "none" {
+					k = BaselineKey(b)
+				} else {
+					k = PrefetcherKey(b, pf)
+				}
+				k.MaxCTAs = n
+				st, err := s.Run(k)
+				if err != nil {
+					return nil, err
+				}
+				vs = append(vs, st.IPC()/base.IPC())
+			}
+			row = append(row, fmtF(stats.Mean(vs), 3))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure12 reports prefetch coverage (a) and accuracy (b) per benchmark.
+func Figure12(s *Suite) (coverage, accuracy *stats.Table, err error) {
+	if err := s.Warm(s.sweepKeys()); err != nil {
+		return nil, nil, err
+	}
+	coverage = &stats.Table{Header: append([]string{"bench"}, Prefetchers...)}
+	accuracy = &stats.Table{Header: append([]string{"bench"}, Prefetchers...)}
+	sums := map[string][2]float64{}
+	for _, b := range s.benchNames() {
+		covRow, accRow := []string{b}, []string{b}
+		for _, pf := range Prefetchers {
+			st, err := s.Run(PrefetcherKey(b, pf))
+			if err != nil {
+				return nil, nil, err
+			}
+			covRow = append(covRow, fmtF(st.Coverage(), 3))
+			accRow = append(accRow, fmtF(st.Accuracy(), 3))
+			v := sums[pf]
+			v[0] += st.Coverage()
+			v[1] += st.Accuracy()
+			sums[pf] = v
+		}
+		coverage.AddRow(covRow...)
+		accuracy.AddRow(accRow...)
+	}
+	n := float64(len(s.benchNames()))
+	covMean, accMean := []string{"Mean"}, []string{"Mean"}
+	for _, pf := range Prefetchers {
+		covMean = append(covMean, fmtF(sums[pf][0]/n, 3))
+		accMean = append(accMean, fmtF(sums[pf][1]/n, 3))
+	}
+	coverage.AddRow(covMean...)
+	accuracy.AddRow(accMean...)
+	return coverage, accuracy, nil
+}
+
+// Figure13 reports bandwidth overhead: fetch requests leaving the cores (a)
+// and DRAM reads (b), normalized to the no-prefetch baseline.
+func Figure13(s *Suite) (coreReqs, dramReads *stats.Table, err error) {
+	if err := s.Warm(s.sweepKeys()); err != nil {
+		return nil, nil, err
+	}
+	coreReqs = &stats.Table{Header: append([]string{"bench"}, Prefetchers...)}
+	dramReads = &stats.Table{Header: append([]string{"bench"}, Prefetchers...)}
+	sums := map[string][2]float64{}
+	for _, b := range s.benchNames() {
+		base, err := s.Run(BaselineKey(b))
+		if err != nil {
+			return nil, nil, err
+		}
+		reqRow, rdRow := []string{b}, []string{b}
+		for _, pf := range Prefetchers {
+			st, err := s.Run(PrefetcherKey(b, pf))
+			if err != nil {
+				return nil, nil, err
+			}
+			req := ratio(st.CoreToMemRequests, base.CoreToMemRequests)
+			rd := ratio(st.DRAMReads, base.DRAMReads)
+			reqRow = append(reqRow, fmtF(req, 3))
+			rdRow = append(rdRow, fmtF(rd, 3))
+			v := sums[pf]
+			v[0] += req
+			v[1] += rd
+			sums[pf] = v
+		}
+		coreReqs.AddRow(reqRow...)
+		dramReads.AddRow(rdRow...)
+	}
+	n := float64(len(s.benchNames()))
+	reqMean, rdMean := []string{"Mean"}, []string{"Mean"}
+	for _, pf := range Prefetchers {
+		reqMean = append(reqMean, fmtF(sums[pf][0]/n, 3))
+		rdMean = append(rdMean, fmtF(sums[pf][1]/n, 3))
+	}
+	coreReqs.AddRow(reqMean...)
+	dramReads.AddRow(rdMean...)
+	return coreReqs, dramReads, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Figure14a reports the early-prefetch ratio (prefetched lines evicted
+// before use over prefetches issued) for the stride prefetchers, CAPS, and
+// CAPS without the eager warp wake-up.
+func Figure14a(s *Suite) (*stats.Table, error) {
+	cols := []string{"intra", "inter", "mta", "caps", "caps w/o wakeup"}
+	var keys []RunKey
+	for _, b := range s.benchNames() {
+		for _, pf := range []string{"intra", "inter", "mta", "caps"} {
+			keys = append(keys, PrefetcherKey(b, pf))
+		}
+		nk := PrefetcherKey(b, "caps")
+		nk.NoWakeup = true
+		keys = append(keys, nk)
+	}
+	if err := s.Warm(keys); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: append([]string{"metric"}, cols...)}
+	row := []string{"early prefetch ratio (%)"}
+	for _, pf := range cols {
+		var vs []float64
+		for _, b := range s.benchNames() {
+			k := PrefetcherKey(b, "caps")
+			if pf != "caps w/o wakeup" {
+				k = PrefetcherKey(b, pf)
+			} else {
+				k.NoWakeup = true
+			}
+			st, err := s.Run(k)
+			if err != nil {
+				return nil, err
+			}
+			vs = append(vs, 100*st.EarlyPrefetchRatio())
+		}
+		row = append(row, fmtF(stats.Mean(vs), 2))
+	}
+	t.AddRow(row...)
+	return t, nil
+}
+
+// Figure14b reports the mean prefetch-to-demand distance of timely
+// prefetches when CAPS runs under LRR, the plain two-level scheduler and
+// the prefetch-aware scheduler.
+func Figure14b(s *Suite) (*stats.Table, error) {
+	scheds := []struct {
+		label string
+		kind  config.SchedulerKind
+	}{
+		{"LRR", config.SchedLRR},
+		{"TLV", config.SchedTwoLevel},
+		{"PA-TLV", config.SchedPAS},
+	}
+	var keys []RunKey
+	for _, b := range s.benchNames() {
+		for _, sc := range scheds {
+			keys = append(keys, RunKey{Bench: b, Prefetch: "caps", Scheduler: sc.kind})
+		}
+	}
+	if err := s.Warm(keys); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"scheduler", "avg distance (cycles)"}}
+	for _, sc := range scheds {
+		var sum, cnt int64
+		for _, b := range s.benchNames() {
+			st, err := s.Run(RunKey{Bench: b, Prefetch: "caps", Scheduler: sc.kind})
+			if err != nil {
+				return nil, err
+			}
+			sum += st.PrefDistanceSum
+			cnt += st.PrefDistanceCount
+		}
+		d := 0.0
+		if cnt > 0 {
+			d = float64(sum) / float64(cnt)
+		}
+		t.AddRow(sc.label, fmtF(d, 1))
+	}
+	return t, nil
+}
+
+// Figure15 reports CAPS energy normalized to the baseline per benchmark.
+func Figure15(s *Suite) (*stats.Table, error) {
+	var keys []RunKey
+	for _, b := range s.benchNames() {
+		keys = append(keys, BaselineKey(b), PrefetcherKey(b, "caps"))
+	}
+	if err := s.Warm(keys); err != nil {
+		return nil, err
+	}
+	p := energy.DefaultParams()
+	t := &stats.Table{Header: []string{"bench", "normalized energy"}}
+	var vs []float64
+	for _, b := range s.benchNames() {
+		base, err := s.Run(BaselineKey(b))
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.Run(PrefetcherKey(b, "caps"))
+		if err != nil {
+			return nil, err
+		}
+		v := energy.Normalized(p, s.Cfg, st, base)
+		vs = append(vs, v)
+		t.AddRow(b, fmtF(v, 3))
+	}
+	t.AddRow("Mean", fmtF(stats.Mean(vs), 3))
+	return t, nil
+}

@@ -1,0 +1,189 @@
+// Package experiments contains one driver per table and figure in the CAPS
+// paper's evaluation (Section VI). Drivers share a memoizing Suite so that
+// figures built from the same sweeps (Figs. 10, 12, 13, 15) reuse runs, and
+// independent runs execute in parallel.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"caps/internal/config"
+	"caps/internal/kernels"
+	"caps/internal/sim"
+	"caps/internal/stats"
+)
+
+// Prefetchers lists the evaluated prefetchers in the paper's figure order.
+var Prefetchers = []string{"intra", "inter", "mta", "nlp", "lap", "orch", "caps"}
+
+// SchedulerFor returns the warp scheduler each prefetcher is evaluated
+// with: CAPS pairs with the paper's PAS, everything else runs on the
+// two-level baseline scheduler (ORCH's grouped variant is selected inside
+// the simulator).
+func SchedulerFor(prefetcher string) config.SchedulerKind {
+	if prefetcher == "caps" {
+		return config.SchedPAS
+	}
+	return config.SchedTwoLevel
+}
+
+// RunKey identifies one memoized simulation run.
+type RunKey struct {
+	Bench     string
+	Prefetch  string
+	Scheduler config.SchedulerKind
+	MaxCTAs   int  // 0 = config default
+	NoWakeup  bool // disable PAS eager wake-up (Fig. 14a ablation)
+}
+
+// Suite memoizes and parallelizes simulation runs.
+type Suite struct {
+	Cfg         config.GPUConfig
+	Parallelism int
+	// Benches restricts the benchmark set (Table IV abbreviations);
+	// empty means all sixteen. Tests and quick benches use subsets.
+	Benches []string
+
+	mu    sync.Mutex
+	cache map[RunKey]*stats.Sim
+}
+
+// NewSuite creates a suite over the given base configuration.
+func NewSuite(cfg config.GPUConfig) *Suite {
+	return &Suite{
+		Cfg:         cfg,
+		Parallelism: runtime.GOMAXPROCS(0),
+		cache:       make(map[RunKey]*stats.Sim),
+	}
+}
+
+func (s *Suite) configFor(k RunKey) config.GPUConfig {
+	cfg := s.Cfg
+	cfg.Scheduler = k.Scheduler
+	if k.MaxCTAs > 0 {
+		cfg.MaxCTAsPerSM = k.MaxCTAs
+	}
+	if k.NoWakeup {
+		cfg.PrefetchWakeup = false
+	}
+	return cfg
+}
+
+// Run executes (or returns the memoized result of) one simulation.
+func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
+	s.mu.Lock()
+	if st, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	kernel, err := kernels.ByAbbr(k.Bench)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sim.New(s.configFor(k), kernel, sim.Options{Prefetcher: k.Prefetch})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
+	}
+	st, err := g.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
+	}
+	s.mu.Lock()
+	s.cache[k] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Warm runs all keys in parallel, stopping at the first error.
+func (s *Suite) Warm(keys []RunKey) error {
+	// Filter already-cached keys.
+	var todo []RunKey
+	s.mu.Lock()
+	for _, k := range keys {
+		if _, ok := s.cache[k]; !ok {
+			todo = append(todo, k)
+		}
+	}
+	s.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+
+	par := s.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	work := make(chan RunKey)
+	errs := make(chan error, par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Keep draining even after an error so the feeder never
+			// blocks; only the first error is reported.
+			for k := range work {
+				if _, err := s.Run(k); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, k := range todo {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// BaselineKey is the no-prefetch two-level configuration every figure
+// normalizes against.
+func BaselineKey(bench string) RunKey {
+	return RunKey{Bench: bench, Prefetch: "none", Scheduler: config.SchedTwoLevel}
+}
+
+// PrefetcherKey is the standard evaluation configuration of a prefetcher.
+func PrefetcherKey(bench, pf string) RunKey {
+	return RunKey{Bench: bench, Prefetch: pf, Scheduler: SchedulerFor(pf)}
+}
+
+// benchNames returns the suite's benchmark set (all of Table IV unless
+// restricted).
+func (s *Suite) benchNames() []string {
+	if len(s.Benches) > 0 {
+		return s.Benches
+	}
+	all := kernels.All()
+	names := make([]string, len(all))
+	for i, k := range all {
+		names[i] = k.Abbr
+	}
+	return names
+}
+
+// sweepKeys returns baseline + all prefetchers for every benchmark.
+func (s *Suite) sweepKeys() []RunKey {
+	var keys []RunKey
+	for _, b := range s.benchNames() {
+		keys = append(keys, BaselineKey(b))
+		for _, pf := range Prefetchers {
+			keys = append(keys, PrefetcherKey(b, pf))
+		}
+	}
+	return keys
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

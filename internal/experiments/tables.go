@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"caps/internal/config"
+	"caps/internal/core"
+	"caps/internal/kernels"
+	"caps/internal/stats"
+)
+
+// Figure4 reproduces the load-iteration characterization: for each
+// benchmark, the mean dynamic executions of its four hottest loads per
+// warp, annotated with looped/total static load counts.
+func Figure4() *stats.Table {
+	t := &stats.Table{Header: []string{"bench", "looped/total loads", "avg iterations (top-4 loads)"}}
+	for _, k := range kernels.All() {
+		p := kernels.ProfileLoads(k)
+		t.AddRow(p.Abbr,
+			fmt.Sprintf("%d/%d", p.LoopedLoads, p.TotalLoads),
+			fmtF(p.AvgIterations, 1))
+	}
+	return t
+}
+
+// TableI renders the prefetcher entry layout (Table I).
+func TableI(cfg config.GPUConfig) string {
+	return core.Cost(cfg).TableI()
+}
+
+// TableII renders the per-SM table storage (Table II).
+func TableII(cfg config.GPUConfig) string {
+	return core.Cost(cfg).TableII()
+}
+
+// TableIII renders the GPU configuration (Table III).
+func TableIII(cfg config.GPUConfig) string {
+	return cfg.TableString()
+}
+
+// TableIV renders the workload list (Table IV).
+func TableIV() *stats.Table {
+	t := &stats.Table{Header: []string{"benchmark", "abbr", "suite", "class", "grid", "block", "warps/CTA"}}
+	for _, k := range kernels.All() {
+		class := "regular"
+		if k.Irregular {
+			class = "irregular"
+		}
+		t.AddRow(k.Name, k.Abbr, k.Suite, class,
+			dimString(k.Grid), dimString(k.Block), fmt.Sprintf("%d", k.WarpsPerCTA()))
+	}
+	return t
+}
+
+func dimString(d kernels.Dim3) string {
+	switch {
+	case d.Z > 1:
+		return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z)
+	case d.Y > 1:
+		return fmt.Sprintf("(%d,%d)", d.X, d.Y)
+	default:
+		return fmt.Sprintf("(%d)", d.X)
+	}
+}

@@ -1,0 +1,191 @@
+package kernels
+
+// Address generators. Every generator returns the line-aligned addresses of
+// the coalesced accesses one warp performs for one execution of a load.
+// They model the decompositions shown in Fig. 6 of the paper: a per-CTA
+// base address θ computed from CTA-specific parameters, a kernel-wide
+// inter-warp stride Δ, and a lane layout that determines coalescing.
+
+// lineAlign rounds an address down to its cache line.
+func lineAlign(a uint64) uint64 { return a &^ uint64(LineBytes-1) }
+
+// linesTouched returns the distinct line addresses covered by a contiguous
+// byte span [start, start+span).
+func linesTouched(start uint64, span int) []uint64 {
+	if span <= 0 {
+		return nil
+	}
+	first := lineAlign(start)
+	last := lineAlign(start + uint64(span) - 1)
+	n := int((last-first)/LineBytes) + 1
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = first + uint64(i)*LineBytes
+	}
+	return out
+}
+
+// Strided1D models the most common GPU indexing:
+//
+//	tid  = blockIdx.x*blockDim + threadIdx.x
+//	addr = base + tid*elemBytes
+//
+// Lanes of a warp touch a contiguous span, so each warp generates
+// ceil(32*elemBytes/128) coalesced accesses and the inter-warp stride is
+// 32*elemBytes. The per-CTA base is base + ctaID*blockThreads*elemBytes.
+func Strided1D(base uint64, elemBytes int) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		threads := ctx.Block.Count()
+		start := base + uint64(ctx.CTAID*threads+ctx.WarpInCTA*WarpSize)*uint64(elemBytes)
+		return linesTouched(start, WarpSize*elemBytes)
+	}
+}
+
+// Strided1DIter is Strided1D plus an iteration term: each loop iteration
+// advances the address by iterStride bytes (intra-warp stride prefetchers
+// target exactly this pattern).
+func Strided1DIter(base uint64, elemBytes int, iterStride int64) AddressFn {
+	inner := Strided1D(base, elemBytes)
+	return func(ctx AddrCtx) []uint64 {
+		addrs := inner(ctx)
+		off := uint64(ctx.Iter * iterStride)
+		for i := range addrs {
+			addrs[i] = lineAlign(addrs[i] + off)
+		}
+		return addrs
+	}
+}
+
+// Strided2DPitch models pitched 2-D indexing as in LPS (Fig. 6a):
+//
+//	i = blockIdx.x*BLOCK_X + threadIdx.x
+//	j = blockIdx.y*BLOCK_Y + threadIdx.y
+//	addr = base + (j*pitchElems + i)*elemBytes
+//
+// With a (32, BLOCK_Y) block each warp is one row of the tile: lanes are
+// contiguous (one or two coalesced accesses) and the inter-warp stride is
+// pitchElems*elemBytes. The per-CTA base θ depends on both CTA coordinates
+// and the pitch, which is why θ is irregular in linear CTA order while Δ
+// stays constant — the paper's central observation.
+func Strided2DPitch(base uint64, elemBytes, pitchElems int) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		i := ctx.CTA.X * ctx.Block.X
+		j := ctx.CTA.Y*ctx.Block.Y + ctx.WarpInCTA
+		start := base + uint64(j*pitchElems+i)*uint64(elemBytes)
+		return linesTouched(start, WarpSize*elemBytes)
+	}
+}
+
+// Strided2DPitchIter adds a per-iteration plane advance (e.g. the z-loop in
+// laplace3d): iteration k addresses plane base + k*planeStride.
+func Strided2DPitchIter(base uint64, elemBytes, pitchElems int, planeStride int64) AddressFn {
+	inner := Strided2DPitch(base, elemBytes, pitchElems)
+	return func(ctx AddrCtx) []uint64 {
+		addrs := inner(ctx)
+		off := uint64(ctx.Iter * planeStride)
+		for i := range addrs {
+			addrs[i] = lineAlign(addrs[i] + off)
+		}
+		return addrs
+	}
+}
+
+// TiledLoop models matrixMul-style tile marching: iteration k of the loop
+// loads tile k, whose address advances by tileStride bytes per iteration,
+// with the per-CTA base depending on the CTA's tile row/column. rowMajor
+// selects whether the CTA base follows CTA.Y (the A matrix) or CTA.X (the
+// B matrix).
+func TiledLoop(base uint64, elemBytes, pitchElems int, rowMajor bool, tileStride int64) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		var theta uint64
+		if rowMajor {
+			theta = base + uint64(ctx.CTA.Y*ctx.Block.Y*pitchElems)*uint64(elemBytes)
+		} else {
+			theta = base + uint64(ctx.CTA.X*ctx.Block.X)*uint64(elemBytes)
+		}
+		start := theta + uint64(ctx.WarpInCTA*pitchElems)*uint64(elemBytes) + uint64(ctx.Iter*tileStride)
+		return linesTouched(start, WarpSize*elemBytes)
+	}
+}
+
+// IrregularWarpStride models HSP-like kernels where the distance between
+// consecutive warps is NOT a single constant (halo rows in a 16×16 block):
+// warp w sits at offsets[w % len(offsets)] rows from θ. CAP detects the
+// inconsistent stride and invalidates the entry, which is why the paper
+// reports low CAPS coverage on HSP.
+func IrregularWarpStride(base uint64, elemBytes, pitchElems int, offsets []int) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		theta := base + uint64(ctx.CTAID*ctx.Block.Count())*uint64(elemBytes)
+		row := offsets[ctx.WarpInCTA%len(offsets)]
+		start := theta + uint64(row*pitchElems)*uint64(elemBytes)
+		return linesTouched(start, WarpSize*elemBytes)
+	}
+}
+
+// splitmix64 is the deterministic hash behind the indirect generators.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Indirect models data-dependent gathers (g_graph_edges[i] → g_cost[id] in
+// BFS, Fig. 6b): each lane group hits a pseudo-random line within a region
+// of regionLines lines. accesses is the number of distinct lines generated
+// per warp (divergent gathers coalesce poorly).
+func Indirect(base uint64, regionLines int, accesses int, seed uint64) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		out := make([]uint64, accesses)
+		for i := range out {
+			h := splitmix64(seed ^ uint64(ctx.CTAID)<<40 ^ uint64(ctx.WarpInCTA)<<32 ^
+				uint64(ctx.Iter)<<8 ^ uint64(i))
+			out[i] = base + (h%uint64(regionLines))*LineBytes
+		}
+		return out
+	}
+}
+
+// CTAShared models operands indexed by threadIdx alone (weight matrices,
+// twiddle tables, centroid arrays): every CTA reads the same per-warp
+// lines, so after the first CTA warms the caches the load is nearly free —
+// the reuse that keeps real kernels within DRAM bandwidth.
+func CTAShared(base uint64, elemBytes int) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		start := base + uint64(ctx.WarpInCTA*WarpSize)*uint64(elemBytes)
+		return linesTouched(start, WarpSize*elemBytes)
+	}
+}
+
+// Broadcast models a load where all lanes read the same small structure
+// (e.g. kernel arguments or a cluster centroid): one access, shared across
+// warps and CTAs, so it hits in cache after the first touch.
+func Broadcast(base uint64) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		return []uint64{lineAlign(base)}
+	}
+}
+
+// BroadcastIter is Broadcast advancing by one line per iteration (e.g.
+// scanning the centroid table in KM).
+func BroadcastIter(base uint64, lines int) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		return []uint64{lineAlign(base) + uint64(ctx.Iter%int64(lines))*LineBytes}
+	}
+}
+
+// StridedGather models FFT-style power-of-two strides between lanes: the
+// warp touches `accesses` lines spaced apart by strideBytes, with a
+// regular inter-warp stride of warpStride bytes. Coalescing degrades but
+// the inter-warp pattern stays CAP-predictable when accesses ≤ 4.
+func StridedGather(base uint64, accesses int, strideBytes, warpStride int64) AddressFn {
+	return func(ctx AddrCtx) []uint64 {
+		theta := base + uint64(ctx.CTAID)*uint64(warpStride)*uint64(ctx.WarpsPerCTA)
+		start := theta + uint64(ctx.WarpInCTA)*uint64(warpStride)
+		out := make([]uint64, accesses)
+		for i := range out {
+			out[i] = lineAlign(start + uint64(int64(i)*strideBytes))
+		}
+		return out
+	}
+}

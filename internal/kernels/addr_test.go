@@ -1,0 +1,279 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ctx(ctaID, warp int, block Dim3) AddrCtx {
+	grid := Dim3{X: 64}
+	return AddrCtx{
+		CTAID: ctaID, CTA: grid.Coord(ctaID), Grid: grid, Block: block,
+		WarpInCTA: warp, WarpsPerCTA: (block.Count() + WarpSize - 1) / WarpSize,
+	}
+}
+
+func allAligned(t *testing.T, addrs []uint64) {
+	t.Helper()
+	for _, a := range addrs {
+		if a%LineBytes != 0 {
+			t.Fatalf("address %#x not line aligned", a)
+		}
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	// 32 lanes × 4B = 128B exactly one line when aligned.
+	got := linesTouched(0, 128)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("aligned 128B span → %v, want [0]", got)
+	}
+	// Unaligned 128B span crosses into a second line.
+	got = linesTouched(64, 128)
+	if len(got) != 2 || got[0] != 0 || got[1] != 128 {
+		t.Errorf("unaligned span → %v, want [0 128]", got)
+	}
+	if linesTouched(0, 0) != nil {
+		t.Error("zero span should touch no lines")
+	}
+}
+
+func TestLinesTouchedProperty(t *testing.T) {
+	f := func(start uint32, span uint16) bool {
+		if span == 0 {
+			return true
+		}
+		lines := linesTouched(uint64(start), int(span))
+		want := int(lineAlign(uint64(start)+uint64(span)-1)-lineAlign(uint64(start)))/LineBytes + 1
+		if len(lines) != want {
+			return false
+		}
+		for i, a := range lines {
+			if a%LineBytes != 0 {
+				return false
+			}
+			if i > 0 && a != lines[i-1]+LineBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrided1DInterWarpStride(t *testing.T) {
+	gen := Strided1D(1<<20, 4)
+	block := Dim3{X: 256}
+	a0 := gen(ctx(0, 0, block))
+	a1 := gen(ctx(0, 1, block))
+	a2 := gen(ctx(0, 2, block))
+	allAligned(t, a0)
+	if len(a0) != 1 {
+		t.Fatalf("4B elements should coalesce to 1 access, got %d", len(a0))
+	}
+	d1 := int64(a1[0]) - int64(a0[0])
+	d2 := int64(a2[0]) - int64(a1[0])
+	if d1 != d2 || d1 != WarpSize*4 {
+		t.Errorf("inter-warp stride = %d then %d, want constant %d", d1, d2, WarpSize*4)
+	}
+}
+
+func TestStrided1DInterCTAContiguous(t *testing.T) {
+	gen := Strided1D(1<<20, 4)
+	block := Dim3{X: 256}
+	lastWarpCTA0 := gen(ctx(0, 7, block))
+	firstWarpCTA1 := gen(ctx(1, 0, block))
+	if firstWarpCTA1[0]-lastWarpCTA0[0] != WarpSize*4 {
+		t.Errorf("1D indexing should be contiguous across CTAs")
+	}
+}
+
+func TestStrided2DPitchDecomposition(t *testing.T) {
+	const pitch = 1056 // padded
+	gen := Strided2DPitch(1<<20, 4, pitch)
+	block := Dim3{X: 32, Y: 4}
+
+	// Within a CTA: constant inter-warp stride = pitch × elem.
+	a0 := gen(ctx(0, 0, block))
+	a1 := gen(ctx(0, 1, block))
+	a2 := gen(ctx(0, 2, block))
+	d1 := int64(a1[0]) - int64(a0[0])
+	d2 := int64(a2[0]) - int64(a1[0])
+	if d1 != d2 {
+		t.Errorf("inter-warp stride not constant: %d vs %d", d1, d2)
+	}
+	wantStride := lineAlign(uint64(1<<20+pitch*4)) - lineAlign(1<<20)
+	if d1 != int64(wantStride) {
+		t.Errorf("inter-warp stride = %d, want %d", d1, wantStride)
+	}
+
+	// Across CTAs in linear order the base deltas are NOT one constant —
+	// the paper's Section IV observation.
+	grid := Dim3{X: 64}
+	_ = grid
+	deltas := map[int64]bool{}
+	prev := gen(ctx(0, 0, block))[0]
+	for cta := 1; cta < 80; cta++ {
+		cur := gen(ctx(cta, 0, block))[0]
+		deltas[int64(cur)-int64(prev)] = true
+		prev = cur
+	}
+	if len(deltas) < 2 {
+		t.Errorf("inter-CTA deltas should be irregular, got only %v", deltas)
+	}
+}
+
+func TestStrided1DIterAdvances(t *testing.T) {
+	gen := Strided1DIter(1<<20, 4, 4096)
+	c := ctx(0, 0, Dim3{X: 256})
+	c.Iter = 0
+	a0 := gen(c)[0]
+	c.Iter = 1
+	a1 := gen(c)[0]
+	c.Iter = 2
+	a2 := gen(c)[0]
+	if a1-a0 != 4096 || a2-a1 != 4096 {
+		t.Errorf("iteration stride = %d, %d; want 4096", a1-a0, a2-a1)
+	}
+}
+
+func TestTiledLoopRowVsColumn(t *testing.T) {
+	const pitch = 544
+	row := TiledLoop(1<<20, 4, pitch, true, 128)
+	col := TiledLoop(1<<20, 4, pitch, false, 128)
+	block := Dim3{X: 32, Y: 8}
+
+	cA := ctx(0, 0, block)
+	cA.CTA = Dim3{X: 3, Y: 5}
+	rowBase := row(cA)[0]
+	colBase := col(cA)[0]
+
+	cB := cA
+	cB.CTA = Dim3{X: 3, Y: 6} // next tile row
+	if row(cB)[0] == rowBase {
+		t.Error("row-major tile base must depend on CTA.Y")
+	}
+	if col(cB)[0] != colBase {
+		t.Error("column-major tile base must not depend on CTA.Y")
+	}
+
+	// Iteration advances by the tile stride.
+	cA.Iter = 1
+	if got := row(cA)[0] - rowBase; got != 128 {
+		t.Errorf("tile iteration advance = %d, want 128", got)
+	}
+}
+
+func TestIrregularWarpStrideIsIrregular(t *testing.T) {
+	gen := IrregularWarpStride(1<<20, 4, 528, []int{0, 3, 4, 7})
+	block := Dim3{X: 16, Y: 16}
+	diffs := map[int64]bool{}
+	prev := gen(ctx(0, 0, block))[0]
+	for w := 1; w < 4; w++ {
+		cur := gen(ctx(0, w, block))[0]
+		diffs[int64(cur)-int64(prev)] = true
+		prev = cur
+	}
+	if len(diffs) < 2 {
+		t.Errorf("warp stride should be inconsistent, got %v", diffs)
+	}
+}
+
+func TestIndirectDeterministicAndBounded(t *testing.T) {
+	gen := Indirect(1<<24, 1<<10, 4, 12345)
+	c := ctx(3, 2, Dim3{X: 256})
+	c.Iter = 7
+	a := gen(c)
+	b := gen(c)
+	if len(a) != 4 {
+		t.Fatalf("got %d accesses, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("indirect generator must be deterministic")
+		}
+		if a[i] < 1<<24 || a[i] >= 1<<24+(1<<10)*LineBytes {
+			t.Errorf("address %#x outside region", a[i])
+		}
+		if a[i]%LineBytes != 0 {
+			t.Errorf("address %#x not aligned", a[i])
+		}
+	}
+}
+
+func TestIndirectVariesWithInputs(t *testing.T) {
+	gen := Indirect(1<<24, 1<<12, 1, 99)
+	c1 := ctx(0, 0, Dim3{X: 256})
+	c2 := ctx(1, 0, Dim3{X: 256})
+	c3 := ctx(0, 1, Dim3{X: 256})
+	a, b, c := gen(c1)[0], gen(c2)[0], gen(c3)[0]
+	if a == b && b == c {
+		t.Error("indirect addresses should vary with CTA and warp")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	gen := Broadcast(1<<20 + 17)
+	a := gen(ctx(0, 0, Dim3{X: 256}))
+	b := gen(ctx(5, 3, Dim3{X: 256}))
+	if len(a) != 1 || a[0] != b[0] {
+		t.Error("broadcast must return one shared aligned line")
+	}
+	if a[0] != lineAlign(1<<20+17) {
+		t.Errorf("broadcast addr = %#x, want aligned base", a[0])
+	}
+}
+
+func TestBroadcastIterWraps(t *testing.T) {
+	gen := BroadcastIter(1<<20, 4)
+	c := ctx(0, 0, Dim3{X: 256})
+	c.Iter = 5 // 5 mod 4 = 1
+	if got := gen(c)[0]; got != 1<<20+LineBytes {
+		t.Errorf("BroadcastIter(5) = %#x, want base+1 line", got)
+	}
+}
+
+func TestStridedGather(t *testing.T) {
+	gen := StridedGather(1<<20, 3, 256, 512)
+	a := gen(ctx(0, 0, Dim3{X: 64}))
+	if len(a) != 3 {
+		t.Fatalf("got %d accesses, want 3", len(a))
+	}
+	if a[1]-a[0] != 256 || a[2]-a[1] != 256 {
+		t.Errorf("gather stride wrong: %v", a)
+	}
+	// Inter-warp stride regular.
+	b := gen(ctx(0, 1, Dim3{X: 64}))
+	if b[0]-a[0] != 512 {
+		t.Errorf("warp stride = %d, want 512", b[0]-a[0])
+	}
+}
+
+func TestSplitmix64Spread(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[splitmix64(i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("splitmix64 collided within 1000 consecutive inputs: %d unique", len(seen))
+	}
+}
+
+func TestCTASharedIgnoresCTA(t *testing.T) {
+	gen := CTAShared(1<<22, 4)
+	a := gen(ctx(0, 2, Dim3{X: 256}))
+	b := gen(ctx(9, 2, Dim3{X: 256}))
+	if len(a) != 1 || a[0] != b[0] {
+		t.Error("CTAShared must return identical lines for every CTA")
+	}
+	// Different warps still stride within the shared structure.
+	c := gen(ctx(0, 3, Dim3{X: 256}))
+	if c[0] == a[0] {
+		t.Error("CTAShared warps must read distinct lines")
+	}
+	if c[0]-a[0] != WarpSize*4 {
+		t.Errorf("CTAShared warp stride = %d, want %d", c[0]-a[0], WarpSize*4)
+	}
+}

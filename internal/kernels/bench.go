@@ -1,0 +1,528 @@
+package kernels
+
+import "fmt"
+
+// This file defines the sixteen benchmark models of Table IV. Each model
+// reproduces the published characteristics of the original CUDA benchmark:
+// CTA geometry, warps per CTA, the count of static load PCs and how many of
+// them sit inside loops (the x-axis annotations of Fig. 4), the per-CTA
+// base-address irregularity of Section IV, and the indirect-access
+// behaviour of the irregular four (PVR, CCL, BFS, KM).
+//
+// Programs follow the shape of real SASS: a short address computation, a
+// small batch of independent global loads, a join at the first dependent
+// use a couple of instructions later, then an arithmetic tail consuming
+// the data. Fermi-class SMs expose most of the load latency at those joins
+// (the paper's Section I reports 62% stall cycles for its motivating
+// example); the arithmetic tails are what the SM overlaps across warps.
+// Grids are sized so runs reach the instruction cap in steady state rather
+// than draining (DESIGN.md §6).
+
+// builder assembles a Kernel with a tiny DSL; it panics on structural
+// errors, which are programmer bugs in the benchmark definitions and are
+// caught by TestAllKernelsValidate.
+type builder struct {
+	k    Kernel
+	next uint64
+}
+
+func newBuilder(name, abbr, suite string, grid, block Dim3, irregular bool) *builder {
+	return &builder{
+		k: Kernel{
+			Name: name, Abbr: abbr, Suite: suite,
+			Grid: grid, Block: block, Irregular: irregular,
+		},
+		next: 1 << 28,
+	}
+}
+
+// array reserves an address region and returns its base; regions are spaced
+// a full 64 MiB apart so distinct arrays never share cache lines.
+func (b *builder) array() uint64 {
+	base := b.next
+	b.next += 1 << 26
+	return base
+}
+
+func (b *builder) compute(lat int) {
+	b.k.Program = append(b.k.Program, Instr{Kind: OpCompute, Latency: lat})
+}
+
+func (b *builder) shared(lat int) {
+	b.k.Program = append(b.k.Program, Instr{Kind: OpShared, Latency: lat})
+}
+
+func (b *builder) barrier() {
+	b.k.Program = append(b.k.Program, Instr{Kind: OpBarrier})
+}
+
+// join waits for every outstanding load of the warp (first register use).
+func (b *builder) join() {
+	b.k.Program = append(b.k.Program, Instr{Kind: OpJoin})
+}
+
+// tail emits the arithmetic consuming loaded data: n dependent ops.
+func (b *builder) tail(n, lat int) {
+	for i := 0; i < n; i++ {
+		b.compute(lat)
+	}
+}
+
+// load issues a non-blocking global load.
+func (b *builder) load(name string, fn AddressFn, indirect, inLoop bool) {
+	b.k.Loads = append(b.k.Loads, LoadSpec{Name: name, Gen: fn, Indirect: indirect, InLoop: inLoop})
+	b.k.Program = append(b.k.Program, Instr{Kind: OpLoad, Load: len(b.k.Loads) - 1})
+}
+
+// loadB issues a blocking load (a dependent use follows immediately, as in
+// pointer chasing).
+func (b *builder) loadB(name string, fn AddressFn, indirect, inLoop bool) {
+	b.k.Loads = append(b.k.Loads, LoadSpec{Name: name, Gen: fn, Indirect: indirect, InLoop: inLoop})
+	b.k.Program = append(b.k.Program, Instr{Kind: OpLoad, Load: len(b.k.Loads) - 1, Blocking: true})
+}
+
+func (b *builder) store(name string, fn AddressFn) {
+	b.k.Loads = append(b.k.Loads, LoadSpec{Name: name, Gen: fn, Store: true})
+	b.k.Program = append(b.k.Program, Instr{Kind: OpStore, Load: len(b.k.Loads) - 1})
+}
+
+func (b *builder) loop(iters int, body func()) {
+	b.k.Program = append(b.k.Program, Instr{Kind: OpLoopStart, Iters: iters})
+	body()
+	b.k.Program = append(b.k.Program, Instr{Kind: OpLoopEnd})
+}
+
+func (b *builder) done() *Kernel {
+	b.k.Program = append(b.k.Program, Instr{Kind: OpExit})
+	if err := b.k.Validate(); err != nil {
+		panic(fmt.Sprintf("kernels: bad benchmark definition: %v", err))
+	}
+	return &b.k
+}
+
+// CP — Coulombic Potential (GPGPU-Sim suite). Compute-bound: two straight-
+// line strided loads feeding a long arithmetic loop over atoms (0/2 loads
+// in loops). Prefetching has little to chase here.
+func CP() *Kernel {
+	b := newBuilder("Coulombic Potential", "CP", "gpgpu-sim", Dim3{X: 32, Y: 32}, Dim3{X: 16, Y: 8}, false)
+	grid, pitch := b.array(), 32*16+32
+	en := b.array()
+	b.compute(8)
+	b.load("atominfo", Strided2DPitch(grid, 4, pitch), false, false)
+	b.join()
+	b.tail(3, 10)
+	b.load("energygrid", Strided2DPitch(en, 4, pitch), false, false)
+	b.join()
+	b.loop(20, func() {
+		b.compute(12)
+		b.compute(8)
+	})
+	b.store("energyout", Strided2DPitch(en, 4, pitch))
+	return b.done()
+}
+
+// LPS — laplace3D (GPGPU-Sim suite). A (32,4) block marches a z-loop over
+// pitched planes; 2 of its 4 loads are in the loop (Fig. 6a shows the
+// address computation this model reproduces).
+func LPS() *Kernel {
+	b := newBuilder("laplace3D", "LPS", "gpgpu-sim", Dim3{X: 32, Y: 32}, Dim3{X: 32, Y: 4}, false)
+	u1, u2 := b.array(), b.array()
+	pitch := 32*32 + 64 // padded pitch ⇒ irregular per-CTA bases
+	plane := int64(pitch * 32 * 4 * 4)
+	b.compute(10) // ind = i + j*pitch (Fig. 6a)
+	b.load("d_u1.init", Strided2DPitch(u1, 4, pitch), false, false)
+	b.load("d_u1.edge", Strided2DPitch(u1+LineBytes, 4, pitch), false, false)
+	b.join()
+	b.tail(3, 10)
+	b.loop(8, func() {
+		// The z-sweep reuses planes: at iteration k the k-1 plane
+		// (kdown) was fetched two iterations ago as kup, so only one
+		// new plane line per warp enters the cache each iteration —
+		// the classic 3-plane rotation of laplace3d.
+		b.load("d_u1.kup", Strided2DPitchIter(u1+2*uint64(plane), 4, pitch, plane), false, true)
+		b.load("d_u1.kdown", Strided2DPitchIter(u1, 4, pitch, plane), false, true)
+		b.compute(2)
+		b.join()
+		b.tail(9, 10)
+		b.store("d_u2", Strided2DPitchIter(u2, 4, pitch, plane))
+	})
+	return b.done()
+}
+
+// BPR — backprop (Rodinia). A 16×16 block (8 warps) with fourteen straight-
+// line loads of weights and deltas (0/14 in loops).
+func BPR() *Kernel {
+	b := newBuilder("backprop", "BPR", "rodinia", Dim3{X: 2048}, Dim3{X: 256}, false)
+	b.compute(6)
+	for i := 0; i < 14; i++ {
+		// Ten of the fourteen loads walk the shared weight matrix
+		// (threadIdx-indexed, reused by every CTA); four stream
+		// per-element activations and deltas.
+		if i%4 == 0 {
+			b.load(fmt.Sprintf("act%d", i), Strided1D(b.array(), 4), false, false)
+		} else {
+			b.load(fmt.Sprintf("w%d", i), CTAShared(b.array(), 4), false, false)
+		}
+		if i%2 == 1 {
+			b.join()
+			b.tail(3, 10)
+		}
+	}
+	b.join()
+	b.tail(4, 10)
+	b.store("delta", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// HSP — hotspot (Rodinia). Halo rows make the distance between consecutive
+// warps inconsistent, so CAP detects the mismatch and throttles; the paper
+// reports near-zero CAPS coverage here.
+func HSP() *Kernel {
+	b := newBuilder("hotspot", "HSP", "rodinia", Dim3{X: 32, Y: 32}, Dim3{X: 16, Y: 16}, false)
+	temp, power := b.array(), b.array()
+	pitch := 32*16 + 16
+	offsets := []int{0, 3, 4, 7, 8, 11, 12, 15} // halo-skewed rows per warp
+	b.compute(8)
+	b.load("temp", IrregularWarpStride(temp, 4, pitch, offsets), false, false)
+	b.join()
+	b.tail(3, 8)
+	b.load("power", IrregularWarpStride(power, 4, pitch, offsets), false, false)
+	b.join()
+	b.loop(6, func() {
+		b.shared(4)
+		b.compute(10)
+		b.compute(8)
+		b.barrier()
+	})
+	b.store("tempout", IrregularWarpStride(temp, 4, pitch, offsets))
+	return b.done()
+}
+
+// MRQ — mri-q (Parboil). Seven streaming loads with trigonometric compute
+// between them (0/7 in loops).
+func MRQ() *Kernel {
+	b := newBuilder("mri-q", "MRQ", "parboil", Dim3{X: 2048}, Dim3{X: 256}, false)
+	b.compute(6)
+	for i := 0; i < 7; i++ {
+		// The k-space sample arrays are shared across CTAs; only two of
+		// the seven loads stream per-voxel data.
+		if i%3 == 1 {
+			b.load(fmt.Sprintf("x%d", i), Strided1D(b.array(), 4), false, false)
+		} else {
+			b.load(fmt.Sprintf("k%d", i), CTAShared(b.array(), 4), false, false)
+		}
+		b.join()
+		b.tail(4, 12) // sin/cos heavy
+	}
+	b.loop(6, func() {
+		b.compute(12)
+	})
+	b.store("Qr", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// STE — stencil (Parboil). 8 of its 12 loads run inside the z-sweep; very
+// regular pitched accesses.
+func STE() *Kernel {
+	b := newBuilder("stencil", "STE", "parboil", Dim3{X: 32, Y: 32}, Dim3{X: 32, Y: 4}, false)
+	a0, a1 := b.array(), b.array()
+	pitch := 32*32 + 32
+	plane := int64(pitch * 32 * 4 * 4)
+	b.compute(8)
+	for i := 0; i < 4; i++ {
+		b.load(fmt.Sprintf("edge%d", i), Strided2DPitch(a0+uint64(i*LineBytes), 4, pitch), false, false)
+	}
+	b.join()
+	b.tail(3, 8)
+	b.loop(6, func() {
+		// 7-point stencil: the x/y neighbours hit the same or adjacent
+		// lines of the current plane, and the z-1 plane was fetched two
+		// iterations ago — only the z+1 plane is new each iteration.
+		for g := 0; g < 4; g++ {
+			off := uint64(g%2) * LineBytes // x/y neighbours share lines
+			b.load(fmt.Sprintf("pt%d", 2*g), Strided2DPitchIter(a0+off+2*uint64(plane), 4, pitch, plane), false, true)
+			b.load(fmt.Sprintf("pt%d", 2*g+1), Strided2DPitchIter(a0+off, 4, pitch, plane), false, true)
+			b.join()
+			b.tail(3, 8)
+		}
+		b.store("out", Strided2DPitchIter(a1, 4, pitch, plane))
+	})
+	return b.done()
+}
+
+// CNV — convolutionSeparable (CUDA SDK). Ten apron-row loads with tight
+// dependent uses: the burstiest kernel in the suite and the paper's best
+// case for CAPS (+27%).
+func CNV() *Kernel {
+	b := newBuilder("convolutionSeparable", "CNV", "cuda-sdk", Dim3{X: 64, Y: 32}, Dim3{X: 32, Y: 4}, false)
+	src := b.array()
+	pitch := 64*32 + 64
+	b.compute(4)
+	for i := 0; i < 10; i++ {
+		// Load PC i covers row w + 4i of the CTA's 40-row tile; the
+		// convolution MACs consume each row right away.
+		off := uint64(i * 4 * pitch * 4)
+		b.load(fmt.Sprintf("row%d", i), Strided2DPitch(src+off, 4, pitch), false, false)
+		b.compute(2)
+		b.join()
+		b.tail(3, 8)
+	}
+	b.store("dst", Strided2DPitch(b.array(), 4, pitch))
+	return b.done()
+}
+
+// HST — histogram (CUDA SDK). One load PC in a grid-stride loop (1/1):
+// the classic target for intra-warp stride prefetching.
+func HST() *Kernel {
+	b := newBuilder("histogram", "HST", "cuda-sdk", Dim3{X: 1024}, Dim3{X: 256}, false)
+	data := b.array()
+	gridStride := int64(1024 * 256 * 4)
+	b.compute(4)
+	b.loop(16, func() {
+		b.load("data", Strided1DIter(data, 4, gridStride), false, true)
+		b.compute(2)
+		b.join()
+		b.tail(2, 8)
+		b.shared(4)
+	})
+	b.store("partialHist", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// JC1 — jacobi1D (PolyBench/GPU). Four neighbour loads per point, no loop
+// (0/4), heavily overlapping lines; strongly memory-bound.
+func JC1() *Kernel {
+	b := newBuilder("jacobi1D", "JC1", "polybench", Dim3{X: 2048}, Dim3{X: 256}, false)
+	a := b.array()
+	b.compute(4)
+	b.load("A[i-1]", Strided1D(a+4, 4), false, false)
+	b.load("A[i]", Strided1D(a+8, 4), false, false)
+	b.load("A[i+1]", Strided1D(a+12, 4), false, false)
+	b.join()
+	b.tail(4, 8)
+	b.load("B[i]", Strided1D(b.array(), 4), false, false)
+	b.join()
+	b.tail(3, 8)
+	b.store("B'", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// FFT — (SHOC). Sixteen straight-line loads with power-of-two gather
+// strides; coalescing is imperfect (2 accesses per warp) but inter-warp
+// strides stay regular.
+func FFT() *Kernel {
+	b := newBuilder("FFT", "FFT", "shoc", Dim3{X: 4096}, Dim3{X: 64}, false)
+	data := b.array()
+	b.compute(6)
+	for i := 0; i < 16; i++ {
+		// Half the loads gather butterfly inputs; the other half read the
+		// shared twiddle-factor table.
+		if i%2 == 0 {
+			stride := int64(LineBytes << uint(i%3)) // 128/256/512-byte gathers
+			b.load(fmt.Sprintf("bf%d", i), StridedGather(data+uint64(i)<<20, 2, stride, 256), false, false)
+		} else {
+			b.load(fmt.Sprintf("tw%d", i), CTAShared(b.array(), 8), false, false)
+		}
+		if i%2 == 1 {
+			b.join()
+			b.tail(3, 10) // butterfly twiddle arithmetic
+		}
+	}
+	b.join()
+	b.store("out", Strided1D(b.array(), 8))
+	return b.done()
+}
+
+// SCN — scan (CUDA SDK). A single streaming load (0/1), shared-memory
+// tree phases, then a store.
+func SCN() *Kernel {
+	b := newBuilder("scan", "SCN", "cuda-sdk", Dim3{X: 2048}, Dim3{X: 256}, false)
+	b.compute(4)
+	b.load("idata", Strided1D(b.array(), 4), false, false)
+	b.join()
+	b.loop(8, func() {
+		b.shared(4)
+		b.compute(6)
+		b.barrier()
+	})
+	b.store("odata", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// MM — matrixMul (CUDA SDK). The Fig. 1 benchmark: 8 warps per CTA, both
+// loads inside the tile loop (2/2), barrier-synchronized tiles.
+func MM() *Kernel {
+	b := newBuilder("matrixMul", "MM", "cuda-sdk", Dim3{X: 16, Y: 64}, Dim3{X: 32, Y: 8}, false)
+	a, c := b.array(), b.array()
+	bm := b.array()
+	pitchA := 16*32 + 32
+	pitchB := 16*32 + 32
+	tileA := int64(32 * 4)          // A tile advances 32 columns per iteration
+	tileB := int64(32 * pitchB * 4) // B tile advances 32 rows per iteration
+	b.compute(8)
+	b.loop(8, func() {
+		b.load("A.tile", TiledLoop(a, 4, pitchA, true, tileA), false, true)
+		b.load("B.tile", TiledLoop(bm, 4, pitchB, false, tileB), false, true)
+		b.compute(2)
+		b.join()
+		b.barrier()
+		b.shared(6)
+		b.tail(4, 10) // the MAD loop over the staged tile
+		b.barrier()
+	})
+	b.store("C", Strided2DPitch(c, 4, pitchA))
+	return b.done()
+}
+
+// PVR — PageViewRank (Mars). Irregular: hash-bucket gathers mixed with
+// strided metadata walks; 4 of 32 loads loop.
+func PVR() *Kernel {
+	b := newBuilder("PageViewRank", "PVR", "mars", Dim3{X: 1024}, Dim3{X: 256}, true)
+	keys := b.array()
+	b.compute(6)
+	for i := 0; i < 28; i++ {
+		if i%4 == 3 {
+			b.loadB(fmt.Sprintf("bucket%d", i), Indirect(keys, 1<<16, 4, uint64(i)*7919), true, false)
+			b.tail(2, 8)
+		} else if i%2 == 0 {
+			b.load(fmt.Sprintf("meta%d", i), Strided1D(b.array(), 4), false, false)
+			if i%4 == 2 {
+				b.join()
+				b.tail(2, 8)
+			}
+		} else {
+			b.load(fmt.Sprintf("dict%d", i), CTAShared(b.array(), 4), false, false)
+		}
+	}
+	b.join()
+	b.loop(4, func() {
+		b.loadB("rank.key", Indirect(keys, 1<<16, 4, 104729), true, true)
+		b.loadB("rank.val", Indirect(keys+1<<24, 1<<16, 4, 1299709), true, true)
+		b.load("rank.idx", Strided1DIter(b.array(), 4, 1024*256*4), false, true)
+		b.load("rank.acc", Strided1DIter(b.array(), 4, 1024*256*4), false, true)
+		b.join()
+		b.tail(3, 8)
+	})
+	b.store("out", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// CCL — Connected Component Labelling. Irregular: label-chasing gathers;
+// 1 of 22 loads loops.
+func CCL() *Kernel {
+	b := newBuilder("ConnectedComponentLabel", "CCL", "graph", Dim3{X: 1024}, Dim3{X: 256}, true)
+	labels := b.array()
+	b.compute(6)
+	for i := 0; i < 21; i++ {
+		if i%3 == 2 {
+			b.loadB(fmt.Sprintf("nbr%d", i), Indirect(labels, 1<<15, 6, uint64(i)*31337), true, false)
+			b.tail(2, 6)
+		} else if i%2 == 0 {
+			b.load(fmt.Sprintf("px%d", i), Strided1D(b.array(), 4), false, false)
+			if i%3 == 1 {
+				b.join()
+				b.tail(2, 8)
+			}
+		} else {
+			b.load(fmt.Sprintf("lut%d", i), CTAShared(b.array(), 4), false, false)
+		}
+	}
+	b.join()
+	b.loop(3, func() {
+		b.loadB("chase", Indirect(labels, 1<<15, 6, 65537), true, true)
+		b.tail(2, 8)
+	})
+	b.store("label", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// BFS — breadth-first search (Rodinia, Fig. 6b). Thread-indexed metadata
+// loads (mask, nodes, cost) are CAP-predictable; the edge/visited gathers
+// inside the neighbour loop are indirect and excluded from prefetch.
+func BFS() *Kernel {
+	b := newBuilder("BreadthFirstSearch", "BFS", "rodinia", Dim3{X: 1024}, Dim3{X: 256}, true)
+	mask, nodes, cost := b.array(), b.array(), b.array()
+	edges, visited := b.array(), b.array()
+	b.compute(4) // tid = blockIdx.x*MAX_THREADS_PER_BLOCK + threadIdx.x
+	b.load("g_graph_mask", Strided1D(mask, 4), false, false)
+	b.load("g_graph_nodes.start", Strided1D(nodes, 8), false, false)
+	b.join()
+	b.tail(2, 8)
+	b.load("g_graph_nodes.nedge", Strided1D(nodes+8, 8), false, false)
+	b.load("g_cost[tid]", Strided1D(cost, 4), false, false)
+	b.join()
+	b.tail(2, 8)
+	b.loop(4, func() {
+		b.loadB("g_graph_edges", Indirect(edges, 1<<16, 4, 193), true, true)
+		b.compute(4)
+		b.loadB("g_graph_visited", Indirect(visited, 1<<16, 4, 389), true, true)
+		b.compute(4)
+		b.loadB("g_cost[id]", Indirect(cost, 1<<16, 4, 769), true, true)
+		b.loadB("g_updating_mask", Indirect(mask, 1<<16, 4, 1543), true, true)
+		b.compute(4)
+		b.loadB("g_graph_edges2", Indirect(edges, 1<<16, 4, 3079), true, true)
+		b.compute(4)
+	})
+	b.store("g_updating_graph_mask", Strided1D(mask, 4))
+	return b.done()
+}
+
+// KM — kmeans (Mars/Rodinia). Many static load PCs (feature columns) plus
+// a centroid loop: 10 of 144 loads loop.
+func KM() *Kernel {
+	b := newBuilder("Kmeans", "KM", "mars", Dim3{X: 1024}, Dim3{X: 256}, true)
+	centroids := b.array()
+	b.compute(6)
+	for i := 0; i < 134; i++ {
+		// Three quarters of the feature-column loads read the shared
+		// feature metadata; a quarter stream the per-point values.
+		if i%4 == 0 {
+			b.load(fmt.Sprintf("feat%d", i), Strided1D(b.array(), 4), false, false)
+		} else {
+			b.load(fmt.Sprintf("meta%d", i), CTAShared(b.array(), 4), false, false)
+		}
+		if i%4 == 3 {
+			b.join()
+			b.tail(2, 8)
+		}
+	}
+	b.join()
+	b.loop(5, func() {
+		for i := 0; i < 3; i++ {
+			b.load(fmt.Sprintf("cent%d", i), BroadcastIter(centroids+uint64(i)<<16, 64), false, true)
+			b.load(fmt.Sprintf("pt%d", i), Strided1DIter(b.array(), 4, 1024*256*4), false, true)
+			b.join()
+			b.loadB(fmt.Sprintf("dist%d", i), Indirect(centroids+1<<24, 1<<14, 3, uint64(i)*4099), true, true)
+			b.tail(2, 8)
+		}
+		b.load("minidx", Strided1DIter(b.array(), 4, 1024*256*4), false, true)
+		b.join()
+		b.tail(2, 8)
+	})
+	b.store("membership", Strided1D(b.array(), 4))
+	return b.done()
+}
+
+// All returns the sixteen benchmarks in the paper's Table IV order.
+func All() []*Kernel {
+	return []*Kernel{
+		CP(), LPS(), BPR(), HSP(), MRQ(), STE(), CNV(), HST(),
+		JC1(), FFT(), SCN(), MM(), PVR(), CCL(), BFS(), KM(),
+	}
+}
+
+// Regular returns the paper's regular subset (first twelve).
+func Regular() []*Kernel { return All()[:12] }
+
+// IrregularSet returns the paper's irregular subset (PVR, CCL, BFS, KM).
+func IrregularSet() []*Kernel { return All()[12:] }
+
+// ByAbbr returns the benchmark with the given abbreviation, or an error.
+func ByAbbr(abbr string) (*Kernel, error) {
+	for _, k := range All() {
+		if k.Abbr == abbr {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", abbr)
+}

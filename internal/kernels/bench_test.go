@@ -1,0 +1,160 @@
+package kernels
+
+import "testing"
+
+func TestAllKernelsValidate(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("got %d benchmarks, want 16 (Table IV)", len(all))
+	}
+	for _, k := range all {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Abbr, err)
+		}
+	}
+}
+
+func TestTableIVOrder(t *testing.T) {
+	want := []string{"CP", "LPS", "BPR", "HSP", "MRQ", "STE", "CNV", "HST",
+		"JC1", "FFT", "SCN", "MM", "PVR", "CCL", "BFS", "KM"}
+	for i, k := range All() {
+		if k.Abbr != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, k.Abbr, want[i])
+		}
+	}
+}
+
+func TestRegularIrregularSplit(t *testing.T) {
+	if got := len(Regular()); got != 12 {
+		t.Errorf("regular set size = %d, want 12", got)
+	}
+	irr := IrregularSet()
+	if got := len(irr); got != 4 {
+		t.Errorf("irregular set size = %d, want 4", got)
+	}
+	for _, k := range irr {
+		if !k.Irregular {
+			t.Errorf("%s in irregular set but not flagged", k.Abbr)
+		}
+	}
+	for _, k := range Regular() {
+		if k.Irregular {
+			t.Errorf("%s in regular set but flagged irregular", k.Abbr)
+		}
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	k, err := ByAbbr("MM")
+	if err != nil || k.Abbr != "MM" {
+		t.Fatalf("ByAbbr(MM) = %v, %v", k, err)
+	}
+	if _, err := ByAbbr("NOPE"); err == nil {
+		t.Error("ByAbbr should reject unknown names")
+	}
+}
+
+// TestFig4Annotations pins the looped/total static load counts to the
+// numbers printed under Fig. 4's x-axis in the paper.
+func TestFig4Annotations(t *testing.T) {
+	want := map[string][2]int{ // abbr → {looped, total}
+		"CP": {0, 2}, "LPS": {2, 4}, "BPR": {0, 14}, "HSP": {0, 2},
+		"MRQ": {0, 7}, "STE": {8, 12}, "CNV": {0, 10}, "HST": {1, 1},
+		"JC1": {0, 4}, "FFT": {0, 16}, "SCN": {0, 1}, "MM": {2, 2},
+		"PVR": {4, 32}, "CCL": {1, 22}, "BFS": {5, 9}, "KM": {10, 144},
+	}
+	for _, k := range All() {
+		p := ProfileLoads(k)
+		w := want[k.Abbr]
+		if p.LoopedLoads != w[0] || p.TotalLoads != w[1] {
+			t.Errorf("%s: looped/total = %d/%d, want %d/%d (Fig. 4)",
+				k.Abbr, p.LoopedLoads, p.TotalLoads, w[0], w[1])
+		}
+	}
+}
+
+// TestMMGeometry pins the Fig. 1 precondition: matrixMul runs 8 warps per
+// CTA, so inter-warp prediction crosses a CTA boundary at distance 8.
+func TestMMGeometry(t *testing.T) {
+	k, _ := ByAbbr("MM")
+	if got := k.WarpsPerCTA(); got != 8 {
+		t.Errorf("MM warps/CTA = %d, want 8", got)
+	}
+}
+
+// TestLPSGeometry pins the paper's LPS example: (32,4) blocks → 4 warps.
+func TestLPSGeometry(t *testing.T) {
+	k, _ := ByAbbr("LPS")
+	if k.Block.X != 32 || k.Block.Y != 4 {
+		t.Errorf("LPS block = %+v, want (32,4)", k.Block)
+	}
+	if got := k.WarpsPerCTA(); got != 4 {
+		t.Errorf("LPS warps/CTA = %d, want 4", got)
+	}
+}
+
+// TestIndirectLoadsFlagged checks that the irregular benchmarks carry
+// indirect loads (which CAP must exclude) and the regular ones do not.
+func TestIndirectLoadsFlagged(t *testing.T) {
+	for _, k := range All() {
+		indirect := 0
+		for _, l := range k.Loads {
+			if l.Indirect {
+				indirect++
+			}
+		}
+		if k.Irregular && indirect == 0 {
+			t.Errorf("%s is irregular but has no indirect loads", k.Abbr)
+		}
+		if !k.Irregular && indirect > 0 {
+			t.Errorf("%s is regular but has %d indirect loads", k.Abbr, indirect)
+		}
+	}
+}
+
+// TestCTAStrideDecomposition verifies the paper's core premise on every
+// regular benchmark's first non-indirect load: the inter-warp stride is a
+// single constant within a CTA (excluding HSP, whose irregular warp stride
+// is the point).
+func TestCTAStrideDecomposition(t *testing.T) {
+	for _, k := range Regular() {
+		if k.Abbr == "HSP" {
+			continue
+		}
+		var spec *LoadSpec
+		for i := range k.Loads {
+			if !k.Loads[i].Store && !k.Loads[i].Indirect {
+				spec = &k.Loads[i]
+				break
+			}
+		}
+		if spec == nil || k.WarpsPerCTA() < 3 {
+			continue
+		}
+		mk := func(warp int) AddrCtx {
+			return AddrCtx{
+				CTAID: 0, CTA: k.Grid.Coord(0), Grid: k.Grid, Block: k.Block,
+				WarpInCTA: warp, WarpsPerCTA: k.WarpsPerCTA(),
+			}
+		}
+		a0 := spec.Gen(mk(0))[0]
+		a1 := spec.Gen(mk(1))[0]
+		a2 := spec.Gen(mk(2))[0]
+		if int64(a1)-int64(a0) != int64(a2)-int64(a1) {
+			t.Errorf("%s/%s: warp stride not constant: %d vs %d",
+				k.Abbr, spec.Name, int64(a1)-int64(a0), int64(a2)-int64(a1))
+		}
+	}
+}
+
+func TestInstructionBudgets(t *testing.T) {
+	for _, k := range All() {
+		n := InstructionsPerWarp(k)
+		if n < 10 {
+			t.Errorf("%s: only %d instructions per warp — too small to be meaningful", k.Abbr, n)
+		}
+		if n > 2000 {
+			t.Errorf("%s: %d instructions per warp — runs would be too slow", k.Abbr, n)
+		}
+	}
+}

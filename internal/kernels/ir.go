@@ -1,0 +1,306 @@
+// Package kernels provides the micro-IR used to model GPU kernels and the
+// sixteen benchmark models evaluated by the CAPS paper (Table IV).
+//
+// The simulator does not execute real PTX. Instead each kernel is a small
+// timing program — compute delays, loads, stores, loops and barriers —
+// executed by every warp, plus per-load address generators that reproduce
+// the address decomposition the paper derives in Section IV:
+//
+//	addr = θ(CTA) + Δ·warpInCTA + lane layout (+ iteration term for loops)
+//
+// where θ is an irregular per-CTA base address and Δ is a single
+// kernel-wide inter-warp stride per load PC.
+package kernels
+
+import (
+	"fmt"
+)
+
+// LineBytes is the cache-line granularity used by the address generators.
+// It must match config.GPUConfig.L1.LineBytes; the simulator validates this.
+const LineBytes = 128
+
+// WarpSize is the number of SIMT lanes per warp.
+const WarpSize = 32
+
+// Dim3 is a CUDA-style three-dimensional extent or coordinate.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns the number of elements covered by the extent.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// Coord converts a linear index to coordinates within the extent.
+func (d Dim3) Coord(i int) Dim3 {
+	x := d.X
+	if x == 0 {
+		x = 1
+	}
+	y := d.Y
+	if y == 0 {
+		y = 1
+	}
+	return Dim3{X: i % x, Y: (i / x) % y, Z: i / (x * y)}
+}
+
+// OpKind enumerates micro-IR operations.
+type OpKind uint8
+
+// Micro-IR operations.
+const (
+	OpCompute   OpKind = iota // busy the warp for Latency cycles
+	OpLoad                    // global load, Load indexes Kernel.Loads
+	OpStore                   // global store (fire and forget)
+	OpShared                  // shared-memory op, latency only
+	OpJoin                    // wait until all outstanding loads return
+	OpLoopStart               // begin loop of Iters iterations
+	OpLoopEnd                 // end of innermost loop
+	OpBarrier                 // CTA-wide barrier
+	OpExit                    // warp terminates
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpShared:
+		return "shared"
+	case OpJoin:
+		return "join"
+	case OpLoopStart:
+		return "loop"
+	case OpLoopEnd:
+		return "endloop"
+	case OpBarrier:
+		return "barrier"
+	case OpExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Instr is one micro-IR instruction.
+type Instr struct {
+	Kind    OpKind
+	Latency int // OpCompute / OpShared: cycles the warp stays busy
+	Load    int // OpLoad / OpStore: index into Kernel.Loads
+	Iters   int // OpLoopStart: trip count
+	// Blocking makes an OpLoad deschedule its warp until the data
+	// returns (a dependent use immediately follows, e.g. pointer
+	// chasing). Non-blocking loads run ahead until an OpJoin, which is
+	// how real kernels batch independent global loads — the source of
+	// the bursty L1 misses the paper studies.
+	Blocking bool
+}
+
+// AddrCtx carries everything an address generator may depend on; it mirrors
+// the CUDA built-ins (blockIdx, blockDim, gridDim, implicit warp lane
+// layout) plus the dynamic iteration index of the load.
+type AddrCtx struct {
+	CTAID       int  // linear CTA id within the grid
+	CTA         Dim3 // CTA coordinates
+	Grid, Block Dim3
+	WarpInCTA   int
+	WarpsPerCTA int
+	Iter        int64 // dynamic execution index of this load by this warp
+}
+
+// AddressFn produces the line-aligned addresses of the coalesced memory
+// accesses one warp generates for one execution of a load.
+type AddressFn func(ctx AddrCtx) []uint64
+
+// LoadSpec describes one static load (or store) instruction, identified by
+// its position in Kernel.Loads; the simulator derives the PC from it.
+type LoadSpec struct {
+	Name     string
+	Gen      AddressFn
+	Indirect bool // address originates from loaded data (register tracing)
+	InLoop   bool // statically inside a loop body (Fig. 4 annotation)
+	Store    bool // this spec is used by OpStore
+}
+
+// Kernel is a complete benchmark model.
+type Kernel struct {
+	Name      string // full benchmark name
+	Abbr      string // paper abbreviation (CP, LPS, ...)
+	Suite     string // origin suite
+	Irregular bool   // paper's irregular class (PVR, CCL, BFS, KM)
+
+	Grid, Block Dim3
+	Program     []Instr
+	Loads       []LoadSpec
+}
+
+// WarpsPerCTA returns the number of warps per CTA.
+func (k *Kernel) WarpsPerCTA() int {
+	return (k.Block.Count() + WarpSize - 1) / WarpSize
+}
+
+// NumCTAs returns the number of CTAs in the grid.
+func (k *Kernel) NumCTAs() int { return k.Grid.Count() }
+
+// Validate checks structural invariants: matched loops, in-range load
+// indices, a terminating OpExit, and sane geometry.
+func (k *Kernel) Validate() error {
+	if k.Name == "" || k.Abbr == "" {
+		return fmt.Errorf("kernel must have Name and Abbr")
+	}
+	if k.Grid.X < 1 || k.Block.X < 1 {
+		return fmt.Errorf("%s: grid and block need X >= 1 (CUDA semantics)", k.Abbr)
+	}
+	if k.Block.Count() > 1024 {
+		return fmt.Errorf("%s: block of %d threads exceeds 1024", k.Abbr, k.Block.Count())
+	}
+	if len(k.Program) == 0 {
+		return fmt.Errorf("%s: empty program", k.Abbr)
+	}
+	depth := 0
+	sawExit := false
+	for i, in := range k.Program {
+		switch in.Kind {
+		case OpLoopStart:
+			if in.Iters <= 0 {
+				return fmt.Errorf("%s: instr %d: loop with non-positive trip count %d", k.Abbr, i, in.Iters)
+			}
+			depth++
+		case OpLoopEnd:
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("%s: instr %d: unmatched loop end", k.Abbr, i)
+			}
+		case OpLoad, OpStore:
+			if in.Load < 0 || in.Load >= len(k.Loads) {
+				return fmt.Errorf("%s: instr %d: load index %d out of range [0,%d)", k.Abbr, i, in.Load, len(k.Loads))
+			}
+			spec := k.Loads[in.Load]
+			if spec.Gen == nil {
+				return fmt.Errorf("%s: load %q has no address generator", k.Abbr, spec.Name)
+			}
+			if (in.Kind == OpStore) != spec.Store {
+				return fmt.Errorf("%s: instr %d: op kind %v mismatches spec Store=%v", k.Abbr, i, in.Kind, spec.Store)
+			}
+		case OpCompute, OpShared:
+			if in.Latency <= 0 {
+				return fmt.Errorf("%s: instr %d: %v with non-positive latency", k.Abbr, i, in.Kind)
+			}
+		case OpExit:
+			sawExit = true
+			if depth != 0 {
+				return fmt.Errorf("%s: instr %d: exit inside loop", k.Abbr, i)
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("%s: %d unclosed loops", k.Abbr, depth)
+	}
+	if !sawExit || k.Program[len(k.Program)-1].Kind != OpExit {
+		return fmt.Errorf("%s: program must end with OpExit", k.Abbr)
+	}
+	return nil
+}
+
+// LoadProfile is one row of the Fig. 4 characterization.
+type LoadProfile struct {
+	Abbr          string
+	TotalLoads    int     // static load PCs
+	LoopedLoads   int     // static load PCs inside loop bodies
+	AvgIterations float64 // mean dynamic executions of the 4 hottest loads per warp
+}
+
+// ProfileLoads reproduces the Fig. 4 measurement for one kernel: it walks
+// one warp's program, counts dynamic executions per static load, and
+// averages the four most frequently executed loads.
+func ProfileLoads(k *Kernel) LoadProfile {
+	counts := make([]int64, len(k.Loads))
+	// Execute the program symbolically with a loop stack, counting load
+	// executions. Multiplicity is the product of enclosing trip counts.
+	mult := int64(1)
+	var stack []int64
+	for _, in := range k.Program {
+		switch in.Kind {
+		case OpLoopStart:
+			stack = append(stack, mult)
+			mult *= int64(in.Iters)
+		case OpLoopEnd:
+			mult = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpLoad:
+			counts[in.Load] += mult
+		}
+	}
+	p := LoadProfile{Abbr: k.Abbr}
+	var loadCounts []int64
+	for i, spec := range k.Loads {
+		if spec.Store {
+			continue
+		}
+		p.TotalLoads++
+		if spec.InLoop {
+			p.LoopedLoads++
+		}
+		loadCounts = append(loadCounts, counts[i])
+	}
+	// Select the four hottest.
+	top := [4]int64{}
+	for _, c := range loadCounts {
+		// Insertion into the fixed-size top-4.
+		for j := 0; j < len(top); j++ {
+			if c > top[j] {
+				copy(top[j+1:], top[j:len(top)-1])
+				top[j] = c
+				break
+			}
+		}
+	}
+	n, sum := 0, int64(0)
+	for _, c := range top {
+		if c > 0 {
+			sum += c
+			n++
+		}
+	}
+	if n > 0 {
+		p.AvgIterations = float64(sum) / float64(n)
+	}
+	return p
+}
+
+// InstructionsPerWarp returns the number of dynamic instructions one warp
+// executes (loops expanded), useful for sizing runs.
+func InstructionsPerWarp(k *Kernel) int64 {
+	mult := int64(1)
+	var stack []int64
+	var n int64
+	for _, in := range k.Program {
+		switch in.Kind {
+		case OpLoopStart:
+			n += mult // the loop-start itself issues once per entry
+			stack = append(stack, mult)
+			mult *= int64(in.Iters)
+		case OpLoopEnd:
+			n += mult // the loop-end branch issues once per iteration
+			mult = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		default:
+			n += mult
+		}
+	}
+	return n
+}

@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDim3Count(t *testing.T) {
+	cases := []struct {
+		d    Dim3
+		want int
+	}{
+		{Dim3{X: 4}, 4},
+		{Dim3{X: 4, Y: 3}, 12},
+		{Dim3{X: 2, Y: 3, Z: 4}, 24},
+		{Dim3{X: 5, Y: 0, Z: 0}, 5}, // zero dims count as 1
+	}
+	for _, c := range cases {
+		if got := c.d.Count(); got != c.want {
+			t.Errorf("%+v.Count() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDim3CoordRoundTrip(t *testing.T) {
+	d := Dim3{X: 5, Y: 3, Z: 2}
+	f := func(raw uint8) bool {
+		i := int(raw) % d.Count()
+		c := d.Coord(i)
+		back := c.X + c.Y*d.X + c.Z*d.X*d.Y
+		return back == i && c.X < d.X && c.Y < d.Y && c.Z < d.Z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	kinds := []OpKind{OpCompute, OpLoad, OpStore, OpShared, OpJoin, OpLoopStart, OpLoopEnd, OpBarrier, OpExit}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("OpKind %d has empty or duplicate String %q", k, s)
+		}
+		seen[s] = true
+	}
+	if OpKind(200).String() == "" {
+		t.Error("unknown OpKind should still format")
+	}
+}
+
+func minimalKernel() *Kernel {
+	return &Kernel{
+		Name: "test", Abbr: "TST",
+		Grid: Dim3{X: 2}, Block: Dim3{X: 64},
+		Loads: []LoadSpec{{Name: "l0", Gen: Strided1D(1<<20, 4)}},
+		Program: []Instr{
+			{Kind: OpLoad, Load: 0},
+			{Kind: OpJoin},
+			{Kind: OpExit},
+		},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := minimalKernel().Validate(); err != nil {
+		t.Fatalf("minimal kernel invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]func(*Kernel){
+		"no name":          func(k *Kernel) { k.Name = "" },
+		"empty grid":       func(k *Kernel) { k.Grid = Dim3{} },
+		"huge block":       func(k *Kernel) { k.Block = Dim3{X: 2048} },
+		"empty program":    func(k *Kernel) { k.Program = nil },
+		"bad load index":   func(k *Kernel) { k.Program[0].Load = 7 },
+		"nil generator":    func(k *Kernel) { k.Loads[0].Gen = nil },
+		"store mismatch":   func(k *Kernel) { k.Loads[0].Store = true },
+		"no trailing exit": func(k *Kernel) { k.Program = k.Program[:2] },
+		"zero-trip loop": func(k *Kernel) {
+			k.Program = []Instr{{Kind: OpLoopStart, Iters: 0}, {Kind: OpLoopEnd}, {Kind: OpExit}}
+		},
+		"unmatched loop end": func(k *Kernel) {
+			k.Program = []Instr{{Kind: OpLoopEnd}, {Kind: OpExit}}
+		},
+		"unclosed loop": func(k *Kernel) {
+			k.Program = []Instr{{Kind: OpLoopStart, Iters: 2}, {Kind: OpExit}}
+		},
+		"non-positive compute": func(k *Kernel) {
+			k.Program = []Instr{{Kind: OpCompute, Latency: 0}, {Kind: OpExit}}
+		},
+	}
+	for name, mutate := range cases {
+		k := minimalKernel()
+		mutate(k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken kernel", name)
+		}
+	}
+}
+
+func TestWarpsPerCTA(t *testing.T) {
+	k := minimalKernel()
+	if got := k.WarpsPerCTA(); got != 2 {
+		t.Errorf("64-thread block → %d warps, want 2", got)
+	}
+	k.Block = Dim3{X: 33}
+	if got := k.WarpsPerCTA(); got != 2 {
+		t.Errorf("33-thread block → %d warps, want 2 (rounded up)", got)
+	}
+}
+
+func TestProfileLoadsCountsLoops(t *testing.T) {
+	k := &Kernel{
+		Name: "loops", Abbr: "LO",
+		Grid: Dim3{X: 1}, Block: Dim3{X: 32},
+		Loads: []LoadSpec{
+			{Name: "outside", Gen: Strided1D(1<<20, 4)},
+			{Name: "inside", Gen: Strided1D(1<<21, 4), InLoop: true},
+			{Name: "st", Gen: Strided1D(1<<22, 4), Store: true},
+		},
+		Program: []Instr{
+			{Kind: OpLoad, Load: 0},
+			{Kind: OpLoopStart, Iters: 5},
+			{Kind: OpLoad, Load: 1},
+			{Kind: OpLoopEnd},
+			{Kind: OpStore, Load: 2},
+			{Kind: OpExit},
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := ProfileLoads(k)
+	if p.TotalLoads != 2 {
+		t.Errorf("TotalLoads = %d, want 2 (stores excluded)", p.TotalLoads)
+	}
+	if p.LoopedLoads != 1 {
+		t.Errorf("LoopedLoads = %d, want 1", p.LoopedLoads)
+	}
+	// Hottest loads: inside ×5, outside ×1 → mean 3.
+	if p.AvgIterations != 3 {
+		t.Errorf("AvgIterations = %v, want 3", p.AvgIterations)
+	}
+}
+
+func TestProfileLoadsNestedLoops(t *testing.T) {
+	k := &Kernel{
+		Name: "nested", Abbr: "NE",
+		Grid: Dim3{X: 1}, Block: Dim3{X: 32},
+		Loads: []LoadSpec{{Name: "l", Gen: Strided1D(1<<20, 4), InLoop: true}},
+		Program: []Instr{
+			{Kind: OpLoopStart, Iters: 3},
+			{Kind: OpLoopStart, Iters: 4},
+			{Kind: OpLoad, Load: 0},
+			{Kind: OpLoopEnd},
+			{Kind: OpLoopEnd},
+			{Kind: OpExit},
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p := ProfileLoads(k); p.AvgIterations != 12 {
+		t.Errorf("nested loop load executes %v times, want 12", p.AvgIterations)
+	}
+}
+
+func TestInstructionsPerWarp(t *testing.T) {
+	k := minimalKernel() // load + join + exit
+	if got := InstructionsPerWarp(k); got != 3 {
+		t.Errorf("InstructionsPerWarp = %d, want 3", got)
+	}
+	loop := &Kernel{
+		Name: "loop", Abbr: "LP",
+		Grid: Dim3{X: 1}, Block: Dim3{X: 32},
+		Loads: []LoadSpec{{Name: "l", Gen: Strided1D(1<<20, 4), InLoop: true}},
+		Program: []Instr{
+			{Kind: OpLoopStart, Iters: 3},
+			{Kind: OpLoad, Load: 0},
+			{Kind: OpLoopEnd},
+			{Kind: OpExit},
+		},
+	}
+	// loopstart(1) + 3×(load + loopend) + exit = 8.
+	if got := InstructionsPerWarp(loop); got != 8 {
+		t.Errorf("loop InstructionsPerWarp = %d, want 8", got)
+	}
+}

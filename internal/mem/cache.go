@@ -1,0 +1,356 @@
+package mem
+
+import (
+	"fmt"
+
+	"caps/internal/config"
+)
+
+// Outcome classifies one cache access.
+type Outcome uint8
+
+// Access outcomes. ResFail outcomes model GPGPU-Sim's "reservation fail":
+// the access could not even be accepted and must be replayed, stalling the
+// LSU — the mechanism behind the bursty-miss pipeline stalls of Section I.
+const (
+	Hit          Outcome = iota // data present
+	MissNew                     // allocated an MSHR; request must go downstream
+	MissMerged                  // merged into an in-flight MSHR
+	ResFailMSHR                 // no free MSHR
+	ResFailQueue                // miss queue full
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case MissNew:
+		return "miss"
+	case MissMerged:
+		return "merged"
+	case ResFailMSHR:
+		return "resfail-mshr"
+	case ResFailQueue:
+		return "resfail-queue"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// AccessResult reports what happened on an access plus the prefetch
+// bookkeeping the stats layer needs.
+type AccessResult struct {
+	Outcome Outcome
+
+	// Hit on a line that was brought in by a prefetch and not yet used:
+	// the prefetch was useful. PrefIssueCycle allows computing the
+	// prefetch-to-demand distance (Fig. 14b).
+	FirstUseOfPrefetch bool
+	PrefIssueCycle     int64
+	PrefPC             uint32
+
+	// A demand access merged into an MSHR that was allocated by a
+	// prefetch: a late-but-useful prefetch.
+	MergedIntoPrefetch bool
+}
+
+// FillResult reports the consequences of installing a line.
+type FillResult struct {
+	Waiters []*Request // requests (original + merged) waiting on this line
+	// EvictedUnusedPrefetch is true when the victim line was prefetched
+	// and evicted before any demand touched it (Fig. 14a numerator).
+	EvictedUnusedPrefetch bool
+	EvictedPrefPC         uint32
+}
+
+type cacheLine struct {
+	tag     uint64 // line address
+	valid   bool
+	lastUse int64
+	// Prefetch bookkeeping.
+	prefetched     bool
+	prefUsed       bool
+	prefPC         uint32
+	prefWarp       int
+	prefIssueCycle int64
+}
+
+type mshrEntry struct {
+	lineAddr uint64
+	waiters  []*Request
+	// The entry was allocated by a prefetch and no demand has merged yet.
+	prefetchOnly   bool
+	prefPC         uint32
+	prefWarp       int
+	prefIssueCycle int64
+}
+
+// Cache is a set-associative, LRU, allocate-on-fill cache with MSHRs and a
+// bounded miss queue. It is used for both L1D (per SM) and the L2 slices.
+type Cache struct {
+	cfg   config.CacheConfig
+	sets  [][]cacheLine
+	mshrs map[uint64]*mshrEntry
+	missQ []*Request
+
+	// protectPrefetched shields prefetched-but-unconsumed lines from
+	// eviction. Only the L1 (where the prefetcher fills and the consumer
+	// reads) uses this; at lower levels a prefetched line may never see
+	// its consuming access, so protection would permanently lock ways.
+	protectPrefetched bool
+
+	// prefetchPool sizes the prefetch request buffer: prefetch-only
+	// misses are tracked in the MSHR map but occupy these entries rather
+	// than demand MSHRs (0 disables prefetch misses entirely).
+	prefetchPool int
+	prefetchOnly int // current prefetch-only entries
+
+	setShift uint64
+	setMask  uint64
+}
+
+// NewCache builds an L1-style cache: prefetched-but-unconsumed lines are
+// shielded from eviction and prefetch misses draw from a 16-entry request
+// buffer. The geometry must have been validated by
+// config.CacheConfig.Validate.
+func NewCache(cfg config.CacheConfig) *Cache {
+	return NewCacheWithPrefetchPool(cfg, true, 16)
+}
+
+// NewCacheLevel builds a cache with explicit control over prefetched-line
+// eviction protection (false for shared lower levels such as L2).
+func NewCacheLevel(cfg config.CacheConfig, protectPrefetched bool) *Cache {
+	return NewCacheWithPrefetchPool(cfg, protectPrefetched, 0)
+}
+
+// NewCacheWithPrefetchPool builds a cache whose prefetch-only misses draw
+// from a dedicated pool of prefetchPool entries instead of demand MSHRs.
+func NewCacheWithPrefetchPool(cfg config.CacheConfig, protectPrefetched bool, prefetchPool int) *Cache {
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:               cfg,
+		protectPrefetched: protectPrefetched,
+		prefetchPool:      prefetchPool,
+		sets:              make([][]cacheLine, sets),
+		mshrs:             make(map[uint64]*mshrEntry, cfg.MSHREntries),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	c.setShift = uint64(bitsFor(cfg.LineBytes))
+	c.setMask = uint64(sets - 1)
+	return c
+}
+
+func bitsFor(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+func (c *Cache) setIndex(lineAddr uint64) int {
+	return int((lineAddr >> c.setShift) & c.setMask)
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// Probe reports whether the line is present without touching LRU state.
+func (c *Cache) Probe(lineAddr uint64) bool {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// InFlight reports whether the line has an allocated MSHR.
+func (c *Cache) InFlight(lineAddr uint64) bool {
+	_, ok := c.mshrs[lineAddr]
+	return ok
+}
+
+// MSHRsFree returns the number of unallocated demand MSHRs.
+func (c *Cache) MSHRsFree() int { return c.cfg.MSHREntries - (len(c.mshrs) - c.prefetchOnly) }
+
+// MissQueueLen returns the current depth of the outgoing miss queue.
+func (c *Cache) MissQueueLen() int { return len(c.missQ) }
+
+// Access presents one request to the cache. On MissNew the request is
+// appended to the miss queue (drain it with PopMiss). On MissMerged the
+// request is parked on the in-flight MSHR and will be returned by Fill.
+func (c *Cache) Access(now int64, req *Request) AccessResult {
+	set := c.sets[c.setIndex(req.LineAddr)]
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == req.LineAddr {
+			ln.lastUse = now
+			res := AccessResult{Outcome: Hit}
+			if req.Kind == Demand && ln.prefetched && !ln.prefUsed {
+				ln.prefUsed = true
+				res.FirstUseOfPrefetch = true
+				res.PrefIssueCycle = ln.prefIssueCycle
+				res.PrefPC = ln.prefPC
+			}
+			return res
+		}
+	}
+	// Miss: merge into an in-flight MSHR if present.
+	if e, ok := c.mshrs[req.LineAddr]; ok {
+		e.waiters = append(e.waiters, req)
+		res := AccessResult{Outcome: MissMerged}
+		if req.Kind == Demand && e.prefetchOnly {
+			// The entry now serves demand: move it from the prefetch
+			// buffer into the demand MSHR population.
+			e.prefetchOnly = false
+			c.prefetchOnly--
+			res.MergedIntoPrefetch = true
+			res.PrefIssueCycle = e.prefIssueCycle
+			res.PrefPC = e.prefPC
+		}
+		return res
+	}
+	// New miss: demand misses need a demand MSHR; at a cache with a
+	// prefetch request buffer (the L1), prefetch misses draw from that
+	// pool instead. Caches without a pool (the L2 slices, which see
+	// prefetch requests only as upstream misses to refill) treat them as
+	// ordinary misses. Both need a miss-queue slot.
+	usePool := req.Kind == Prefetch && c.prefetchPool > 0
+	if usePool {
+		if c.prefetchOnly >= c.prefetchPool {
+			return AccessResult{Outcome: ResFailMSHR}
+		}
+	} else if len(c.mshrs)-c.prefetchOnly >= c.cfg.MSHREntries {
+		return AccessResult{Outcome: ResFailMSHR}
+	}
+	if len(c.missQ) >= c.cfg.MissQueue {
+		return AccessResult{Outcome: ResFailQueue}
+	}
+	e := &mshrEntry{lineAddr: req.LineAddr, waiters: []*Request{req}}
+	if usePool {
+		e.prefetchOnly = true
+		c.prefetchOnly++
+		e.prefPC = req.PC
+		e.prefWarp = req.WarpSlot
+		e.prefIssueCycle = req.IssueCycle
+	}
+	c.mshrs[req.LineAddr] = e
+	c.missQ = append(c.missQ, req)
+	return AccessResult{Outcome: MissNew}
+}
+
+// PopMiss removes and returns the oldest queued miss, or nil.
+func (c *Cache) PopMiss() *Request {
+	if len(c.missQ) == 0 {
+		return nil
+	}
+	r := c.missQ[0]
+	copy(c.missQ, c.missQ[1:])
+	c.missQ = c.missQ[:len(c.missQ)-1]
+	return r
+}
+
+// PeekMiss returns the oldest queued miss without removing it, or nil.
+func (c *Cache) PeekMiss() *Request {
+	if len(c.missQ) == 0 {
+		return nil
+	}
+	return c.missQ[0]
+}
+
+// Fill installs a line returning from downstream, frees its MSHR, and
+// returns the waiting requests. The victim is the LRU way; an evicted
+// prefetched-but-unused victim is reported for the Fig. 14a statistic.
+func (c *Cache) Fill(now int64, lineAddr uint64) FillResult {
+	e, ok := c.mshrs[lineAddr]
+	if !ok {
+		// A fill with no MSHR can only be a logic bug upstream.
+		panic(fmt.Sprintf("mem: fill for %#x without MSHR", lineAddr))
+	}
+	if e.prefetchOnly {
+		c.prefetchOnly--
+	}
+	delete(c.mshrs, lineAddr)
+
+	set := c.sets[c.setIndex(lineAddr)]
+	// Victim selection: invalid first, then LRU among lines that are not
+	// prefetched-and-unconsumed (prefetched data was bought with memory
+	// bandwidth; evicting it before use wastes the prefetch), then plain
+	// LRU when the whole set is unconsumed prefetches.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if c.protectPrefetched && set[i].prefetched && !set[i].prefUsed {
+			continue
+		}
+		if victim == -1 || set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		for i := range set {
+			if victim == -1 || set[i].lastUse < set[victim].lastUse {
+				victim = i
+			}
+		}
+	}
+	res := FillResult{Waiters: e.waiters}
+	v := &set[victim]
+	if v.valid && v.prefetched && !v.prefUsed {
+		res.EvictedUnusedPrefetch = true
+		res.EvictedPrefPC = v.prefPC
+	}
+	*v = cacheLine{tag: lineAddr, valid: true, lastUse: now}
+	if e.prefetchOnly {
+		v.prefetched = true
+		v.prefPC = e.prefPC
+		v.prefWarp = e.prefWarp
+		v.prefIssueCycle = e.prefIssueCycle
+	}
+	return res
+}
+
+// UnusedPrefetchedLines counts resident prefetched lines never touched by a
+// demand access; called at end of run for the PrefUnusedAtEnd statistic.
+func (c *Cache) UnusedPrefetchedLines() int64 {
+	var n int64
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].prefetched && !set[i].prefUsed {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OutstandingMSHRs returns the number of in-flight misses.
+func (c *Cache) OutstandingMSHRs() int { return len(c.mshrs) }
+
+// PrefetchMSHRs returns the number of in-flight misses that were allocated
+// by a prefetch and have not been joined by a demand request (occupancy of
+// the prefetch request buffer).
+func (c *Cache) PrefetchMSHRs() int { return c.prefetchOnly }
+
+// UnconsumedPrefetchesInSet counts resident prefetched-but-unused lines in
+// the set the address maps to. The LSU uses it to throttle prefetch
+// admission so prefetched data cannot crowd reused demand lines out of a
+// set (eviction protection would otherwise let it).
+func (c *Cache) UnconsumedPrefetchesInSet(lineAddr uint64) int {
+	set := c.sets[c.setIndex(lineAddr)]
+	n := 0
+	for i := range set {
+		if set[i].valid && set[i].prefetched && !set[i].prefUsed {
+			n++
+		}
+	}
+	return n
+}

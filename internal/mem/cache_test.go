@@ -1,0 +1,318 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"caps/internal/config"
+)
+
+func testCacheCfg() config.CacheConfig {
+	return config.CacheConfig{
+		SizeKB: 1, LineBytes: 128, Ways: 2, // 4 sets
+		MSHREntries: 4, HitLatency: 1, MissQueue: 4,
+	}
+}
+
+func demandReq(addr uint64) *Request {
+	return &Request{LineAddr: addr, Kind: Demand, WarpSlot: 1, PC: 7}
+}
+
+func prefReq(addr uint64, cycle int64) *Request {
+	return &Request{LineAddr: addr, Kind: Prefetch, WarpSlot: 2, PC: 9, IssueCycle: cycle}
+}
+
+func TestCacheMissFillHit(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	r := demandReq(0)
+	if res := c.Access(1, r); res.Outcome != MissNew {
+		t.Fatalf("first access = %v, want miss", res.Outcome)
+	}
+	if got := c.PopMiss(); got != r {
+		t.Fatalf("PopMiss returned %v, want the original request", got)
+	}
+	fill := c.Fill(10, 0)
+	if len(fill.Waiters) != 1 || fill.Waiters[0] != r {
+		t.Fatalf("fill waiters = %v", fill.Waiters)
+	}
+	if res := c.Access(11, demandReq(0)); res.Outcome != Hit {
+		t.Errorf("post-fill access = %v, want hit", res.Outcome)
+	}
+}
+
+func TestCacheMergesIntoMSHR(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Access(1, demandReq(0))
+	res := c.Access(2, demandReq(0))
+	if res.Outcome != MissMerged {
+		t.Fatalf("second access = %v, want merged", res.Outcome)
+	}
+	if got := len(c.Fill(5, 0).Waiters); got != 2 {
+		t.Errorf("fill released %d waiters, want 2", got)
+	}
+}
+
+func TestCacheReservationFailMSHR(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	for i := 0; i < 4; i++ {
+		c.Access(1, demandReq(uint64(i)*128))
+	}
+	if res := c.Access(2, demandReq(4*128)); res.Outcome != ResFailMSHR {
+		t.Errorf("access with full MSHRs = %v, want resfail-mshr", res.Outcome)
+	}
+	if c.MSHRsFree() != 0 {
+		t.Errorf("MSHRsFree = %d, want 0", c.MSHRsFree())
+	}
+}
+
+func TestCacheReservationFailQueue(t *testing.T) {
+	cfg := testCacheCfg()
+	cfg.MSHREntries = 8 // more MSHRs than queue slots
+	c := NewCache(cfg)
+	for i := 0; i < 4; i++ {
+		c.Access(1, demandReq(uint64(i)*128))
+	}
+	// Queue has 4 entries and nothing was drained.
+	if res := c.Access(2, demandReq(4*128)); res.Outcome != ResFailQueue {
+		t.Errorf("access with full miss queue = %v, want resfail-queue", res.Outcome)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(testCacheCfg()) // 4 sets, 2 ways; set = (addr/128)%4
+	fillLine := func(addr uint64, at int64) {
+		c.Access(at, demandReq(addr))
+		c.PopMiss()
+		c.Fill(at, addr)
+	}
+	// Three lines mapping to set 0: 0, 512, 1024.
+	fillLine(0, 1)
+	fillLine(512, 2)
+	c.Access(3, demandReq(0)) // touch 0 → 512 becomes LRU... both resident
+	fillLine(1024, 4)         // evicts 512
+	if !c.Probe(0) || !c.Probe(1024) {
+		t.Error("expected 0 and 1024 resident")
+	}
+	if c.Probe(512) {
+		t.Error("512 should have been evicted as LRU")
+	}
+}
+
+func TestPrefetchFirstUseAndDistance(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Access(5, prefReq(0, 5))
+	c.PopMiss()
+	c.Fill(20, 0)
+	res := c.Access(105, demandReq(0))
+	if res.Outcome != Hit || !res.FirstUseOfPrefetch {
+		t.Fatalf("demand on prefetched line: %+v", res)
+	}
+	if res.PrefIssueCycle != 5 {
+		t.Errorf("PrefIssueCycle = %d, want 5", res.PrefIssueCycle)
+	}
+	// Second use is a plain hit.
+	res = c.Access(106, demandReq(0))
+	if res.FirstUseOfPrefetch {
+		t.Error("second demand should not count as first use")
+	}
+}
+
+func TestDemandMergeIntoPrefetchMSHR(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Access(5, prefReq(0, 5))
+	res := c.Access(9, demandReq(0))
+	if res.Outcome != MissMerged || !res.MergedIntoPrefetch {
+		t.Fatalf("demand merge into prefetch MSHR: %+v", res)
+	}
+	// After the merge, the line is no longer prefetch-only: the fill must
+	// not mark it prefetched-unused.
+	c.PopMiss()
+	c.Fill(20, 0)
+	if got := c.UnusedPrefetchedLines(); got != 0 {
+		t.Errorf("UnusedPrefetchedLines = %d, want 0 after demand merge", got)
+	}
+}
+
+func TestEvictionProtectionForPrefetchedLines(t *testing.T) {
+	c := NewCache(testCacheCfg()) // protection on
+	fill := func(r *Request, at int64) FillResult {
+		c.Access(at, r)
+		c.PopMiss()
+		return c.Fill(at, r.LineAddr)
+	}
+	fill(prefReq(0, 1), 1)  // prefetched, unused
+	fill(demandReq(512), 2) // demand line, newer
+	res := fill(demandReq(1024), 3)
+	// Victim must be the demand line (512), not the protected prefetch (0).
+	if c.Probe(512) {
+		t.Error("demand line should have been evicted")
+	}
+	if !c.Probe(0) {
+		t.Error("unused prefetched line should have been protected")
+	}
+	if res.EvictedUnusedPrefetch {
+		t.Error("eviction of a demand line misreported as early prefetch")
+	}
+}
+
+func TestEvictionProtectionDisabled(t *testing.T) {
+	c := NewCacheWithPrefetchPool(testCacheCfg(), false, 4)
+	fill := func(r *Request, at int64) FillResult {
+		c.Access(at, r)
+		c.PopMiss()
+		return c.Fill(at, r.LineAddr)
+	}
+	fill(prefReq(0, 1), 1)
+	fill(demandReq(512), 2)
+	res := fill(demandReq(1024), 3)
+	if !res.EvictedUnusedPrefetch {
+		t.Error("without protection the LRU prefetched line is the victim")
+	}
+	if c.Probe(0) {
+		t.Error("prefetched line should have been evicted")
+	}
+}
+
+func TestWholeSetOfPrefetchesStillEvicts(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	fill := func(r *Request, at int64) FillResult {
+		c.Access(at, r)
+		c.PopMiss()
+		return c.Fill(at, r.LineAddr)
+	}
+	fill(prefReq(0, 1), 1)
+	fill(prefReq(512, 2), 2)
+	res := fill(prefReq(1024, 3), 3)
+	if !res.EvictedUnusedPrefetch {
+		t.Error("a set full of unused prefetches must still evict one (the LRU)")
+	}
+}
+
+func TestUnconsumedPrefetchesInSet(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Access(1, prefReq(0, 1))
+	c.PopMiss()
+	c.Fill(2, 0)
+	if got := c.UnconsumedPrefetchesInSet(0); got != 1 {
+		t.Errorf("UnconsumedPrefetchesInSet = %d, want 1", got)
+	}
+	c.Access(3, demandReq(0)) // consume
+	if got := c.UnconsumedPrefetchesInSet(0); got != 0 {
+		t.Errorf("after consumption = %d, want 0", got)
+	}
+}
+
+func TestPrefetchMSHRAccounting(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Access(1, prefReq(0, 1))
+	c.Access(1, demandReq(128))
+	if got := c.PrefetchMSHRs(); got != 1 {
+		t.Errorf("PrefetchMSHRs = %d, want 1", got)
+	}
+	c.Access(2, demandReq(0)) // merge converts the MSHR to demand
+	if got := c.PrefetchMSHRs(); got != 0 {
+		t.Errorf("PrefetchMSHRs after merge = %d, want 0", got)
+	}
+}
+
+func TestPrefetchBufferSeparateFromDemandMSHRs(t *testing.T) {
+	c := NewCacheWithPrefetchPool(testCacheCfg(), true, 2) // 4 demand MSHRs, 2 prefetch
+	// Fill the prefetch buffer.
+	if res := c.Access(1, prefReq(0, 1)); res.Outcome != MissNew {
+		t.Fatalf("prefetch 1 = %v", res.Outcome)
+	}
+	if res := c.Access(1, prefReq(512, 1)); res.Outcome != MissNew {
+		t.Fatalf("prefetch 2 = %v", res.Outcome)
+	}
+	if res := c.Access(1, prefReq(1024, 1)); res.Outcome != ResFailMSHR {
+		t.Errorf("prefetch beyond pool = %v, want resfail", res.Outcome)
+	}
+	// Demand still has its full MSHR quota.
+	if res := c.Access(2, demandReq(2048)); res.Outcome != MissNew {
+		t.Errorf("demand with full prefetch pool = %v, want miss", res.Outcome)
+	}
+	if got := c.MSHRsFree(); got != 3 {
+		t.Errorf("MSHRsFree = %d, want 3 (prefetches excluded)", got)
+	}
+}
+
+func TestZeroPoolCacheAcceptsPrefetchAsDemand(t *testing.T) {
+	// The L2 slices have no prefetch pool: an upstream prefetch miss must
+	// still allocate (from demand MSHRs) or the request would spin forever.
+	c := NewCacheLevel(testCacheCfg(), false)
+	if res := c.Access(1, prefReq(0, 1)); res.Outcome != MissNew {
+		t.Fatalf("pool-0 cache rejected a prefetch: %v", res.Outcome)
+	}
+	if got := c.PrefetchMSHRs(); got != 0 {
+		t.Errorf("pool-0 cache tracked prefetchOnly = %d, want 0", got)
+	}
+	c.PopMiss()
+	c.Fill(5, 0)
+	// Line must NOT be marked prefetched (no protection bookkeeping here).
+	if got := c.UnusedPrefetchedLines(); got != 0 {
+		t.Errorf("pool-0 cache marked prefetched lines: %d", got)
+	}
+}
+
+func TestFillWithoutMSHRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fill without MSHR should panic (upstream bug)")
+		}
+	}()
+	NewCache(testCacheCfg()).Fill(1, 0)
+}
+
+func TestCacheProbeAfterFillProperty(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	now := int64(0)
+	f := func(raw uint16) bool {
+		now++
+		addr := uint64(raw) * 128
+		if c.Probe(addr) {
+			return c.Access(now, demandReq(addr)).Outcome == Hit
+		}
+		if c.InFlight(addr) {
+			return c.Access(now, demandReq(addr)).Outcome == MissMerged
+		}
+		res := c.Access(now, demandReq(addr))
+		if res.Outcome == ResFailMSHR || res.Outcome == ResFailQueue {
+			// Drain one in-flight miss to make room.
+			if head := c.PopMiss(); head != nil {
+				c.Fill(now, head.LineAddr)
+			}
+			return true
+		}
+		if res.Outcome != MissNew {
+			return false
+		}
+		c.PopMiss()
+		c.Fill(now, addr)
+		return c.Probe(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestHelpers(t *testing.T) {
+	if LineAddrOf(0x12345, 128) != 0x12345&^uint64(127) {
+		t.Error("LineAddrOf misaligns")
+	}
+	if PartitionOf(0, 128, 12) != 0 || PartitionOf(128, 128, 12) != 1 {
+		t.Error("PartitionOf should line-interleave")
+	}
+	if PartitionOf(12*128, 128, 12) != 0 {
+		t.Error("PartitionOf should wrap")
+	}
+	for _, k := range []AccessKind{Demand, Prefetch, Store, AccessKind(9)} {
+		if k.String() == "" {
+			t.Error("AccessKind.String empty")
+		}
+	}
+	for _, o := range []Outcome{Hit, MissNew, MissMerged, ResFailMSHR, ResFailQueue, Outcome(9)} {
+		if o.String() == "" {
+			t.Error("Outcome.String empty")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+// DRAMChannel models one GDDR5 channel: a bounded FR-FCFS command queue,
+// per-bank row buffers with activate/precharge timing, and a shared data
+// bus. All times are kept in core cycles (converted once from the DRAM
+// clock domain at construction).
+
+type dramRequest struct {
+	req      *Request
+	arriveAt int64
+	bank     int
+	row      uint64
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	readyAt  int64 // bank can accept a new command at this core cycle
+}
+
+type inService struct {
+	req      *Request
+	finishAt int64
+}
+
+// DRAMChannel is one memory channel.
+type DRAMChannel struct {
+	cfg config.DRAMConfig
+	st  *stats.Sim
+
+	queue     []dramRequest
+	banks     []bank
+	inService []inService
+	busFreeAt int64
+
+	// Pre-converted core-cycle timings.
+	extra    int64 // controller pipeline latency per access
+	tRowHit  int64 // tCL
+	tRowMiss int64 // tRP + tRCD + tCL
+	tRowOpen int64 // tRCD + tCL (bank idle, no row open)
+	tWrite   int64 // tCDLR + tWR extra for writes
+	tRC      int64 // activate-to-activate on same bank
+	burst    int64 // data-bus occupancy per line
+
+	rowShift uint64
+	bankMask uint64
+}
+
+// NewDRAMChannel builds a channel using the core-clock conversion from g.
+func NewDRAMChannel(g config.GPUConfig, st *stats.Sim) *DRAMChannel {
+	d := g.DRAM
+	ch := &DRAMChannel{
+		cfg:      d,
+		st:       st,
+		banks:    make([]bank, d.BanksPerChannel),
+		extra:    int64(d.ExtraLatency),
+		tRowHit:  g.DRAMCyclesToCore(d.TCL),
+		tRowMiss: g.DRAMCyclesToCore(d.TRP + d.TRCD + d.TCL),
+		tRowOpen: g.DRAMCyclesToCore(d.TRCD + d.TCL),
+		tWrite:   g.DRAMCyclesToCore(d.TCDLR + d.TWR),
+		tRC:      g.DRAMCyclesToCore(d.TRC),
+		burst:    g.BurstCoreCycles(),
+		rowShift: uint64(bitsFor(d.RowBytes)),
+		bankMask: uint64(d.BanksPerChannel - 1),
+	}
+	if d.BanksPerChannel&(d.BanksPerChannel-1) != 0 {
+		// Non-power-of-two bank counts use modulo mapping.
+		ch.bankMask = 0
+	}
+	return ch
+}
+
+func (ch *DRAMChannel) mapAddr(lineAddr uint64) (bankIdx int, row uint64) {
+	rowID := lineAddr >> ch.rowShift
+	if ch.bankMask != 0 {
+		bankIdx = int(rowID & ch.bankMask)
+		row = rowID >> bitsFor(ch.cfg.BanksPerChannel)
+	} else {
+		bankIdx = int(rowID % uint64(ch.cfg.BanksPerChannel))
+		row = rowID / uint64(ch.cfg.BanksPerChannel)
+	}
+	return bankIdx, row
+}
+
+// Full reports whether the command queue cannot accept another request.
+func (ch *DRAMChannel) Full() bool { return len(ch.queue) >= ch.cfg.QueueEntries }
+
+// QueueLen returns the number of waiting commands.
+func (ch *DRAMChannel) QueueLen() int { return len(ch.queue) }
+
+// Push enqueues a request; it reports false when the queue is full.
+func (ch *DRAMChannel) Push(now int64, r *Request) bool {
+	if ch.Full() {
+		return false
+	}
+	b, row := ch.mapAddr(r.LineAddr)
+	ch.queue = append(ch.queue, dramRequest{req: r, arriveAt: now, bank: b, row: row})
+	return true
+}
+
+// Tick advances the channel one core cycle: it issues at most one command
+// using FR-FCFS (oldest row hit first, then oldest) and returns requests
+// whose data transfer completed this cycle.
+func (ch *DRAMChannel) Tick(now int64) []*Request {
+	// Collect completed transfers.
+	var done []*Request
+	keep := ch.inService[:0]
+	for _, s := range ch.inService {
+		if s.finishAt <= now {
+			done = append(done, s.req)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	ch.inService = keep
+
+	if len(ch.queue) == 0 {
+		return done
+	}
+
+	// FR-FCFS: first ready row hit; otherwise the oldest ready request.
+	pick := -1
+	for i, q := range ch.queue {
+		bk := &ch.banks[q.bank]
+		if bk.readyAt > now {
+			continue
+		}
+		if bk.rowValid && bk.openRow == q.row {
+			pick = i
+			break
+		}
+		if pick == -1 {
+			pick = i
+		}
+	}
+	if pick == -1 {
+		return done
+	}
+
+	q := ch.queue[pick]
+	copy(ch.queue[pick:], ch.queue[pick+1:])
+	ch.queue = ch.queue[:len(ch.queue)-1]
+
+	bk := &ch.banks[q.bank]
+	var access int64
+	switch {
+	case bk.rowValid && bk.openRow == q.row:
+		access = ch.tRowHit
+		ch.st.DRAMRowHits++
+	case bk.rowValid:
+		access = ch.tRowMiss
+		ch.st.DRAMRowMisses++
+	default:
+		access = ch.tRowOpen
+		ch.st.DRAMRowMisses++
+	}
+	bk.openRow = q.row
+	bk.rowValid = true
+
+	// Serialize on the shared data bus after the array access latency.
+	dataStart := now + access
+	if dataStart < ch.busFreeAt {
+		dataStart = ch.busFreeAt
+	}
+	arrayDone := dataStart + ch.burst
+	ch.busFreeAt = arrayDone
+	// The controller pipeline latency delays the response but occupies
+	// neither the bank nor the bus.
+	finish := arrayDone + ch.extra
+
+	// Bank occupancy: row-cycle spacing plus write recovery.
+	bankBusy := arrayDone
+	if q.req.Kind == Store {
+		bankBusy += ch.tWrite
+	}
+	if minReady := now + ch.tRC; bankBusy < minReady {
+		bankBusy = minReady
+	}
+	bk.readyAt = bankBusy
+
+	if q.req.Kind == Store {
+		ch.st.StoresIssued++
+		// Writes complete silently; no response travels back.
+		return done
+	}
+	ch.st.DRAMReads++
+	ch.inService = append(ch.inService, inService{req: q.req, finishAt: finish})
+	return done
+}
+
+// Idle reports whether the channel has no queued or in-flight work.
+func (ch *DRAMChannel) Idle() bool {
+	return len(ch.queue) == 0 && len(ch.inService) == 0
+}

@@ -1,0 +1,175 @@
+package mem
+
+import (
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+func dramUnderTest() (*DRAMChannel, *stats.Sim, config.GPUConfig) {
+	cfg := config.Default()
+	cfg.DRAM.ExtraLatency = 0 // keep unit tests in array-timing domain
+	st := &stats.Sim{}
+	return NewDRAMChannel(cfg, st), st, cfg
+}
+
+// service runs the channel until the request completes, returning the
+// completion cycle.
+func service(t *testing.T, ch *DRAMChannel, start int64) int64 {
+	t.Helper()
+	for now := start; now < start+100000; now++ {
+		if done := ch.Tick(now); len(done) > 0 {
+			return now
+		}
+	}
+	t.Fatal("request never completed")
+	return 0
+}
+
+func TestDRAMReadCompletes(t *testing.T) {
+	ch, st, _ := dramUnderTest()
+	if !ch.Push(0, &Request{LineAddr: 0, Kind: Demand}) {
+		t.Fatal("push rejected")
+	}
+	service(t, ch, 0)
+	if st.DRAMReads != 1 {
+		t.Errorf("DRAMReads = %d, want 1", st.DRAMReads)
+	}
+	if !ch.Idle() {
+		t.Error("channel should be idle after completion")
+	}
+}
+
+func TestDRAMRowHitFasterThanMiss(t *testing.T) {
+	ch, st, cfg := dramUnderTest()
+	rowBytes := uint64(cfg.DRAM.RowBytes)
+	banks := uint64(cfg.DRAM.BanksPerChannel)
+
+	// First access opens a row.
+	ch.Push(0, &Request{LineAddr: 0, Kind: Demand})
+	t0 := service(t, ch, 0)
+
+	// Same row again: a row hit.
+	ch.Push(t0+1, &Request{LineAddr: 128, Kind: Demand})
+	hitTime := service(t, ch, t0+1) - (t0 + 1)
+
+	// Different row, same bank: row IDs r and r+banks map to the same bank.
+	conflict := rowBytes * banks
+	ch.Push(10000, &Request{LineAddr: conflict, Kind: Demand})
+	missTime := service(t, ch, 10000) - 10000
+
+	if hitTime >= missTime {
+		t.Errorf("row hit (%d cycles) should beat row miss (%d cycles)", hitTime, missTime)
+	}
+	if st.DRAMRowHits < 1 {
+		t.Errorf("row hits = %d, want >= 1", st.DRAMRowHits)
+	}
+}
+
+func TestDRAMFRFCFSPrefersRowHit(t *testing.T) {
+	ch, st, cfg := dramUnderTest()
+	rowBytes := uint64(cfg.DRAM.RowBytes)
+	banks := uint64(cfg.DRAM.BanksPerChannel)
+
+	// Open row 0 of bank 0.
+	ch.Push(0, &Request{LineAddr: 0, Kind: Demand})
+	t0 := service(t, ch, 0)
+
+	// Queue a same-bank row conflict FIRST, then a row hit.
+	older := &Request{LineAddr: rowBytes * banks, Kind: Demand, PC: 1}
+	hit := &Request{LineAddr: 256, Kind: Demand, PC: 2}
+	now := t0 + 1
+	ch.Push(now, older)
+	ch.Push(now, hit)
+
+	var first *Request
+	for ; first == nil && now < t0+100000; now++ {
+		if done := ch.Tick(now); len(done) > 0 {
+			first = done[0]
+		}
+	}
+	if first != hit {
+		t.Errorf("FR-FCFS serviced the older row-conflict first; want the row hit")
+	}
+	if st.DRAMRowHits != 1 {
+		t.Errorf("row hits = %d, want exactly 1 (the reordered access)", st.DRAMRowHits)
+	}
+}
+
+func TestDRAMQueueBound(t *testing.T) {
+	ch, _, cfg := dramUnderTest()
+	for i := 0; i < cfg.DRAM.QueueEntries; i++ {
+		if !ch.Push(0, &Request{LineAddr: uint64(i) * 128, Kind: Demand}) {
+			t.Fatalf("push %d rejected before the queue filled", i)
+		}
+	}
+	if ch.Push(0, &Request{LineAddr: 1 << 20, Kind: Demand}) {
+		t.Error("push beyond QueueEntries should fail")
+	}
+	if !ch.Full() {
+		t.Error("Full() should report a full queue")
+	}
+}
+
+func TestDRAMWritesProduceNoResponse(t *testing.T) {
+	ch, st, _ := dramUnderTest()
+	ch.Push(0, &Request{LineAddr: 0, Kind: Store})
+	for now := int64(0); now < 10000; now++ {
+		if done := ch.Tick(now); len(done) > 0 {
+			t.Fatal("stores must not produce responses")
+		}
+		if ch.Idle() && now > 0 {
+			break
+		}
+	}
+	if st.StoresIssued != 1 {
+		t.Errorf("StoresIssued = %d, want 1", st.StoresIssued)
+	}
+	if st.DRAMReads != 0 {
+		t.Errorf("DRAMReads = %d, want 0", st.DRAMReads)
+	}
+}
+
+func TestDRAMExtraLatencyDelaysResponse(t *testing.T) {
+	cfg := config.Default()
+	st := &stats.Sim{}
+	cfg.DRAM.ExtraLatency = 0
+	fast := NewDRAMChannel(cfg, st)
+	fast.Push(0, &Request{LineAddr: 0, Kind: Demand})
+	tFast := service(t, fast, 0)
+
+	cfg.DRAM.ExtraLatency = 100
+	slow := NewDRAMChannel(cfg, st)
+	slow.Push(0, &Request{LineAddr: 0, Kind: Demand})
+	tSlow := service(t, slow, 0)
+
+	if tSlow-tFast != 100 {
+		t.Errorf("extra latency added %d cycles, want 100", tSlow-tFast)
+	}
+}
+
+func TestDRAMBankParallelism(t *testing.T) {
+	ch, _, cfg := dramUnderTest()
+	rowBytes := uint64(cfg.DRAM.RowBytes)
+	// Two requests to different banks should overlap: total time well under
+	// 2× a single service.
+	ch.Push(0, &Request{LineAddr: 0, Kind: Demand})
+	single := service(t, ch, 0)
+
+	ch2, _, _ := dramUnderTest()
+	ch2.Push(0, &Request{LineAddr: 0, Kind: Demand})
+	ch2.Push(0, &Request{LineAddr: rowBytes, Kind: Demand}) // bank 1
+	var last int64
+	completed := 0
+	for now := int64(0); completed < 2 && now < 100000; now++ {
+		completed += len(ch2.Tick(now))
+		last = now
+	}
+	if completed != 2 {
+		t.Fatal("two requests never completed")
+	}
+	if last >= 2*single {
+		t.Errorf("different banks serialized: 2 requests took %d, single took %d", last, single)
+	}
+}

@@ -1,0 +1,102 @@
+package mem
+
+import "testing"
+
+func TestFifoLatency(t *testing.T) {
+	ic := NewInterconnect(2, 2, 8, 10, 4)
+	r := &Request{LineAddr: 0, Partition: 1}
+	if !ic.PushToPartition(0, r) {
+		t.Fatal("push rejected on empty queue")
+	}
+	for now := int64(0); now < 10; now++ {
+		if got := ic.PopForPartition(now, 1); got != nil {
+			t.Fatalf("popped at cycle %d before latency elapsed", now)
+		}
+	}
+	if got := ic.PopForPartition(10, 1); got != r {
+		t.Fatal("request not delivered after latency")
+	}
+}
+
+func TestFifoBandwidthPerCycle(t *testing.T) {
+	ic := NewInterconnect(1, 1, 16, 0, 2)
+	for i := 0; i < 6; i++ {
+		ic.PushToPartition(0, &Request{LineAddr: uint64(i) * 128, Partition: 0})
+	}
+	got := 0
+	for ic.PopForPartition(1, 0) != nil {
+		got++
+	}
+	if got != 2 {
+		t.Errorf("popped %d in one cycle, want width 2", got)
+	}
+	got = 0
+	for ic.PopForPartition(2, 0) != nil {
+		got++
+	}
+	if got != 2 {
+		t.Errorf("popped %d in next cycle, want 2", got)
+	}
+}
+
+func TestFifoBackpressure(t *testing.T) {
+	ic := NewInterconnect(1, 1, 2, 5, 1)
+	a := &Request{LineAddr: 0, Partition: 0}
+	b := &Request{LineAddr: 128, Partition: 0}
+	c := &Request{LineAddr: 256, Partition: 0}
+	if !ic.PushToPartition(0, a) || !ic.PushToPartition(0, b) {
+		t.Fatal("first two pushes should fit")
+	}
+	if ic.PushToPartition(0, c) {
+		t.Fatal("third push should be rejected by the bounded queue")
+	}
+	if ic.PendingToPartition(0) != 2 {
+		t.Errorf("pending = %d, want 2", ic.PendingToPartition(0))
+	}
+}
+
+func TestFifoFIFOOrder(t *testing.T) {
+	ic := NewInterconnect(1, 1, 8, 0, 8)
+	reqs := []*Request{
+		{LineAddr: 0, Partition: 0},
+		{LineAddr: 128, Partition: 0},
+		{LineAddr: 256, Partition: 0},
+	}
+	for _, r := range reqs {
+		ic.PushToPartition(0, r)
+	}
+	for i, want := range reqs {
+		if got := ic.PopForPartition(1, 0); got != want {
+			t.Fatalf("pop %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestReturnPathIndependentOfRequestPath(t *testing.T) {
+	ic := NewInterconnect(2, 2, 8, 3, 4)
+	toSM := &Request{LineAddr: 0, SMID: 1}
+	if !ic.PushToSM(0, toSM) {
+		t.Fatal("PushToSM rejected")
+	}
+	if got := ic.PopForSM(3, 1); got != toSM {
+		t.Fatal("response not delivered to its SM")
+	}
+	if got := ic.PopForSM(3, 0); got != nil {
+		t.Fatal("response delivered to the wrong SM")
+	}
+}
+
+func TestIdle(t *testing.T) {
+	ic := NewInterconnect(1, 1, 4, 1, 1)
+	if !ic.Idle() {
+		t.Error("fresh interconnect should be idle")
+	}
+	ic.PushToPartition(0, &Request{Partition: 0})
+	if ic.Idle() {
+		t.Error("interconnect with queued request is not idle")
+	}
+	ic.PopForPartition(5, 0)
+	if !ic.Idle() {
+		t.Error("drained interconnect should be idle")
+	}
+}

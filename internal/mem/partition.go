@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+// Partition is one memory partition: an L2 slice backed by (a share of) a
+// DRAM channel. Twelve partitions share six channels in the Table III
+// configuration, so two partitions interleave onto each channel.
+
+type timedResp struct {
+	readyAt int64
+	req     *Request
+}
+
+// Partition couples an L2 slice with its DRAM channel.
+type Partition struct {
+	ID   int
+	l2   *Cache
+	dram *DRAMChannel
+	st   *stats.Sim
+
+	hitPipe []timedResp // L2 hits waiting out the L2 latency
+	retryQ  []*Request  // accepted requests that failed L2 reservation
+	ic      *Interconnect
+
+	acceptPerCycle int
+}
+
+// NewPartition builds one partition slice.
+func NewPartition(id int, g config.GPUConfig, dram *DRAMChannel, ic *Interconnect, st *stats.Sim) *Partition {
+	return &Partition{
+		ID:             id,
+		l2:             NewCacheLevel(g.L2, false),
+		dram:           dram,
+		st:             st,
+		ic:             ic,
+		acceptPerCycle: g.ICNTWidth,
+	}
+}
+
+// L2 exposes the slice's cache for tests and end-of-run accounting.
+func (p *Partition) L2() *Cache { return p.l2 }
+
+// Tick advances the partition one cycle. DRAM channels are ticked
+// separately (they are shared between partitions); completed DRAM reads are
+// delivered to the owning partition via DeliverFromDRAM.
+func (p *Partition) Tick(now int64) {
+	// Send matured L2 hits back through the interconnect.
+	out := p.hitPipe[:0]
+	for _, h := range p.hitPipe {
+		if h.readyAt <= now {
+			if !p.ic.PushToSM(now, h.req) {
+				h.readyAt = now + 1 // network congested; retry next cycle
+				out = append(out, h)
+			}
+		} else {
+			out = append(out, h)
+		}
+	}
+	p.hitPipe = out
+
+	// Drain the L2 miss queue into DRAM.
+	for {
+		head := p.l2.PeekMiss()
+		if head == nil || p.dram.Full() {
+			break
+		}
+		p.l2.PopMiss()
+		p.dram.Push(now, head)
+	}
+
+	// Replay accesses that previously failed reservation, then accept new
+	// traffic from the interconnect.
+	retry := p.retryQ
+	p.retryQ = p.retryQ[:0]
+	for _, r := range retry {
+		p.access(now, r)
+	}
+	for i := 0; i < p.acceptPerCycle; i++ {
+		r := p.ic.PopForPartition(now, p.ID)
+		if r == nil {
+			break
+		}
+		p.access(now, r)
+	}
+}
+
+func (p *Partition) access(now int64, r *Request) {
+	if r.Kind == Store {
+		// Write-through, no-allocate at L2 granularity: forward to DRAM,
+		// retrying while the channel is full.
+		if p.dram.Push(now, r) {
+			p.st.L2Accesses++
+		} else {
+			p.retryQ = append(p.retryQ, r)
+		}
+		return
+	}
+	p.st.L2Accesses++
+	res := p.l2.Access(now, r)
+	switch res.Outcome {
+	case Hit:
+		p.st.L2Hits++
+		p.hitPipe = append(p.hitPipe, timedResp{readyAt: now + int64(p.l2.cfg.HitLatency), req: r})
+	case MissNew, MissMerged:
+		// MissNew sits in the L2 miss queue until DRAM accepts it;
+		// MissMerged waits on the existing MSHR. Nothing more to do.
+	case ResFailMSHR, ResFailQueue:
+		p.st.L2Accesses-- // not actually accepted; don't double count
+		p.retryQ = append(p.retryQ, r)
+	}
+}
+
+// DeliverFromDRAM installs a line returning from DRAM and queues responses
+// for every waiter.
+func (p *Partition) DeliverFromDRAM(now int64, r *Request) {
+	fill := p.l2.Fill(now, r.LineAddr)
+	for _, w := range fill.Waiters {
+		p.hitPipe = append(p.hitPipe, timedResp{readyAt: now + int64(p.l2.cfg.HitLatency), req: w})
+	}
+}
+
+// Idle reports whether the partition holds no pending work.
+func (p *Partition) Idle() bool {
+	return len(p.hitPipe) == 0 && len(p.retryQ) == 0 &&
+		p.l2.MissQueueLen() == 0 && p.l2.OutstandingMSHRs() == 0
+}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+// partitionRig wires one partition to one DRAM channel and an interconnect.
+type partitionRig struct {
+	cfg  config.GPUConfig
+	st   *stats.Sim
+	ic   *Interconnect
+	dram *DRAMChannel
+	part *Partition
+}
+
+func newPartitionRig() *partitionRig {
+	cfg := config.Default()
+	cfg.ICNTLatency = 1
+	st := &stats.Sim{}
+	ic := NewInterconnect(cfg.NumSMs, cfg.NumPartitions, cfg.ICNTQueue, cfg.ICNTLatency, cfg.ICNTWidth)
+	dram := NewDRAMChannel(cfg, st)
+	return &partitionRig{
+		cfg: cfg, st: st, ic: ic, dram: dram,
+		part: NewPartition(0, cfg, dram, ic, st),
+	}
+}
+
+// runUntilResponse ticks everything until the SM-side response arrives.
+func (r *partitionRig) runUntilResponse(t *testing.T, smID int, limit int64) *Request {
+	t.Helper()
+	for now := int64(0); now < limit; now++ {
+		for _, done := range r.dram.Tick(now) {
+			r.part.DeliverFromDRAM(now, done)
+		}
+		r.part.Tick(now)
+		if resp := r.ic.PopForSM(now, smID); resp != nil {
+			return resp
+		}
+	}
+	t.Fatal("no response within limit")
+	return nil
+}
+
+func TestPartitionMissGoesToDRAMAndBack(t *testing.T) {
+	r := newPartitionRig()
+	req := &Request{LineAddr: 0, Kind: Demand, SMID: 3, Partition: 0}
+	if !r.ic.PushToPartition(0, req) {
+		t.Fatal("push failed")
+	}
+	resp := r.runUntilResponse(t, 3, 100000)
+	if resp != req {
+		t.Error("response is not the original request")
+	}
+	if r.st.L2Accesses != 1 || r.st.L2Hits != 0 {
+		t.Errorf("L2 stats = acc %d hit %d, want 1/0", r.st.L2Accesses, r.st.L2Hits)
+	}
+	if r.st.DRAMReads != 1 {
+		t.Errorf("DRAMReads = %d, want 1", r.st.DRAMReads)
+	}
+}
+
+func TestPartitionL2HitSkipsDRAM(t *testing.T) {
+	r := newPartitionRig()
+	first := &Request{LineAddr: 0, Kind: Demand, SMID: 0, Partition: 0}
+	r.ic.PushToPartition(0, first)
+	r.runUntilResponse(t, 0, 100000)
+
+	second := &Request{LineAddr: 0, Kind: Demand, SMID: 1, Partition: 0}
+	r.ic.PushToPartition(1000, second)
+	for now := int64(1000); now < 2000; now++ {
+		r.part.Tick(now)
+		if resp := r.ic.PopForSM(now, 1); resp != nil {
+			if r.st.DRAMReads != 1 {
+				t.Errorf("DRAMReads = %d, want 1 (second access is an L2 hit)", r.st.DRAMReads)
+			}
+			if r.st.L2Hits != 1 {
+				t.Errorf("L2Hits = %d, want 1", r.st.L2Hits)
+			}
+			return
+		}
+	}
+	t.Fatal("L2 hit response never arrived")
+}
+
+func TestPartitionStoreForwardedToDRAM(t *testing.T) {
+	r := newPartitionRig()
+	st := &Request{LineAddr: 0, Kind: Store, SMID: 0, Partition: 0}
+	r.ic.PushToPartition(0, st)
+	for now := int64(0); now < 10000; now++ {
+		for _, done := range r.dram.Tick(now) {
+			r.part.DeliverFromDRAM(now, done)
+		}
+		r.part.Tick(now)
+		if r.st.StoresIssued == 1 {
+			return
+		}
+	}
+	t.Fatal("store never reached DRAM")
+}
+
+func TestPartitionIdle(t *testing.T) {
+	r := newPartitionRig()
+	if !r.part.Idle() {
+		t.Error("fresh partition should be idle")
+	}
+	r.ic.PushToPartition(0, &Request{LineAddr: 0, Kind: Demand, SMID: 0, Partition: 0})
+	r.runUntilResponse(t, 0, 100000)
+	// Drain complete; partition should be idle again.
+	if !r.part.Idle() {
+		t.Error("partition should be idle after servicing its only request")
+	}
+}
+
+func TestPartitionMergesSameLine(t *testing.T) {
+	r := newPartitionRig()
+	a := &Request{LineAddr: 0, Kind: Demand, SMID: 0, Partition: 0}
+	b := &Request{LineAddr: 0, Kind: Demand, SMID: 1, Partition: 0}
+	r.ic.PushToPartition(0, a)
+	r.ic.PushToPartition(0, b)
+	gotA, gotB := false, false
+	for now := int64(0); now < 100000 && !(gotA && gotB); now++ {
+		for _, done := range r.dram.Tick(now) {
+			r.part.DeliverFromDRAM(now, done)
+		}
+		r.part.Tick(now)
+		if r.ic.PopForSM(now, 0) != nil {
+			gotA = true
+		}
+		if r.ic.PopForSM(now, 1) != nil {
+			gotB = true
+		}
+	}
+	if !gotA || !gotB {
+		t.Fatal("both merged requesters must receive responses")
+	}
+	if r.st.DRAMReads != 1 {
+		t.Errorf("DRAMReads = %d, want 1 (merged in L2 MSHR)", r.st.DRAMReads)
+	}
+}

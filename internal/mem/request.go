@@ -1,0 +1,54 @@
+// Package mem implements the GPU memory hierarchy of Table III: per-SM L1
+// data caches with MSHRs, a bandwidth-limited interconnect, sliced L2
+// partitions and GDDR5-timed DRAM channels with FR-FCFS scheduling.
+package mem
+
+import "fmt"
+
+// AccessKind distinguishes demand fetches, prefetches and stores.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Demand AccessKind = iota
+	Prefetch
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case Demand:
+		return "demand"
+	case Prefetch:
+		return "prefetch"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one line-granularity memory transaction travelling between an
+// SM and a memory partition.
+type Request struct {
+	LineAddr   uint64
+	Kind       AccessKind
+	SMID       int
+	WarpSlot   int // issuing warp (demand) or bound target warp (prefetch)
+	PC         uint32
+	IssueCycle int64 // cycle the request entered L1
+	Partition  int   // destination memory partition
+}
+
+// lineMask computes the alignment mask for a power-of-two line size.
+func lineMask(lineBytes int) uint64 { return ^uint64(lineBytes - 1) }
+
+// LineAddrOf aligns a byte address to its cache line.
+func LineAddrOf(addr uint64, lineBytes int) uint64 { return addr & lineMask(lineBytes) }
+
+// PartitionOf maps a line address to a memory partition by chunk
+// interleaving (line-granularity by default, the GPGPU-Sim mapping).
+func PartitionOf(lineAddr uint64, chunkBytes, numPartitions int) int {
+	return int((lineAddr / uint64(chunkBytes)) % uint64(numPartitions))
+}

@@ -1,0 +1,333 @@
+package prefetch
+
+import (
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+// LineBytes matches the L1 line size; validated against the configuration
+// at simulator construction.
+const lineBytes = 128
+
+// ------------------------------------------------------------- INTRA ----
+
+// intraEntry tracks the stride of one (warp, PC) pair across iterations.
+type intraEntry struct {
+	lastAddr uint64
+	stride   int64
+	hits     int // consecutive confirmations of the stride
+}
+
+// Intra is intra-warp stride prefetching (Section III-A, Baer-Chen style
+// per warp): when a load PC executed repeatedly by the same warp shows a
+// stable stride across iterations, prefetch the next iteration's line for
+// that same warp. It only helps loads inside loops.
+type Intra struct {
+	table  map[uint64]*intraEntry
+	degree int
+}
+
+// NewIntra builds the INTRA baseline.
+func NewIntra(cfg config.GPUConfig, st *stats.Sim) Prefetcher {
+	return &Intra{table: make(map[uint64]*intraEntry), degree: 1}
+}
+
+// Name implements Prefetcher.
+func (p *Intra) Name() string { return "intra" }
+
+func intraKey(warpSlot int, pc uint32) uint64 {
+	return uint64(warpSlot)<<32 | uint64(pc)
+}
+
+// OnLoad implements Prefetcher.
+func (p *Intra) OnLoad(obs *Observation) []Candidate {
+	key := intraKey(obs.WarpSlot, obs.PC)
+	addr := obs.Addrs[0]
+	e, ok := p.table[key]
+	if !ok {
+		p.table[key] = &intraEntry{lastAddr: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		e.hits = 0
+		return nil
+	}
+	if stride != e.stride {
+		e.stride = stride
+		e.hits = 0
+		return nil
+	}
+	e.hits++
+	var out []Candidate
+	for d := 1; d <= p.degree; d++ {
+		out = append(out, Candidate{
+			Addr:           uint64(int64(addr) + int64(d)*stride),
+			PC:             obs.PC,
+			TargetWarpSlot: obs.WarpSlot,
+			TargetCTAID:    obs.CTAID,
+			GenCycle:       obs.Now,
+		})
+	}
+	return out
+}
+
+// OnMiss implements Prefetcher.
+func (p *Intra) OnMiss(int64, uint64, uint32) []Candidate { return nil }
+
+// OnCTALaunch implements Prefetcher. Warp slots are reused by the new CTA;
+// stale strides would poison detection, so entries are dropped lazily when
+// the first observation mismatches (stride reset path above).
+func (p *Intra) OnCTALaunch(int) {}
+
+// ------------------------------------------------------------- INTER ----
+
+// interEntry tracks one load PC across warp slots.
+type interEntry struct {
+	lastWarp int
+	lastAddr uint64
+	stride   int64
+	valid    bool
+}
+
+// Inter is inter-warp stride prefetching (Section III-B): detect a stride
+// between successive warp slots executing the same PC and prefetch for the
+// next `distance` warp slots. It is oblivious to CTA boundaries, which is
+// exactly why its accuracy collapses (Fig. 1): consecutive warp slots on
+// an SM belong to different CTAs with unrelated base addresses.
+type Inter struct {
+	table    map[uint32]*interEntry
+	distance int
+}
+
+// NewInter builds the INTER baseline with the paper's implicit prefetch
+// distance of a few warps.
+func NewInter(cfg config.GPUConfig, st *stats.Sim) Prefetcher {
+	return &Inter{table: make(map[uint32]*interEntry), distance: 4}
+}
+
+// Name implements Prefetcher.
+func (p *Inter) Name() string { return "inter" }
+
+// OnLoad implements Prefetcher.
+func (p *Inter) OnLoad(obs *Observation) []Candidate {
+	e, ok := p.table[obs.PC]
+	if !ok {
+		p.table[obs.PC] = &interEntry{lastWarp: obs.WarpSlot, lastAddr: obs.Addrs[0]}
+		return nil
+	}
+	dw := obs.WarpSlot - e.lastWarp
+	addr := obs.Addrs[0]
+	if dw != 0 {
+		stride := (int64(addr) - int64(e.lastAddr)) / int64(dw)
+		e.valid = stride != 0 && stride == e.stride
+		e.stride = stride
+	}
+	e.lastWarp = obs.WarpSlot
+	e.lastAddr = addr
+	if !e.valid {
+		return nil
+	}
+	out := make([]Candidate, 0, p.distance)
+	for d := 1; d <= p.distance; d++ {
+		out = append(out, Candidate{
+			Addr:           uint64(int64(addr) + int64(d)*e.stride),
+			PC:             obs.PC,
+			TargetWarpSlot: obs.WarpSlot + d,
+			TargetCTAID:    -1, // warp-slot arithmetic is CTA-oblivious
+			GenCycle:       obs.Now,
+		})
+	}
+	return out
+}
+
+// OnMiss implements Prefetcher.
+func (p *Inter) OnMiss(int64, uint64, uint32) []Candidate { return nil }
+
+// OnCTALaunch implements Prefetcher.
+func (p *Inter) OnCTALaunch(int) {}
+
+// --------------------------------------------------------------- MTA ----
+
+// MTA is the many-thread-aware hardware prefetcher of Lee et al.
+// (MICRO'10): per-warp intra-warp stride detection for loads that iterate,
+// falling back to inter-warp stride prefetching otherwise.
+type MTA struct {
+	intra *Intra
+	inter *Inter
+	// iterating marks PCs observed to execute more than once per warp.
+	execCount map[uint64]int
+}
+
+// NewMTA builds the MTA baseline.
+func NewMTA(cfg config.GPUConfig, st *stats.Sim) Prefetcher {
+	return &MTA{
+		intra:     NewIntra(cfg, st).(*Intra),
+		inter:     NewInter(cfg, st).(*Inter),
+		execCount: make(map[uint64]int),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *MTA) Name() string { return "mta" }
+
+// OnLoad implements Prefetcher.
+func (p *MTA) OnLoad(obs *Observation) []Candidate {
+	key := intraKey(obs.WarpSlot, obs.PC)
+	p.execCount[key]++
+	if p.execCount[key] > 1 || obs.Iter > 0 {
+		return p.intra.OnLoad(obs)
+	}
+	// Keep the intra table warm in case the PC starts iterating.
+	p.intra.OnLoad(obs)
+	return p.inter.OnLoad(obs)
+}
+
+// OnMiss implements Prefetcher.
+func (p *MTA) OnMiss(int64, uint64, uint32) []Candidate { return nil }
+
+// OnCTALaunch implements Prefetcher.
+func (p *MTA) OnCTALaunch(int) {}
+
+// --------------------------------------------------------------- NLP ----
+
+// NLP is next-line prefetching (Section III-C): on each demand miss, fetch
+// the next sequential line. Pattern-agnostic; poor timeliness.
+type NLP struct{}
+
+// NewNLP builds the NLP baseline.
+func NewNLP(cfg config.GPUConfig, st *stats.Sim) Prefetcher { return NLP{} }
+
+// Name implements Prefetcher.
+func (NLP) Name() string { return "nlp" }
+
+// OnLoad implements Prefetcher.
+func (NLP) OnLoad(*Observation) []Candidate { return nil }
+
+// OnMiss implements Prefetcher.
+func (NLP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
+	return []Candidate{{Addr: lineAddr + lineBytes, PC: pc, TargetWarpSlot: -1, TargetCTAID: -1, GenCycle: now}}
+}
+
+// OnCTALaunch implements Prefetcher.
+func (NLP) OnCTALaunch(int) {}
+
+// --------------------------------------------------------------- LAP ----
+
+const (
+	macroLines    = 4 // lines per macro-block (Jog ISCA'13)
+	lapTableSize  = 64
+	lapMissThresh = 2
+)
+
+type lapEntry struct {
+	block    uint64
+	missMask uint8
+	issued   bool
+	lastUse  int64
+}
+
+// LAP is locality-aware prefetching (Jog et al., ISCA'13): L1 misses are
+// tracked per 4-line macro-block; once two lines of a block have missed,
+// the remaining lines are prefetched.
+type LAP struct {
+	entries []lapEntry
+}
+
+// NewLAP builds the LAP baseline.
+func NewLAP(cfg config.GPUConfig, st *stats.Sim) Prefetcher {
+	return &LAP{entries: make([]lapEntry, 0, lapTableSize)}
+}
+
+// Name implements Prefetcher.
+func (p *LAP) Name() string { return "lap" }
+
+// OnLoad implements Prefetcher.
+func (p *LAP) OnLoad(*Observation) []Candidate { return nil }
+
+// OnMiss implements Prefetcher.
+func (p *LAP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
+	block := lineAddr / (macroLines * lineBytes)
+	lineInBlock := uint((lineAddr / lineBytes) % macroLines)
+
+	var e *lapEntry
+	for i := range p.entries {
+		if p.entries[i].block == block {
+			e = &p.entries[i]
+			break
+		}
+	}
+	if e == nil {
+		if len(p.entries) < cap(p.entries) {
+			p.entries = append(p.entries, lapEntry{block: block})
+			e = &p.entries[len(p.entries)-1]
+		} else {
+			// Evict the least recently used entry.
+			victim := 0
+			for i := range p.entries {
+				if p.entries[i].lastUse < p.entries[victim].lastUse {
+					victim = i
+				}
+			}
+			p.entries[victim] = lapEntry{block: block}
+			e = &p.entries[victim]
+		}
+	}
+	e.lastUse = now
+	e.missMask |= 1 << lineInBlock
+	if e.issued || popcount8(e.missMask) < lapMissThresh {
+		return nil
+	}
+	e.issued = true
+	var out []Candidate
+	for i := uint(0); i < macroLines; i++ {
+		if e.missMask&(1<<i) == 0 {
+			out = append(out, Candidate{
+				Addr:           block*(macroLines*lineBytes) + uint64(i)*lineBytes,
+				PC:             pc,
+				TargetWarpSlot: -1,
+				TargetCTAID:    -1,
+				GenCycle:       now,
+			})
+		}
+	}
+	return out
+}
+
+// OnCTALaunch implements Prefetcher.
+func (p *LAP) OnCTALaunch(int) {}
+
+func popcount8(v uint8) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// -------------------------------------------------------------- ORCH ----
+
+// Orch is orchestrated prefetching (Jog et al., ISCA'13): the LAP engine
+// paired with the prefetch-aware grouped scheduler. The prefetch side is
+// identical to LAP; the simulator swaps the warp scheduler to the
+// group-interleaved two-level variant when "orch" is selected.
+type Orch struct{ LAP }
+
+// NewOrch builds the ORCH baseline.
+func NewOrch(cfg config.GPUConfig, st *stats.Sim) Prefetcher {
+	return &Orch{LAP{entries: make([]lapEntry, 0, lapTableSize)}}
+}
+
+// Name implements Prefetcher.
+func (p *Orch) Name() string { return "orch" }
+
+func init() {
+	Register("intra", NewIntra)
+	Register("inter", NewInter)
+	Register("mta", NewMTA)
+	Register("nlp", NewNLP)
+	Register("lap", NewLAP)
+	Register("orch", NewOrch)
+}

@@ -1,0 +1,225 @@
+package prefetch
+
+import (
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/stats"
+)
+
+func obsAt(warpSlot int, pc uint32, addr uint64, iter int64) *Observation {
+	return &Observation{
+		Now: 100, PC: pc, WarpSlot: warpSlot, WarpInCTA: warpSlot % 8,
+		WarpsPerCTA: 8, CTAID: warpSlot / 8, CTASlot: warpSlot / 8,
+		CTAWarpBase: (warpSlot / 8) * 8,
+		Iter:        iter, Addrs: []uint64{addr},
+	}
+}
+
+func newPF(t *testing.T, name string) Prefetcher {
+	t.Helper()
+	p, err := New(name, config.Default(), &stats.Sim{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"none": true, "intra": true, "inter": true,
+		"mta": true, "nlp": true, "lap": true, "orch": true, "caps": false}
+	for n := range want {
+		found := false
+		for _, got := range names {
+			if got == n {
+				found = true
+			}
+		}
+		// "caps" registers via internal/core's init, which this package
+		// does not import; everything else must be present.
+		if n != "caps" && !found {
+			t.Errorf("prefetcher %q not registered", n)
+		}
+	}
+	if _, err := New("bogus", config.Default(), &stats.Sim{}); err == nil {
+		t.Error("New should reject unknown prefetchers")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	Register("none", func(config.GPUConfig, *stats.Sim) Prefetcher { return None{} })
+}
+
+func TestNoneDoesNothing(t *testing.T) {
+	p := newPF(t, "none")
+	if got := p.OnLoad(obsAt(0, 1, 0, 0)); got != nil {
+		t.Errorf("none.OnLoad = %v", got)
+	}
+	if got := p.OnMiss(1, 0, 1); got != nil {
+		t.Errorf("none.OnMiss = %v", got)
+	}
+}
+
+func TestIntraDetectsIterationStride(t *testing.T) {
+	p := newPF(t, "intra")
+	// Same warp, same PC, advancing by 4096 per execution.
+	if got := p.OnLoad(obsAt(3, 9, 0x10000, 0)); len(got) != 0 {
+		t.Fatalf("first observation generated %v", got)
+	}
+	if got := p.OnLoad(obsAt(3, 9, 0x11000, 1)); len(got) != 0 {
+		t.Fatalf("stride not yet confirmed, generated %v", got)
+	}
+	got := p.OnLoad(obsAt(3, 9, 0x12000, 2))
+	if len(got) != 1 {
+		t.Fatalf("confirmed stride should prefetch one iteration ahead, got %d", len(got))
+	}
+	if got[0].Addr != 0x13000 {
+		t.Errorf("prefetch addr = %#x; want 0x13000", got[0].Addr)
+	}
+	if got[0].TargetWarpSlot != 3 {
+		t.Errorf("intra prefetch must target the same warp, got %d", got[0].TargetWarpSlot)
+	}
+}
+
+func TestIntraResetsOnStrideChange(t *testing.T) {
+	p := newPF(t, "intra")
+	p.OnLoad(obsAt(0, 1, 0x1000, 0))
+	p.OnLoad(obsAt(0, 1, 0x2000, 1))
+	p.OnLoad(obsAt(0, 1, 0x3000, 2)) // stride 0x1000 confirmed
+	if got := p.OnLoad(obsAt(0, 1, 0x3080, 3)); len(got) != 0 {
+		t.Errorf("stride change should reset detection, generated %v", got)
+	}
+}
+
+func TestInterDetectsWarpStride(t *testing.T) {
+	p := newPF(t, "inter")
+	p.OnLoad(obsAt(0, 5, 0x1000, 0))
+	// Warp 1: stride 0x80 learned but not yet confirmed.
+	if got := p.OnLoad(obsAt(1, 5, 0x1080, 0)); len(got) != 0 {
+		t.Fatalf("unconfirmed stride generated %v", got)
+	}
+	got := p.OnLoad(obsAt(2, 5, 0x1100, 0))
+	if len(got) != 4 {
+		t.Fatalf("confirmed stride should prefetch distance 4, got %d", len(got))
+	}
+	for d, c := range got {
+		if c.Addr != 0x1100+uint64(d+1)*0x80 {
+			t.Errorf("candidate %d addr = %#x", d, c.Addr)
+		}
+		if c.TargetWarpSlot != 2+d+1 {
+			t.Errorf("candidate %d targets warp %d, want %d", d, c.TargetWarpSlot, 2+d+1)
+		}
+		if c.TargetCTAID != -1 {
+			t.Error("inter is CTA-oblivious; TargetCTAID must be -1")
+		}
+	}
+}
+
+func TestInterObliviousToCTABoundaries(t *testing.T) {
+	p := newPF(t, "inter")
+	p.OnLoad(obsAt(5, 5, 0x1000, 0))
+	p.OnLoad(obsAt(6, 5, 0x1080, 0))
+	got := p.OnLoad(obsAt(7, 5, 0x1100, 0)) // warp 7 = last of CTA 0
+	if len(got) == 0 {
+		t.Fatal("expected candidates")
+	}
+	// The candidates target warps 8..11 — slots of the NEXT CTA, whose
+	// base address is unrelated. This is exactly the paper's Fig. 1
+	// failure mode; the prefetcher issues them regardless.
+	if got[0].TargetWarpSlot != 8 {
+		t.Errorf("first candidate targets %d, want 8 (crossing the CTA boundary)", got[0].TargetWarpSlot)
+	}
+}
+
+func TestMTAUsesIntraForIteratingLoads(t *testing.T) {
+	p := newPF(t, "mta")
+	p.OnLoad(obsAt(0, 1, 0x1000, 0))
+	p.OnLoad(obsAt(0, 1, 0x2000, 1))
+	got := p.OnLoad(obsAt(0, 1, 0x3000, 2))
+	if len(got) == 0 {
+		t.Fatal("MTA should fall back to intra-warp prefetching for loops")
+	}
+	if got[0].TargetWarpSlot != 0 {
+		t.Errorf("intra-mode candidate targets warp %d, want 0", got[0].TargetWarpSlot)
+	}
+}
+
+func TestMTAUsesInterForSingleExecutionLoads(t *testing.T) {
+	p := newPF(t, "mta")
+	p.OnLoad(obsAt(0, 5, 0x1000, 0))
+	p.OnLoad(obsAt(1, 5, 0x1080, 0))
+	got := p.OnLoad(obsAt(2, 5, 0x1100, 0))
+	if len(got) == 0 {
+		t.Fatal("MTA should use inter-warp prefetching for non-looping loads")
+	}
+	if got[0].TargetWarpSlot != 3 {
+		t.Errorf("inter-mode candidate targets warp %d, want 3", got[0].TargetWarpSlot)
+	}
+}
+
+func TestNLPNextLine(t *testing.T) {
+	p := newPF(t, "nlp")
+	got := p.OnMiss(7, 0x2000, 3)
+	if len(got) != 1 || got[0].Addr != 0x2000+lineBytes {
+		t.Fatalf("NLP candidates = %v", got)
+	}
+	if got[0].TargetWarpSlot != -1 {
+		t.Error("NLP has no target warp")
+	}
+	if p.OnLoad(obsAt(0, 1, 0, 0)) != nil {
+		t.Error("NLP must not react to loads")
+	}
+}
+
+func TestLAPMacroBlockThreshold(t *testing.T) {
+	p := newPF(t, "lap")
+	// Macro block 0 covers lines 0..3 (0x000..0x180).
+	if got := p.OnMiss(1, 0, 9); len(got) != 0 {
+		t.Fatalf("one miss should not trigger, got %v", got)
+	}
+	got := p.OnMiss(2, 128, 9)
+	if len(got) != 2 {
+		t.Fatalf("two misses should prefetch the remaining 2 lines, got %d", len(got))
+	}
+	want := map[uint64]bool{256: true, 384: true}
+	for _, c := range got {
+		if !want[c.Addr] {
+			t.Errorf("unexpected candidate %#x", c.Addr)
+		}
+	}
+	// Third miss in the same block: already issued, no more candidates.
+	if got := p.OnMiss(3, 256, 9); len(got) != 0 {
+		t.Errorf("already-issued block generated %v", got)
+	}
+}
+
+func TestLAPEvictsLRUEntry(t *testing.T) {
+	p := newPF(t, "lap").(*LAP)
+	// Fill the 64-entry table with single misses in distinct blocks.
+	for i := 0; i < lapTableSize; i++ {
+		p.OnMiss(int64(i), uint64(i)*macroLines*lineBytes, 1)
+	}
+	// One more block evicts the oldest entry (block 0).
+	p.OnMiss(1000, uint64(lapTableSize)*macroLines*lineBytes, 1)
+	// A second miss in block 0 must now behave like a fresh first miss.
+	if got := p.OnMiss(1001, 128, 1); len(got) != 0 {
+		t.Errorf("evicted block treated as warm: %v", got)
+	}
+}
+
+func TestOrchSharesLAPEngine(t *testing.T) {
+	p := newPF(t, "orch")
+	if p.Name() != "orch" {
+		t.Errorf("name = %q", p.Name())
+	}
+	p.OnMiss(1, 0, 9)
+	if got := p.OnMiss(2, 128, 9); len(got) != 2 {
+		t.Errorf("orch should prefetch like LAP, got %d candidates", len(got))
+	}
+}

@@ -1,0 +1,359 @@
+// Package sched implements the warp scheduling policies evaluated in the
+// CAPS paper: loose round-robin (LRR), greedy-then-oldest (GTO), the
+// two-level scheduler (the paper's baseline, Narasiman MICRO'11 /
+// Gebhart ISCA'11 style) and the paper's Prefetch-Aware Scheduler (PAS),
+// plus the group-interleaved two-level variant used by ORCH
+// (Jog ISCA'13).
+//
+// Schedulers track warp *slots* (hardware warp contexts); the SM decides
+// per-cycle eligibility (not blocked on loads, barriers or the scoreboard).
+package sched
+
+// View lets a scheduler query per-slot state owned by the SM.
+type View interface {
+	// Eligible reports whether the warp in the slot can issue this cycle.
+	Eligible(slot int) bool
+	// Blocked reports whether the warp is stalled on a long-latency event
+	// (outstanding dependent loads or a barrier) — the two-level pending
+	// queue only promotes warps that are not blocked ("any ready warp
+	// waiting in the pending queue is moved to the ready queue").
+	Blocked(slot int) bool
+}
+
+// Scheduler selects which warp issues next.
+type Scheduler interface {
+	Name() string
+	// OnActivate registers a warp context; leading marks the CTA's
+	// leading warp (used by PAS).
+	OnActivate(slot int, leading bool)
+	// OnFinish removes a warp context.
+	OnFinish(slot int)
+	// Pick returns the slot to issue from, or -1.
+	Pick(now int64, v View) int
+	// OnLongLatency tells the scheduler the slot issued a long-latency
+	// memory operation (two-level demotes it to the pending queue).
+	OnLongLatency(slot int)
+	// OnWake tells the scheduler prefetched data for the slot arrived
+	// (PAS promotes it eagerly). Returns true if a promotion happened.
+	OnWake(slot int) bool
+}
+
+// ---------------------------------------------------------------- LRR ----
+
+// LRR is loose round-robin: scan slots circularly from just after the last
+// issued warp.
+type LRR struct {
+	active []bool
+	next   int
+}
+
+// NewLRR creates an LRR scheduler for nslots warp contexts.
+func NewLRR(nslots int) *LRR { return &LRR{active: make([]bool, nslots)} }
+
+// Name implements Scheduler.
+func (s *LRR) Name() string { return "lrr" }
+
+// OnActivate implements Scheduler.
+func (s *LRR) OnActivate(slot int, leading bool) { s.active[slot] = true }
+
+// OnFinish implements Scheduler.
+func (s *LRR) OnFinish(slot int) { s.active[slot] = false }
+
+// Pick implements Scheduler.
+func (s *LRR) Pick(now int64, v View) int {
+	n := len(s.active)
+	for i := 0; i < n; i++ {
+		slot := (s.next + i) % n
+		if s.active[slot] && v.Eligible(slot) {
+			s.next = (slot + 1) % n
+			return slot
+		}
+	}
+	return -1
+}
+
+// OnLongLatency implements Scheduler.
+func (s *LRR) OnLongLatency(slot int) {}
+
+// OnWake implements Scheduler.
+func (s *LRR) OnWake(slot int) bool { return false }
+
+// ---------------------------------------------------------------- GTO ----
+
+// GTO is greedy-then-oldest: keep issuing from the current warp until it
+// stalls, then fall back to the oldest (earliest-activated) eligible warp.
+type GTO struct {
+	age     []int64
+	clock   int64
+	current int
+}
+
+// NewGTO creates a GTO scheduler for nslots warp contexts.
+func NewGTO(nslots int) *GTO {
+	g := &GTO{age: make([]int64, nslots), current: -1}
+	for i := range g.age {
+		g.age[i] = -1
+	}
+	return g
+}
+
+// Name implements Scheduler.
+func (s *GTO) Name() string { return "gto" }
+
+// OnActivate implements Scheduler.
+func (s *GTO) OnActivate(slot int, leading bool) {
+	s.clock++
+	s.age[slot] = s.clock
+}
+
+// OnFinish implements Scheduler.
+func (s *GTO) OnFinish(slot int) {
+	s.age[slot] = -1
+	if s.current == slot {
+		s.current = -1
+	}
+}
+
+// Pick implements Scheduler.
+func (s *GTO) Pick(now int64, v View) int {
+	if s.current >= 0 && s.age[s.current] >= 0 && v.Eligible(s.current) {
+		return s.current
+	}
+	best := -1
+	for slot, a := range s.age {
+		if a < 0 || !v.Eligible(slot) {
+			continue
+		}
+		if best == -1 || a < s.age[best] {
+			best = slot
+		}
+	}
+	s.current = best
+	return best
+}
+
+// OnLongLatency implements Scheduler.
+func (s *GTO) OnLongLatency(slot int) {
+	if s.current == slot {
+		s.current = -1
+	}
+}
+
+// OnWake implements Scheduler.
+func (s *GTO) OnWake(slot int) bool { return false }
+
+// ----------------------------------------------------------- two-level ----
+
+// TwoLevel implements the two-level scheduler: only warps in the bounded
+// ready queue are considered for issue; a warp issuing a long-latency load
+// is demoted to the pending queue and a pending warp is promoted.
+//
+// Flags turn it into the paper's variants:
+//   - leadingFirst: PAS — leading warps enter at the front of the ready
+//     queue and are promoted from pending before trailing warps.
+//   - interleaved: ORCH's prefetch-aware grouping — promotion order
+//     interleaves warp slots across fetch groups so consecutive warps sit
+//     in different scheduling groups.
+//   - wakeup: PAS eager wake-up — OnWake promotes the slot immediately,
+//     demoting the newest non-leading ready warp.
+type TwoLevel struct {
+	name         string
+	readySize    int
+	groups       int
+	leadingFirst bool
+	interleaved  bool
+	wakeup       bool
+
+	ready    []int // slots in issue priority order
+	pending  []int // slots waiting for promotion
+	leading  map[int]bool
+	baseDone map[int]bool // leading warp has issued its first load
+	rr       int          // round-robin cursor within the ready queue
+}
+
+// NewTwoLevel creates the baseline two-level scheduler with the given ready
+// queue size.
+func NewTwoLevel(readySize int) *TwoLevel {
+	return &TwoLevel{name: "tlv", readySize: readySize,
+		leading: map[int]bool{}, baseDone: map[int]bool{}}
+}
+
+// NewPAS creates the paper's Prefetch-Aware Scheduler. wakeup enables the
+// eager warp wake-up mechanism (Section V-A); the paper's Fig. 14a also
+// evaluates CAPS without it.
+func NewPAS(readySize int, wakeup bool) *TwoLevel {
+	return &TwoLevel{name: "pas", readySize: readySize, leadingFirst: true,
+		wakeup: wakeup, leading: map[int]bool{}, baseDone: map[int]bool{}}
+}
+
+// NewTwoLevelInterleaved creates ORCH's grouped two-level scheduler with
+// the given number of fetch groups.
+func NewTwoLevelInterleaved(readySize, groups int) *TwoLevel {
+	if groups < 1 {
+		groups = 1
+	}
+	return &TwoLevel{name: "tlv-grouped", readySize: readySize, interleaved: true,
+		groups: groups, leading: map[int]bool{}, baseDone: map[int]bool{}}
+}
+
+// Name implements Scheduler.
+func (s *TwoLevel) Name() string { return s.name }
+
+// OnActivate implements Scheduler. New warps enter the pending queue; the
+// refill step promotes them (leading warps first under PAS).
+func (s *TwoLevel) OnActivate(slot int, leading bool) {
+	s.leading[slot] = leading
+	delete(s.baseDone, slot)
+	s.pending = append(s.pending, slot)
+}
+
+func removeSlot(q []int, slot int) ([]int, bool) {
+	for i, v := range q {
+		if v == slot {
+			copy(q[i:], q[i+1:])
+			return q[:len(q)-1], true
+		}
+	}
+	return q, false
+}
+
+// OnFinish implements Scheduler.
+func (s *TwoLevel) OnFinish(slot int) {
+	defer delete(s.leading, slot)
+	var ok bool
+	if s.ready, ok = removeSlot(s.ready, slot); ok {
+		return
+	}
+	s.pending, _ = removeSlot(s.pending, slot)
+}
+
+// refill promotes pending warps into free ready-queue slots. Only warps
+// that are not blocked on memory or a barrier are promotable; among those,
+// PAS prefers leading warps that have not yet computed their CTA's base
+// address, and ORCH's grouped variant balances fetch groups.
+func (s *TwoLevel) refill(v View) {
+	for len(s.ready) < s.readySize {
+		idx := -1
+		switch {
+		case s.leadingFirst:
+			for i, slot := range s.pending {
+				if s.leading[slot] && !s.baseDone[slot] && !v.Blocked(slot) {
+					idx = i
+					break
+				}
+			}
+		case s.interleaved:
+			// Prefer the promotable warp from the least-represented fetch
+			// group (group = slot mod groups), so consecutive warps land
+			// in different scheduling groups.
+			counts := make([]int, s.groups)
+			for _, slot := range s.ready {
+				counts[slot%s.groups]++
+			}
+			bestCnt := int(^uint(0) >> 1)
+			for i, slot := range s.pending {
+				if v.Blocked(slot) {
+					continue
+				}
+				if g := slot % s.groups; counts[g] < bestCnt {
+					bestCnt, idx = counts[g], i
+				}
+			}
+		}
+		if idx == -1 {
+			for i, slot := range s.pending {
+				if !v.Blocked(slot) {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx == -1 {
+			return
+		}
+		slot := s.pending[idx]
+		copy(s.pending[idx:], s.pending[idx+1:])
+		s.pending = s.pending[:len(s.pending)-1]
+		if s.leadingFirst && s.leading[slot] && !s.baseDone[slot] {
+			s.ready = append([]int{slot}, s.ready...)
+		} else {
+			s.ready = append(s.ready, slot)
+		}
+	}
+}
+
+// Pick implements Scheduler. Under PAS a leading warp that has not yet
+// computed its CTA's base address is tried first (Fig. 8b); otherwise a
+// round-robin cursor spreads issue over the ready queue — the paper
+// prioritizes leading warps only "until they compute the base address".
+func (s *TwoLevel) Pick(now int64, v View) int {
+	s.refill(v)
+	n := len(s.ready)
+	if n == 0 {
+		return -1
+	}
+	if s.leadingFirst {
+		for _, slot := range s.ready {
+			if s.leading[slot] && !s.baseDone[slot] && v.Eligible(slot) {
+				return slot
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		slot := s.ready[(s.rr+i)%n]
+		if v.Eligible(slot) {
+			s.rr = (s.rr + i + 1) % n
+			return slot
+		}
+	}
+	return -1
+}
+
+// OnLongLatency implements Scheduler: the warp stalled on a long-latency
+// event, so it leaves the ready queue. A leading warp's first long-latency
+// load is its base-address computation; past that point it no longer holds
+// issue priority.
+func (s *TwoLevel) OnLongLatency(slot int) {
+	if s.leading[slot] {
+		s.baseDone[slot] = true
+	}
+	var ok bool
+	if s.ready, ok = removeSlot(s.ready, slot); !ok {
+		return
+	}
+	s.pending = append(s.pending, slot)
+}
+
+// OnWake implements Scheduler: with wake-up enabled, promote the slot from
+// pending immediately, displacing the newest non-leading ready warp.
+func (s *TwoLevel) OnWake(slot int) bool {
+	if !s.wakeup {
+		return false
+	}
+	var ok bool
+	if s.pending, ok = removeSlot(s.pending, slot); !ok {
+		return false // already ready (or finished): nothing to do
+	}
+	if len(s.ready) >= s.readySize && len(s.ready) > 0 {
+		// Push one ready warp forcibly into the pending queue (paper §V-A).
+		victimIdx := len(s.ready) - 1
+		for i := len(s.ready) - 1; i >= 0; i-- {
+			if !s.leading[s.ready[i]] {
+				victimIdx = i
+				break
+			}
+		}
+		victim := s.ready[victimIdx]
+		copy(s.ready[victimIdx:], s.ready[victimIdx+1:])
+		s.ready = s.ready[:len(s.ready)-1]
+		s.pending = append(s.pending, victim)
+	}
+	s.ready = append(s.ready, slot)
+	return true
+}
+
+// ReadySlots returns a copy of the ready queue (test hook).
+func (s *TwoLevel) ReadySlots() []int { return append([]int(nil), s.ready...) }
+
+// PendingSlots returns a copy of the pending queue (test hook).
+func (s *TwoLevel) PendingSlots() []int { return append([]int(nil), s.pending...) }

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+
+	"caps/internal/config"
+	// Register the CAPS prefetcher alongside the baselines.
+	_ "caps/internal/core"
+	"caps/internal/kernels"
+	"caps/internal/mem"
+	"caps/internal/prefetch"
+	"caps/internal/sched"
+	"caps/internal/stats"
+)
+
+// GPU is the full simulated machine for one kernel run.
+type GPU struct {
+	cfg    config.GPUConfig
+	kernel *kernels.Kernel
+	st     *stats.Sim
+
+	sms   []*SM
+	icnt  *mem.Interconnect
+	parts []*mem.Partition
+	drams []*mem.DRAMChannel
+
+	nextCTA int
+	cycle   int64
+
+	// dispatchReq queues SMs whose CTA completed and want a new one.
+	dispatchReq []int
+}
+
+// Options selects the prefetcher and scheduler for a run.
+type Options struct {
+	Prefetcher string // registered prefetcher name ("none", "caps", ...)
+	// Scheduler overrides cfg.Scheduler when non-empty.
+	Scheduler config.SchedulerKind
+	// Tracer observes every demand load (Fig. 1 analysis). Optional.
+	Tracer func(obs *prefetch.Observation)
+}
+
+// New builds a GPU for one kernel run.
+func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid config: %w", err)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid kernel: %w", err)
+	}
+	if cfg.L1.LineBytes != kernels.LineBytes {
+		return nil, fmt.Errorf("sim: L1 line size %d must match kernels.LineBytes %d",
+			cfg.L1.LineBytes, kernels.LineBytes)
+	}
+	if opt.Scheduler != "" {
+		cfg.Scheduler = opt.Scheduler
+	}
+	if opt.Prefetcher == "" {
+		opt.Prefetcher = "none"
+	}
+	// ORCH is LAP paired with the prefetch-aware grouped scheduler
+	// (Jog ISCA'13); selecting it swaps the two-level scheduler for the
+	// group-interleaved variant.
+	interleaved := opt.Prefetcher == "orch" && cfg.Scheduler == config.SchedTwoLevel
+
+	st := &stats.Sim{}
+	g := &GPU{cfg: cfg, kernel: k, st: st}
+	g.icnt = mem.NewInterconnect(cfg.NumSMs, cfg.NumPartitions, cfg.ICNTQueue, cfg.ICNTLatency, cfg.ICNTWidth)
+
+	g.drams = make([]*mem.DRAMChannel, cfg.DRAM.Channels)
+	for i := range g.drams {
+		g.drams[i] = mem.NewDRAMChannel(cfg, st)
+	}
+	g.parts = make([]*mem.Partition, cfg.NumPartitions)
+	for i := range g.parts {
+		g.parts[i] = mem.NewPartition(i, cfg, g.drams[i%cfg.DRAM.Channels], g.icnt, st)
+	}
+
+	g.sms = make([]*SM, cfg.NumSMs)
+	for i := range g.sms {
+		pf, err := prefetch.New(opt.Prefetcher, cfg, st)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := newScheduler(cfg, interleaved)
+		if err != nil {
+			return nil, err
+		}
+		g.sms[i] = newSM(i, cfg, k, sc, pf, g.icnt, st, g.requestDispatch)
+		g.sms[i].Tracer = opt.Tracer
+	}
+
+	g.initialDispatch()
+	return g, nil
+}
+
+func newScheduler(cfg config.GPUConfig, interleaved bool) (sched.Scheduler, error) {
+	n := cfg.MaxWarpsPerSM
+	switch cfg.Scheduler {
+	case config.SchedLRR:
+		return sched.NewLRR(n), nil
+	case config.SchedGTO:
+		return sched.NewGTO(n), nil
+	case config.SchedTwoLevel:
+		if interleaved {
+			groups := n / cfg.ReadyQueueSize
+			return sched.NewTwoLevelInterleaved(cfg.ReadyQueueSize, groups), nil
+		}
+		return sched.NewTwoLevel(cfg.ReadyQueueSize), nil
+	case config.SchedPAS:
+		return sched.NewPAS(cfg.ReadyQueueSize, cfg.PrefetchWakeup), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler %q", cfg.Scheduler)
+	}
+}
+
+// initialDispatch assigns CTAs to SMs one at a time in round-robin order
+// until every SM is full or the grid is exhausted (Section II-B).
+func (g *GPU) initialDispatch() {
+	total := g.kernel.NumCTAs()
+	for assignedAny := true; assignedAny; {
+		assignedAny = false
+		for _, sm := range g.sms {
+			if g.nextCTA >= total {
+				return
+			}
+			if slot := sm.FreeCTASlot(); slot >= 0 {
+				sm.LaunchCTA(slot, g.nextCTA)
+				g.nextCTA++
+				assignedAny = true
+			}
+		}
+	}
+}
+
+// requestDispatch is invoked by an SM when one of its CTAs completes; the
+// replacement CTA is assigned at the end of the current cycle
+// (demand-driven distribution, Fig. 3).
+func (g *GPU) requestDispatch(smID int) {
+	g.dispatchReq = append(g.dispatchReq, smID)
+}
+
+// Stats exposes the run's counters.
+func (g *GPU) Stats() *stats.Sim { return g.st }
+
+// Cycle returns the current simulated cycle.
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+// SMs exposes the cores (tests and analyses).
+func (g *GPU) SMs() []*SM { return g.sms }
+
+// Step advances the whole machine one core cycle.
+func (g *GPU) Step() {
+	now := g.cycle
+	for _, ch := range g.drams {
+		for _, r := range ch.Tick(now) {
+			g.parts[r.Partition].DeliverFromDRAM(now, r)
+		}
+	}
+	for _, p := range g.parts {
+		p.Tick(now)
+	}
+	for _, sm := range g.sms {
+		sm.Tick(now)
+	}
+	// Demand-driven CTA dispatch for CTAs that completed this cycle.
+	for _, smID := range g.dispatchReq {
+		if g.nextCTA >= g.kernel.NumCTAs() {
+			break
+		}
+		if slot := g.sms[smID].FreeCTASlot(); slot >= 0 {
+			g.sms[smID].LaunchCTA(slot, g.nextCTA)
+			g.nextCTA++
+		}
+	}
+	g.dispatchReq = g.dispatchReq[:0]
+	g.cycle++
+	g.st.Cycles = g.cycle
+}
+
+// Done reports whether the workload has fully drained.
+func (g *GPU) Done() bool {
+	if g.nextCTA < g.kernel.NumCTAs() {
+		return false
+	}
+	for _, sm := range g.sms {
+		if sm.Busy() {
+			return false
+		}
+	}
+	return g.icnt.Idle() && g.allPartsIdle()
+}
+
+func (g *GPU) allPartsIdle() bool {
+	for _, p := range g.parts {
+		if !p.Idle() {
+			return false
+		}
+	}
+	for _, d := range g.drams {
+		if !d.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes until the workload drains or a cap is reached. It returns
+// the collected statistics; an error signals a hang (no forward progress).
+func (g *GPU) Run() (*stats.Sim, error) {
+	const progressWindow = 2_000_000
+	lastInsts := int64(-1)
+	lastProgress := int64(0)
+	for !g.Done() {
+		if g.cfg.MaxInsts > 0 && g.st.Instructions >= g.cfg.MaxInsts {
+			break
+		}
+		if g.cfg.MaxCycle > 0 && g.cycle >= g.cfg.MaxCycle {
+			break
+		}
+		g.Step()
+		if g.st.Instructions != lastInsts {
+			lastInsts = g.st.Instructions
+			lastProgress = g.cycle
+		} else if g.cycle-lastProgress > progressWindow {
+			return g.st, fmt.Errorf("sim: no forward progress for %d cycles at cycle %d (%s)",
+				progressWindow, g.cycle, g.kernel.Abbr)
+		}
+	}
+	g.finalAccounting()
+	return g.st, nil
+}
+
+// finalAccounting collects end-of-run statistics (never-used prefetched
+// lines still resident in the L1s).
+func (g *GPU) finalAccounting() {
+	for _, sm := range g.sms {
+		g.st.PrefUnusedAtEnd += sm.L1().UnusedPrefetchedLines()
+	}
+}

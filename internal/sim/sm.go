@@ -1,0 +1,595 @@
+package sim
+
+import (
+	"caps/internal/config"
+	"caps/internal/kernels"
+	"caps/internal/mem"
+	"caps/internal/prefetch"
+	"caps/internal/sched"
+	"caps/internal/stats"
+)
+
+// lsuGroup is one issued load instruction waiting to present its coalesced
+// accesses to L1, one access per cycle.
+type lsuGroup struct {
+	warp  *warpState
+	addrs []uint64
+	idx   int
+	pc    uint32
+}
+
+const (
+	lsuQueueCap    = 16   // pending load groups
+	prefQueueCap   = 128  // pending prefetch candidates
+	prefTTL        = 2000 // cycles before a queued candidate goes stale
+	prefPerCycle   = 4    // prefetch admissions per cycle
+	prefWaysPerSet = 1    // max unconsumed prefetched lines per L1 set
+	storeQueueCap  = 16
+	respPerCycle   = 4 // fills accepted per cycle
+)
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id  int
+	cfg config.GPUConfig
+	st  *stats.Sim
+
+	kernel      *kernels.Kernel
+	warpsPerCTA int
+	ctaSlots    int
+
+	warps []warpState
+	ctas  []ctaState
+
+	sched sched.Scheduler
+	pref  prefetch.Prefetcher
+	l1    *mem.Cache
+	ic    *mem.Interconnect
+
+	lsuQ   []*lsuGroup
+	prefQ  []prefetch.Candidate
+	prefIn map[uint64]bool // lines queued in prefQ
+	storeQ []*mem.Request
+
+	activeCTAs int
+	liveWarps  int
+
+	// Tracer, when set, observes every demand load issue (used by the
+	// Fig. 1 analysis).
+	Tracer func(obs *prefetch.Observation)
+
+	// onCTADone is invoked when a CTA completes so the GPU can dispatch
+	// the next one (demand-driven distribution).
+	onCTADone func(smID int)
+
+	nowCache int64
+	addrBuf  []uint64
+}
+
+func newSM(id int, cfg config.GPUConfig, k *kernels.Kernel, sc sched.Scheduler,
+	pf prefetch.Prefetcher, ic *mem.Interconnect, st *stats.Sim, onCTADone func(int)) *SM {
+
+	wpc := k.WarpsPerCTA()
+	slots := cfg.MaxCTAsPerSM
+	if maxByWarps := cfg.MaxWarpsPerSM / wpc; maxByWarps < slots {
+		slots = maxByWarps
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	sm := &SM{
+		id:          id,
+		cfg:         cfg,
+		st:          st,
+		kernel:      k,
+		warpsPerCTA: wpc,
+		ctaSlots:    slots,
+		warps:       make([]warpState, slots*wpc),
+		ctas:        make([]ctaState, slots),
+		sched:       sc,
+		pref:        pf,
+		l1:          mem.NewCacheWithPrefetchPool(cfg.L1, true, cfg.PrefetchBufferEntries),
+		ic:          ic,
+		prefIn:      make(map[uint64]bool),
+		onCTADone:   onCTADone,
+	}
+	for i := range sm.warps {
+		sm.warps[i].slot = i
+	}
+	return sm
+}
+
+// FreeCTASlot returns the index of an unoccupied CTA slot, or -1.
+func (sm *SM) FreeCTASlot() int {
+	for i := range sm.ctas {
+		if !sm.ctas[i].active {
+			return i
+		}
+	}
+	return -1
+}
+
+// LaunchCTA places a CTA into the given slot and activates its warps.
+func (sm *SM) LaunchCTA(slot, ctaID int) {
+	coord := sm.kernel.Grid.Coord(ctaID)
+	sm.ctas[slot] = ctaState{
+		active:    true,
+		ctaID:     ctaID,
+		coord:     coord,
+		warpBase:  slot * sm.warpsPerCTA,
+		warpCount: sm.warpsPerCTA,
+		warpsLeft: sm.warpsPerCTA,
+	}
+	sm.pref.OnCTALaunch(slot)
+	for w := 0; w < sm.warpsPerCTA; w++ {
+		ws := &sm.warps[slot*sm.warpsPerCTA+w]
+		ws.reset(slot, ctaID, coord, w, len(sm.kernel.Loads))
+		sm.sched.OnActivate(ws.slot, w == 0)
+	}
+	sm.activeCTAs++
+	sm.liveWarps += sm.warpsPerCTA
+}
+
+// Eligible implements sched.View; nowCache holds the current cycle during
+// Tick so the View interface does not need a time parameter.
+func (sm *SM) Eligible(slot int) bool {
+	return sm.warps[slot].eligible(sm.nowCache)
+}
+
+// Blocked implements sched.View: the warp waits on memory or a barrier.
+func (sm *SM) Blocked(slot int) bool {
+	w := &sm.warps[slot]
+	return !w.active || w.finished || w.waitLoad || w.atBarrier
+}
+
+var _ sched.View = (*SM)(nil)
+
+// Busy reports whether the SM still has live warps or in-flight memory.
+func (sm *SM) Busy() bool {
+	return sm.liveWarps > 0 || len(sm.lsuQ) > 0 || len(sm.storeQ) > 0
+}
+
+// ActiveCTAs returns the number of resident CTAs.
+func (sm *SM) ActiveCTAs() int { return sm.activeCTAs }
+
+// L1 exposes the data cache for end-of-run accounting and tests.
+func (sm *SM) L1() *mem.Cache { return sm.l1 }
+
+// Tick advances the SM one cycle. It returns the number of instructions
+// issued (the GPU uses it for the instruction cap).
+func (sm *SM) Tick(now int64) int {
+	sm.nowCache = now
+	sm.acceptResponses(now)
+	sm.drainStores(now)
+	sm.pumpLSU(now)
+	sm.drainMisses(now)
+	issued := sm.issue(now)
+	sm.admitPrefetches(now)
+	return issued
+}
+
+// acceptResponses drains fills returning from the interconnect.
+func (sm *SM) acceptResponses(now int64) {
+	for i := 0; i < respPerCycle; i++ {
+		r := sm.ic.PopForSM(now, sm.id)
+		if r == nil {
+			return
+		}
+		fill := sm.l1.Fill(now, r.LineAddr)
+		if fill.EvictedUnusedPrefetch {
+			sm.st.PrefEarlyEvict++
+		}
+		for _, w := range fill.Waiters {
+			switch w.Kind {
+			case mem.Demand:
+				sm.st.DemandLatencySum += now - w.IssueCycle
+				sm.st.DemandLatencyCount++
+				ws := &sm.warps[w.WarpSlot]
+				if ws.active && ws.outstanding > 0 {
+					ws.outstanding--
+					if ws.outstanding == 0 {
+						ws.waitLoad = false
+					}
+				}
+			case mem.Prefetch:
+				// Eager warp wake-up (Section V-A): promote the warp the
+				// prefetch is bound to.
+				if sm.cfg.PrefetchWakeup && w.WarpSlot >= 0 && w.WarpSlot < len(sm.warps) {
+					ws := &sm.warps[w.WarpSlot]
+					if ws.active && !ws.finished {
+						if sm.sched.OnWake(w.WarpSlot) {
+							sm.st.WakeupPromotions++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// drainStores pushes buffered stores into the interconnect.
+func (sm *SM) drainStores(now int64) {
+	for len(sm.storeQ) > 0 {
+		r := sm.storeQ[0]
+		if !sm.ic.PushToPartition(now, r) {
+			return
+		}
+		sm.st.CoreToMemRequests++
+		copy(sm.storeQ, sm.storeQ[1:])
+		sm.storeQ = sm.storeQ[:len(sm.storeQ)-1]
+	}
+}
+
+// pumpLSU presents the head load group's next coalesced access to L1.
+func (sm *SM) pumpLSU(now int64) {
+	if len(sm.lsuQ) == 0 {
+		return
+	}
+	g := sm.lsuQ[0]
+	addr := g.addrs[g.idx]
+	req := &mem.Request{
+		LineAddr:   addr,
+		Kind:       mem.Demand,
+		SMID:       sm.id,
+		WarpSlot:   g.warp.slot,
+		PC:         g.pc,
+		IssueCycle: now,
+		Partition:  mem.PartitionOf(addr, sm.cfg.PartitionChunkBytes, sm.cfg.NumPartitions),
+	}
+	sm.st.DemandAccesses++
+	sm.st.L1Accesses++
+	res := sm.l1.Access(now, req)
+	switch res.Outcome {
+	case mem.Hit:
+		sm.st.DemandHits++
+		if res.FirstUseOfPrefetch {
+			sm.st.PrefUseful++
+			sm.st.PrefDistanceSum += now - res.PrefIssueCycle
+			sm.st.PrefDistanceCount++
+		}
+		g.warp.outstanding--
+		if g.warp.outstanding == 0 {
+			g.warp.waitLoad = false
+		}
+	case mem.MissNew:
+		sm.st.DemandMisses++
+		for _, c := range sm.pref.OnMiss(now, addr, g.pc) {
+			sm.enqueuePrefetch(now, c)
+		}
+	case mem.MissMerged:
+		sm.st.DemandMerged++
+		if res.MergedIntoPrefetch {
+			sm.st.PrefLate++
+			sm.st.PrefDistanceSum += now - res.PrefIssueCycle
+			sm.st.PrefDistanceCount++
+		}
+	case mem.ResFailMSHR, mem.ResFailQueue:
+		sm.st.ReservationFails++
+		sm.st.MemStalls++
+		sm.st.DemandAccesses-- // not accepted; it will be replayed
+		sm.st.L1Accesses--
+		return
+	}
+	g.idx++
+	if g.idx == len(g.addrs) {
+		copy(sm.lsuQ, sm.lsuQ[1:])
+		sm.lsuQ = sm.lsuQ[:len(sm.lsuQ)-1]
+	}
+}
+
+// drainMisses moves L1 miss-queue entries into the interconnect.
+func (sm *SM) drainMisses(now int64) {
+	for {
+		head := sm.l1.PeekMiss()
+		if head == nil {
+			return
+		}
+		if !sm.ic.PushToPartition(now, head) {
+			return
+		}
+		sm.l1.PopMiss()
+		sm.st.CoreToMemRequests++
+	}
+}
+
+// issue asks the scheduler for warps and executes their next instruction.
+func (sm *SM) issue(now int64) int {
+	issued := 0
+	for i := 0; i < sm.cfg.IssueWidth; i++ {
+		slot := sm.sched.Pick(now, sm)
+		if slot < 0 {
+			break
+		}
+		if sm.execute(now, &sm.warps[slot]) {
+			issued++
+		}
+	}
+	if issued > 0 {
+		sm.st.IssueCycles++
+	} else if sm.liveWarps > 0 {
+		sm.st.StallCycles++
+	}
+	sm.st.Instructions += int64(issued)
+	return issued
+}
+
+// execute runs one instruction of the warp; it returns false when the
+// instruction could not issue (structural stall) so the warp retries.
+func (sm *SM) execute(now int64, w *warpState) bool {
+	in := &sm.kernel.Program[w.pc]
+	switch in.Kind {
+	case kernels.OpCompute:
+		w.busyUntil = now + int64(in.Latency)
+		w.pc++
+		sm.st.ALUOps++
+
+	case kernels.OpShared:
+		w.busyUntil = now + int64(in.Latency)
+		w.pc++
+		sm.st.SharedMemOps++
+
+	case kernels.OpJoin:
+		w.pc++
+		if w.outstanding > 0 {
+			w.waitLoad = true
+			// The warp now waits on memory: demote it so the two-level
+			// ready queue stays populated with runnable warps.
+			sm.sched.OnLongLatency(w.slot)
+		}
+
+	case kernels.OpLoopStart:
+		if w.loopDepth < len(w.loopStack) {
+			w.loopStack[w.loopDepth] = loopFrame{bodyStart: w.pc + 1, remaining: in.Iters}
+		} else {
+			w.loopStack = append(w.loopStack, loopFrame{bodyStart: w.pc + 1, remaining: in.Iters})
+		}
+		w.loopDepth++
+		w.pc++
+
+	case kernels.OpLoopEnd:
+		f := &w.loopStack[w.loopDepth-1]
+		f.remaining--
+		if f.remaining > 0 {
+			w.pc = f.bodyStart
+		} else {
+			w.loopDepth--
+			w.pc++
+		}
+
+	case kernels.OpBarrier:
+		cta := &sm.ctas[w.ctaSlot]
+		w.atBarrier = true
+		cta.barrierCnt++
+		w.pc++
+		if cta.barrierCnt == cta.warpsLeft {
+			cta.barrierCnt = 0
+			for i := 0; i < cta.warpCount; i++ {
+				ws := &sm.warps[cta.warpBase+i]
+				if ws.active && !ws.finished {
+					ws.atBarrier = false
+				}
+			}
+		} else {
+			// Deschedule so the two-level ready queue does not clog with
+			// barrier-blocked warps.
+			sm.sched.OnLongLatency(w.slot)
+		}
+
+	case kernels.OpLoad:
+		if len(sm.lsuQ) >= lsuQueueCap {
+			sm.st.MemStalls++
+			return false
+		}
+		spec := &sm.kernel.Loads[in.Load]
+		iter := w.iterCount[in.Load]
+		w.iterCount[in.Load]++
+		addrs := sm.genAddrs(w, in.Load, iter)
+		if len(addrs) == 0 {
+			w.pc++
+			return true
+		}
+		obs := prefetch.Observation{
+			Now:         now,
+			SMID:        sm.id,
+			PC:          pcOf(in.Load),
+			CTASlot:     w.ctaSlot,
+			CTAID:       w.ctaID,
+			WarpSlot:    w.slot,
+			WarpInCTA:   w.warpInCTA,
+			WarpsPerCTA: sm.warpsPerCTA,
+			CTAWarpBase: sm.ctas[w.ctaSlot].warpBase,
+			Iter:        iter,
+			Addrs:       addrs,
+			Indirect:    spec.Indirect,
+		}
+		if sm.Tracer != nil {
+			sm.Tracer(&obs)
+		}
+		for _, c := range sm.pref.OnLoad(&obs) {
+			sm.enqueuePrefetch(now, c)
+		}
+		w.outstanding += len(addrs)
+		sm.lsuQ = append(sm.lsuQ, &lsuGroup{warp: w, addrs: addrs, pc: pcOf(in.Load)})
+		if in.Blocking {
+			// A dependent use follows immediately: the warp stalls on the
+			// long-latency load and leaves the two-level ready queue.
+			w.waitLoad = true
+			sm.sched.OnLongLatency(w.slot)
+		}
+		w.pc++
+
+	case kernels.OpStore:
+		iter := w.iterCount[in.Load]
+		addrs := sm.genAddrs(w, in.Load, iter)
+		if len(sm.storeQ)+len(addrs) > storeQueueCap {
+			sm.st.MemStalls++
+			return false
+		}
+		w.iterCount[in.Load]++
+		for _, a := range addrs {
+			sm.storeQ = append(sm.storeQ, &mem.Request{
+				LineAddr:   a,
+				Kind:       mem.Store,
+				SMID:       sm.id,
+				WarpSlot:   w.slot,
+				PC:         pcOf(in.Load),
+				IssueCycle: now,
+				Partition:  mem.PartitionOf(a, sm.cfg.PartitionChunkBytes, sm.cfg.NumPartitions),
+			})
+		}
+		w.pc++
+
+	case kernels.OpExit:
+		sm.finishWarp(w)
+		return false
+	}
+	return in.Kind != kernels.OpExit
+}
+
+// addrCtx builds the address-generation context for a warp and load.
+func (sm *SM) addrCtx(w *warpState, load int, iter int64) kernels.AddrCtx {
+	return kernels.AddrCtx{
+		CTAID:       w.ctaID,
+		CTA:         w.ctaCoord,
+		Grid:        sm.kernel.Grid,
+		Block:       sm.kernel.Block,
+		WarpInCTA:   w.warpInCTA,
+		WarpsPerCTA: sm.warpsPerCTA,
+		Iter:        iter,
+	}
+}
+
+// genAddrs produces deduplicated line addresses for one load execution.
+func (sm *SM) genAddrs(w *warpState, loadIdx int, iter int64) []uint64 {
+	raw := sm.kernel.Loads[loadIdx].Gen(sm.addrCtx(w, loadIdx, iter))
+	out := sm.addrBuf[:0]
+	for _, a := range raw {
+		a = mem.LineAddrOf(a, sm.cfg.L1.LineBytes)
+		dup := false
+		for _, b := range out {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	sm.addrBuf = out
+	return append([]uint64(nil), out...)
+}
+
+// finishWarp retires a warp; when the whole CTA is done the GPU is told so
+// it can dispatch the next CTA to this SM (demand-driven distribution).
+func (sm *SM) finishWarp(w *warpState) {
+	w.finished = true
+	w.active = false
+	sm.liveWarps--
+	sm.st.WarpsDone++
+	sm.sched.OnFinish(w.slot)
+	cta := &sm.ctas[w.ctaSlot]
+	cta.warpsLeft--
+	if cta.warpsLeft == 0 {
+		cta.active = false
+		sm.activeCTAs--
+		sm.st.CTAsDone++
+		if sm.onCTADone != nil {
+			sm.onCTADone(sm.id)
+		}
+	}
+}
+
+// enqueuePrefetch admits a candidate into the bounded prefetch queue with
+// line-level deduplication.
+func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
+	c.Addr = mem.LineAddrOf(c.Addr, sm.cfg.L1.LineBytes)
+	if c.GenCycle == 0 {
+		c.GenCycle = now
+	}
+	if sm.prefIn[c.Addr] {
+		sm.st.PrefDropped++
+		sm.st.PrefDropDup++
+		return
+	}
+	if len(sm.prefQ) >= prefQueueCap {
+		sm.st.PrefDropped++
+		sm.st.PrefDropQueueFull++
+		return
+	}
+	sm.prefIn[c.Addr] = true
+	sm.prefQ = append(sm.prefQ, c)
+}
+
+// admitPrefetches lets queued prefetches access L1 at lower priority than
+// demand traffic: prefetch-only misses may hold at most prefMSHRShare
+// MSHRs, stale candidates are discarded, and a candidate whose target warp
+// slot has been re-assigned to another CTA is dead (its prediction was for
+// the departed CTA).
+func (sm *SM) admitPrefetches(now int64) {
+	admitted := 0
+	for len(sm.prefQ) > 0 && admitted < prefPerCycle {
+		c := sm.prefQ[0]
+		if sm.l1.PrefetchMSHRs() >= sm.cfg.PrefetchBufferEntries ||
+			sm.l1.MissQueueLen() >= sm.cfg.L1.MissQueue {
+			return // wait for a prefetch-buffer entry or queue slot
+		}
+		copy(sm.prefQ, sm.prefQ[1:])
+		sm.prefQ = sm.prefQ[:len(sm.prefQ)-1]
+		delete(sm.prefIn, c.Addr)
+
+		if now-c.GenCycle > prefTTL {
+			sm.st.PrefDropped++
+			sm.st.PrefDropStale++
+			continue
+		}
+		if c.TargetWarpSlot >= 0 && c.TargetCTAID >= 0 && c.TargetWarpSlot < len(sm.warps) {
+			w := &sm.warps[c.TargetWarpSlot]
+			if !w.active || w.ctaID != c.TargetCTAID {
+				sm.st.PrefDropped++
+				sm.st.PrefDropCTAGone++
+				continue
+			}
+		}
+		if sm.l1.Probe(c.Addr) {
+			sm.st.PrefDropped++
+			sm.st.PrefDropPresent++
+			continue
+		}
+		if sm.l1.InFlight(c.Addr) {
+			sm.st.PrefDropped++
+			sm.st.PrefDropInFlight++
+			continue
+		}
+		if sm.l1.UnconsumedPrefetchesInSet(c.Addr) >= prefWaysPerSet {
+			// The set already holds its share of unconsumed prefetched
+			// data; admitting more would crowd out demand lines.
+			sm.st.PrefDropped++
+			sm.st.PrefDropSetFull++
+			continue
+		}
+		req := &mem.Request{
+			LineAddr:   c.Addr,
+			Kind:       mem.Prefetch,
+			SMID:       sm.id,
+			WarpSlot:   c.TargetWarpSlot,
+			PC:         c.PC,
+			IssueCycle: now,
+			Partition:  mem.PartitionOf(c.Addr, sm.cfg.PartitionChunkBytes, sm.cfg.NumPartitions),
+		}
+		sm.st.L1Accesses++
+		res := sm.l1.Access(now, req)
+		switch res.Outcome {
+		case mem.MissNew:
+			sm.st.PrefIssued++
+			sm.st.PrefToMemory++
+			admitted++
+		default:
+			// Present, merged or rejected: the prefetch does no work.
+			sm.st.PrefDropped++
+		}
+	}
+}
+
+// pcOf maps a static load index to the PC the prefetch tables key on.
+func pcOf(loadIdx int) uint32 { return uint32(loadIdx + 1) }

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPC(t *testing.T) {
+	s := &Sim{Instructions: 500, Cycles: 250}
+	if got := s.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v, want 2.0", got)
+	}
+	if got := (&Sim{}).IPC(); got != 0 {
+		t.Errorf("empty IPC = %v, want 0", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	s := &Sim{PrefIssued: 20, DemandMisses: 80, DemandMerged: 20}
+	if got := s.Coverage(); got != 0.2 {
+		t.Errorf("Coverage = %v, want 0.2", got)
+	}
+	if got := (&Sim{PrefIssued: 5}).Coverage(); got != 0 {
+		t.Errorf("coverage with no demand = %v, want 0", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	s := &Sim{PrefIssued: 100, PrefUseful: 90, PrefLate: 7}
+	if got := s.Accuracy(); got != 0.97 {
+		t.Errorf("Accuracy = %v, want 0.97", got)
+	}
+	if got := (&Sim{}).Accuracy(); got != 0 {
+		t.Errorf("accuracy with no prefetches = %v, want 0", got)
+	}
+}
+
+func TestEarlyPrefetchRatio(t *testing.T) {
+	s := &Sim{PrefIssued: 200, PrefEarlyEvict: 2}
+	if got := s.EarlyPrefetchRatio(); got != 0.01 {
+		t.Errorf("EarlyPrefetchRatio = %v, want 0.01", got)
+	}
+}
+
+func TestMeanPrefetchDistance(t *testing.T) {
+	s := &Sim{PrefDistanceSum: 300, PrefDistanceCount: 2}
+	if got := s.MeanPrefetchDistance(); got != 150 {
+		t.Errorf("MeanPrefetchDistance = %v, want 150", got)
+	}
+	if got := (&Sim{}).MeanPrefetchDistance(); got != 0 {
+		t.Errorf("distance with no samples = %v, want 0", got)
+	}
+}
+
+func TestL1MissRate(t *testing.T) {
+	s := &Sim{DemandAccesses: 100, DemandMisses: 30, DemandMerged: 20}
+	if got := s.L1MissRate(); got != 0.5 {
+		t.Errorf("L1MissRate = %v, want 0.5", got)
+	}
+}
+
+func TestStringContainsKeyMetrics(t *testing.T) {
+	s := &Sim{Cycles: 10, Instructions: 20, PrefIssued: 3}
+	out := s.String()
+	for _, want := range []string{"cycles=10", "insts=20", "issued=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []int64{0, 5, 15, 49, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("bucket counts wrong: %v", h.Counts)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("Overflow = %d, want 1", h.Overflow)
+	}
+	if got := h.Mean(); got != 33.8 {
+		t.Errorf("Mean = %v, want 33.8", got)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram(10, 3)
+	h.Add(-5)
+	if h.Counts[0] != 1 {
+		t.Errorf("negative sample should land in bucket 0: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 5) },
+		func() { NewHistogram(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid histogram args")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramMeanMatchesSamples(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(7, 4)
+		var sum int64
+		for _, v := range raw {
+			h.Add(int64(v))
+			sum += int64(v)
+		}
+		want := float64(sum) / float64(len(raw))
+		return math.Abs(h.Mean()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(5, 60)
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		return h.Percentile(25) <= h.Percentile(50) &&
+			h.Percentile(50) <= h.Percentile(90) &&
+			h.Percentile(90) <= h.Percentile(100)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "alpha") || !strings.Contains(lines[1], "1") {
+		t.Errorf("row misformatted: %q", lines[1])
+	}
+	csv := tb.CSV()
+	if csv != "name,value\nalpha,1\nb,22\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestMeanMedianGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean of non-positive = %v, want 0", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		g := GeoMean([]float64{x, y})
+		lo, hi := math.Min(x, y), math.Max(x, y)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
