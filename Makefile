@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build lint test race determinism check bench
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/simcheck ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replays a benchmark subset twice with the invariant sanitizer on and
+# compares state hashes (see internal/invariant/determinism).
+determinism:
+	$(GO) run ./cmd/simcheck -mode=determinism
+
+check: build lint test determinism
+
+bench:
+	$(GO) test -bench=. -benchmem .

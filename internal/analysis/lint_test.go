@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"caps/internal/analysis"
+	"caps/internal/analysis/analysistest"
+)
+
+func TestDetlintFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Detlint, filepath.Join("testdata", "detlint"))
+}
+
+func TestCyclelintFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Cyclelint, filepath.Join("testdata", "cyclelint"))
+}
+
+func TestStatlintFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Statlint, filepath.Join("testdata", "statlint"))
+}
+
+// TestSuiteCleanOnRepo is the in-tree version of the CI gate: the whole
+// module must lint clean (modulo explicit //simcheck:allow suppressions).
+func TestSuiteCleanOnRepo(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Check(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestScopes pins the package sets each analyzer audits; widening or
+// narrowing a scope should be a conscious diff.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		a    *analysis.Analyzer
+		in   []string
+		out  []string
+	}{
+		{analysis.Detlint,
+			[]string{"caps/internal/sim", "caps/internal/mem", "caps/internal/stats", "caps/internal/experiments"},
+			[]string{"caps/cmd/capsim", "caps/internal/kernels", "caps/internal/analysis"}},
+		{analysis.Cyclelint,
+			[]string{"caps/internal/sim", "caps/internal/core", "caps/internal/sched"},
+			[]string{"caps/internal/stats", "caps/internal/experiments"}},
+		{analysis.Statlint,
+			[]string{"caps/internal/mem", "caps/internal/prefetch", "caps/internal/experiments"},
+			[]string{"caps/internal/stats", "caps/internal/kernels"}},
+	}
+	for _, tc := range cases {
+		for _, p := range tc.in {
+			if !tc.a.Scope(p) {
+				t.Errorf("%s should cover %s", tc.a.Name, p)
+			}
+		}
+		for _, p := range tc.out {
+			if tc.a.Scope(p) {
+				t.Errorf("%s should not cover %s", tc.a.Name, p)
+			}
+		}
+	}
+}

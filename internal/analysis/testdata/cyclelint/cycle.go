@@ -1,0 +1,55 @@
+// Fixture for cyclelint: cycle-counter discipline violations.
+package fixture
+
+type core struct {
+	cycle    int64
+	nowCache int64
+	Cycles   int64
+	issued   int
+}
+
+// Tick is a tick entry point: advancing cycle state here is the contract.
+func (c *core) Tick(now int64) {
+	c.nowCache = now
+	c.cycle++
+	c.Cycles++
+}
+
+// drain is not a tick entry point; every cycle-state write here is a bug.
+func (c *core) drain(now int64) {
+	c.cycle++       // want `cycle state cycle written outside Tick/Step`
+	c.nowCache = now // want `cycle state nowCache written outside Tick/Step`
+	c.issued++       // unrelated field: fine
+}
+
+// shiftTimebase mutates the shared now instead of deriving a value.
+func (c *core) shiftTimebase(now int64) int64 {
+	now++ // want `reassigning now desynchronizes`
+	return now
+}
+
+// deriveDeadline does it right: a fresh variable, still int64.
+func (c *core) deriveDeadline(now int64) int64 {
+	deadline := now + 400
+	return deadline
+}
+
+// truncate narrows the cycle counter into an int bucket index.
+func truncate(now int64) int {
+	return int(now) // want `narrowing cycle value now from int64 to int`
+}
+
+// truncateField narrows a cycle-named value through a helper variable.
+func truncateField(startCycle int64) int32 {
+	return int32(startCycle) // want `narrowing cycle value startCycle from int64 to int32`
+}
+
+// widen keeps 64 bits: fine.
+func widen(now int64) uint64 {
+	return uint64(now)
+}
+
+// narrowOther narrows an int64 that is not cycle-named: out of scope.
+func narrowOther(bytes int64) int {
+	return int(bytes)
+}

@@ -1,0 +1,64 @@
+// Fixture for detlint: nondeterminism sources in simulator-style code.
+// This directory lives under testdata so the go tool never builds it; the
+// analyzer loads it through analysis.LoadFixture.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type warp struct{ pc uint32 }
+
+// sumOutstanding aggregates over a map in iteration order — order-sensitive
+// if the accumulation were anything fancier than +, and flagged regardless
+// because the analyzer cannot prove commutativity.
+func sumOutstanding(m map[uint64]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: not flagged.
+func sortedKeys(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// collectNoSort gathers map keys but never sorts them: still flagged.
+func collectNoSort(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// stamp injects wall-clock time into a cycle-driven model.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now injects wall-clock nondeterminism`
+}
+
+// pick uses the globally seeded generator.
+func pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn shares seed state`
+}
+
+// pickSeeded builds a local generator — the fix, not the bug.
+func pickSeeded(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n)
+}
+
+// inflight keys a map by pointer: iteration follows allocation order.
+var inflight map[*warp]bool // want `map keyed by pointer`
+
+// byPC keys by a stable ID: fine.
+var byPC map[uint32]*warp

@@ -1,0 +1,33 @@
+// Fixture for statlint: stats-contract violations. The fixture imports the
+// real caps/internal/stats so the analyzer resolves Sim's identity exactly
+// as it does on the simulator packages.
+package fixture
+
+import (
+	"fmt"
+
+	"caps/internal/stats"
+)
+
+func collect(st *stats.Sim) {
+	st.L2Accesses++        // sanctioned accumulation
+	st.DemandMerged += 2   // sanctioned accumulation
+	st.L2Accesses--        // want `stats counter L2Accesses decremented outside internal/stats`
+	st.DemandMerged -= 1   // want `stats counter DemandMerged adjusted with -= outside internal/stats`
+	st.ReservationFails = 0 // want `stats counter ReservationFails overwritten outside internal/stats`
+}
+
+// localCounters look like stats but are not stats.Sim fields: fine.
+type tally struct{ hits int64 }
+
+func bump(t *tally) {
+	t.hits--
+}
+
+// hotPath panics without any simulator state attached.
+func hotPath(addr uint64) {
+	if addr == 0 {
+		panic("bad address") // want `panic with a context-free message`
+	}
+	panic(fmt.Sprintf("statlint fixture: bad address %#x", addr)) // carries state: fine
+}

@@ -154,6 +154,13 @@ type GPUConfig struct {
 	// Run control.
 	MaxInsts int64 // stop after this many instructions (0 = unlimited)
 	MaxCycle int64 // safety cap on simulated cycles (0 = unlimited)
+
+	// CheckInvariants enables the cycle-level sanitizer
+	// (internal/invariant): per-cycle audits of MSHR accounting, two-level
+	// scheduler queue discipline, leading-warp marks and the CAP table
+	// bounds. Off by default because the audits cost simulation speed; CI
+	// and the determinism harness switch it on.
+	CheckInvariants bool
 }
 
 // Default returns the Table III configuration.

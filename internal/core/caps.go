@@ -8,6 +8,7 @@ package core
 
 import (
 	"caps/internal/config"
+	"caps/internal/invariant"
 	"caps/internal/prefetch"
 	"caps/internal/stats"
 )
@@ -65,6 +66,58 @@ func New(cfg config.GPUConfig, st *stats.Sim) *CAPS {
 }
 
 var _ prefetch.Prefetcher = (*CAPS)(nil)
+var _ invariant.Checker = (*CAPS)(nil)
+
+// CheckInvariants audits the hardware table bounds of Tables I and II: the
+// DIST table and every PerCTA table hold exactly PrefetchTableSize entries
+// (the paper's 4-entry budget), no PC is tracked twice within a table, and
+// every leading-warp index fits the 64-bit seen/issued masks. The SM calls
+// it once per cycle when invariant checking is enabled.
+func (c *CAPS) CheckInvariants(now int64) error {
+	if len(c.dist) != c.cfg.PrefetchTableSize {
+		return invariant.Errorf("caps/dist", now, "DIST table holds %d entries, hardware budget is %d",
+			len(c.dist), c.cfg.PrefetchTableSize)
+	}
+	// Duplicate scans below are quadratic on purpose: the tables hold 4
+	// entries and this runs every cycle, so allocating a set would dominate.
+	for i := range c.dist {
+		e := &c.dist[i]
+		if !e.valid {
+			continue
+		}
+		for j := range c.dist[:i] {
+			if c.dist[j].valid && c.dist[j].pc == e.pc {
+				return invariant.Errorf("caps/dist", now, "PC %#x tracked by two DIST entries", e.pc)
+			}
+		}
+	}
+	if len(c.perCTA) != c.cfg.MaxCTAsPerSM {
+		return invariant.Errorf("caps/percta", now, "%d PerCTA tables, want one per CTA slot (%d)",
+			len(c.perCTA), c.cfg.MaxCTAsPerSM)
+	}
+	for slot, tbl := range c.perCTA {
+		if len(tbl) != c.cfg.PrefetchTableSize {
+			return invariant.Errorf("caps/percta", now, "PerCTA table for slot %d holds %d entries, hardware budget is %d",
+				slot, len(tbl), c.cfg.PrefetchTableSize)
+		}
+		for i := range tbl {
+			e := &tbl[i]
+			if !e.valid {
+				continue
+			}
+			for j := range tbl[:i] {
+				if tbl[j].valid && tbl[j].pc == e.pc {
+					return invariant.Errorf("caps/percta", now, "PC %#x tracked twice in slot %d's PerCTA table", e.pc, slot)
+				}
+			}
+			if e.leadWarp < 0 || e.leadWarp >= 64 {
+				return invariant.Errorf("caps/percta", now, "slot %d PC %#x: leading warp index %d outside the 64-warp mask",
+					slot, e.pc, e.leadWarp)
+			}
+		}
+	}
+	return nil
+}
 
 // Name implements prefetch.Prefetcher.
 func (c *CAPS) Name() string { return "caps" }

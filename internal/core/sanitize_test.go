@@ -1,0 +1,65 @@
+package core
+
+// Corruption tests for the CAPS table invariants: the 4-entry hardware
+// budgets of Tables I/II must be live checks, not documentation.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/invariant"
+	"caps/internal/stats"
+)
+
+func corruptibleCAPS(t *testing.T) *CAPS {
+	t.Helper()
+	c := New(config.Default(), &stats.Sim{})
+	if err := c.CheckInvariants(0); err != nil {
+		t.Fatalf("fresh CAPS must satisfy its invariants: %v", err)
+	}
+	return c
+}
+
+func wantCAPSViolation(t *testing.T, err error, component, substr string) {
+	t.Helper()
+	var v *invariant.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want invariant.Violation, got %v", err)
+	}
+	if v.Component != component {
+		t.Fatalf("component = %q, want %q", v.Component, component)
+	}
+	if !strings.Contains(v.Msg, substr) {
+		t.Fatalf("violation %q does not mention %q", v.Msg, substr)
+	}
+}
+
+func TestSanitizerCatchesPerCTAOverflow(t *testing.T) {
+	c := corruptibleCAPS(t)
+	// Grow slot 3's table past the paper's PrefetchTableSize budget, as a
+	// buggy insert path using append instead of replacement would.
+	c.perCTA[3] = append(c.perCTA[3], perCTAEntry{pc: 0x40, valid: true})
+	wantCAPSViolation(t, c.CheckInvariants(9), "caps/percta", "hardware budget")
+}
+
+func TestSanitizerCatchesDuplicatePerCTAPC(t *testing.T) {
+	c := corruptibleCAPS(t)
+	c.perCTA[0][0] = perCTAEntry{pc: 0x80, valid: true}
+	c.perCTA[0][1] = perCTAEntry{pc: 0x80, valid: true}
+	wantCAPSViolation(t, c.CheckInvariants(10), "caps/percta", "tracked twice")
+}
+
+func TestSanitizerCatchesDuplicateDistPC(t *testing.T) {
+	c := corruptibleCAPS(t)
+	c.dist[0] = distEntry{pc: 0x100, valid: true}
+	c.dist[1] = distEntry{pc: 0x100, valid: true}
+	wantCAPSViolation(t, c.CheckInvariants(11), "caps/dist", "two DIST entries")
+}
+
+func TestSanitizerCatchesLeadWarpOutOfMask(t *testing.T) {
+	c := corruptibleCAPS(t)
+	c.perCTA[1][0] = perCTAEntry{pc: 0x200, valid: true, leadWarp: 64}
+	wantCAPSViolation(t, c.CheckInvariants(12), "caps/percta", "64-warp mask")
+}

@@ -12,6 +12,7 @@ func ablationCfg() config.GPUConfig {
 	cfg := config.Default()
 	cfg.MaxInsts = 20_000
 	cfg.MaxCycle = 2_000_000
+	cfg.CheckInvariants = true
 	return cfg
 }
 

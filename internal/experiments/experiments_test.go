@@ -9,11 +9,13 @@ import (
 )
 
 // quickSuite runs a 3-benchmark subset with a small instruction cap so the
-// drivers execute end to end in seconds.
+// drivers execute end to end in seconds. The invariant sanitizer rides
+// along: every figure driver doubles as a violation-free run of the suite.
 func quickSuite() *Suite {
 	cfg := config.Default()
 	cfg.MaxInsts = 40_000
 	cfg.MaxCycle = 3_000_000
+	cfg.CheckInvariants = true
 	s := NewSuite(cfg)
 	s.Benches = []string{"CNV", "MM", "BFS"}
 	return s

@@ -64,10 +64,25 @@ func Figure1(cfg config.GPUConfig, maxDistance int) (*stats.Table, error) {
 		return nil, err
 	}
 
+	// Iterate streams in a fixed order everywhere below. The aggregations
+	// happen to be commutative sums today, but map order leaking into a
+	// figure is exactly the bug class detlint exists to keep out.
+	keys := make([]streamKey, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sm != keys[j].sm {
+			return keys[i].sm < keys[j].sm
+		}
+		return keys[i].pc < keys[j].pc
+	})
+
 	// Detect the dominant stride between consecutive warp slots: the most
 	// common difference observed (the in-CTA stride).
 	strideVotes := make(map[int64]int)
-	for _, s := range streams {
+	for _, k := range keys {
+		s := streams[k]
 		for w := 0; w+1 < len(s); w++ {
 			if s[w].seen && s[w+1].seen {
 				strideVotes[int64(s[w+1].addr)-int64(s[w].addr)]++
@@ -92,7 +107,8 @@ func Figure1(cfg config.GPUConfig, maxDistance int) (*stats.Table, error) {
 	for d := 1; d <= maxDistance; d++ {
 		var hits, total int
 		var gapSum int64
-		for _, s := range streams {
+		for _, k := range keys {
+			s := streams[k]
 			for w := 0; w+d < len(s); w++ {
 				if !s[w].seen || !s[w+d].seen {
 					continue

@@ -1,0 +1,51 @@
+package determinism
+
+import (
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/sim"
+)
+
+// harnessCfg is a scaled-down machine so the double runs stay fast; the
+// determinism property is configuration-independent.
+func harnessCfg() config.GPUConfig {
+	cfg := config.Default()
+	cfg.NumSMs = 4
+	cfg.MaxInsts = 60_000
+	return cfg
+}
+
+func TestRunsAreReproducible(t *testing.T) {
+	for _, tc := range []struct{ bench, pf string }{
+		{"STE", "caps"},
+		{"BFS", "caps"},
+		{"MM", "none"},
+	} {
+		opt := sim.Options{Prefetcher: tc.pf, Scheduler: SchedulerFor(tc.pf)}
+		h, err := Check(harnessCfg(), tc.bench, opt)
+		if err != nil {
+			t.Errorf("%s/%s: %v", tc.bench, tc.pf, err)
+			continue
+		}
+		if h == 0 {
+			t.Errorf("%s/%s: state hash is zero, harness is likely hashing nothing", tc.bench, tc.pf)
+		}
+	}
+}
+
+func TestStateHashDistinguishesRuns(t *testing.T) {
+	cfg := harnessCfg()
+	base, err := RunOnce(cfg, "STE", sim.Options{Prefetcher: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxInsts /= 2
+	short, err := RunOnce(cfg, "STE", sim.Options{Prefetcher: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == short {
+		t.Error("different run lengths hashed identically; StateHash is too weak")
+	}
+}

@@ -1,0 +1,40 @@
+// Package invariant is the cycle-level sanitizer core shared by the
+// simulator components. It deliberately has no dependency on the rest of
+// the repository so that any package — the memory system, the schedulers,
+// the prefetcher — can report violations without import cycles.
+//
+// A Violation is a structured error carrying the component, the simulated
+// cycle and a description; components produce them from their
+// CheckInvariants methods, which the SM and memory partitions call once per
+// cycle when config.GPUConfig.CheckInvariants is set. The checks are off by
+// default because they cost simulation speed; CI and the determinism
+// harness switch them on.
+package invariant
+
+import "fmt"
+
+// Violation is a broken simulator invariant: a state the hardware being
+// modeled could never reach, which therefore marks a logic bug in the
+// simulator itself (never a property of the workload).
+type Violation struct {
+	Component string // which unit detected it, e.g. "L1[3]" or "sched/pas"
+	Cycle     int64  // simulated core cycle at detection time (-1 if unknown)
+	Msg       string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("invariant violation in %s at cycle %d: %s", v.Component, v.Cycle, v.Msg)
+}
+
+// Errorf builds a Violation with a formatted message.
+func Errorf(component string, cycle int64, format string, args ...any) *Violation {
+	return &Violation{Component: component, Cycle: cycle, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Checker is implemented by components that can audit their own state. The
+// SM probes its scheduler and prefetcher for this interface each cycle when
+// sanitizing, so new components opt in just by implementing it.
+type Checker interface {
+	CheckInvariants(now int64) error
+}

@@ -1,0 +1,27 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestViolationError(t *testing.T) {
+	err := Errorf("L1[3]", 1234, "fill for line %#x without an outstanding MSHR", uint64(0x1f80))
+	want := "invariant violation in L1[3] at cycle 1234: fill for line 0x1f80 without an outstanding MSHR"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestViolationSurvivesWrapping(t *testing.T) {
+	base := Errorf("sched/pas", 7, "warp slot %d queued twice", 5)
+	wrapped := fmt.Errorf("determinism: STE: %w", base)
+	var v *Violation
+	if !errors.As(wrapped, &v) {
+		t.Fatal("errors.As failed to recover the Violation through wrapping")
+	}
+	if v.Component != "sched/pas" || v.Cycle != 7 {
+		t.Errorf("recovered %+v, want component sched/pas at cycle 7", v)
+	}
+}

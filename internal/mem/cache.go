@@ -1,9 +1,13 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"sort"
 
 	"caps/internal/config"
+	"caps/internal/invariant"
 )
 
 // Outcome classifies one cache access.
@@ -80,7 +84,10 @@ type mshrEntry struct {
 	lineAddr uint64
 	waiters  []*Request
 	// The entry was allocated by a prefetch and no demand has merged yet.
-	prefetchOnly   bool
+	prefetchOnly bool
+	// A demand merged into a prefetch-allocated entry: it now serves
+	// demand but never passed the demand MSHR admission check.
+	converted      bool
 	prefPC         uint32
 	prefWarp       int
 	prefIssueCycle int64
@@ -105,9 +112,186 @@ type Cache struct {
 	// than demand MSHRs (0 disables prefetch misses entirely).
 	prefetchPool int
 	prefetchOnly int // current prefetch-only entries
+	converted    int // prefetch entries a demand merged into, still outstanding
 
 	setShift uint64
 	setMask  uint64
+
+	// Sanitizer state (see internal/invariant). When enabled, every
+	// Access/Fill/PopMiss re-audits the MSHR and miss-queue accounting and
+	// latches the first violation for the owning tick loop to surface.
+	sanitize     bool
+	label        string
+	violation    error
+	sanitizeLast int64 // cycle of the most recent timed operation
+	auditedAt    int64 // last cycle any audit ran (at most one per cycle)
+	deepAuditAt  int64 // last cycle the O(n) cross-checks ran
+}
+
+// deepAuditStride bounds how stale the O(outstanding-MSHRs) cross-checks
+// may get: the cheap O(1) bound checks run every audited cycle, the full
+// scan at most this many cycles apart. Corruption is therefore reported
+// within deepAuditStride cycles of introduction, at tick-loop granularity.
+const deepAuditStride = 16
+
+// EnableSanitizer switches on per-operation invariant auditing; label names
+// the cache level in violation reports (e.g. "L1[3]", "L2[0]").
+func (c *Cache) EnableSanitizer(label string) {
+	c.sanitize = true
+	c.label = label
+	c.auditedAt = -1
+	c.deepAuditAt = -1
+}
+
+// SanitizerErr returns the first invariant violation the sanitizer latched,
+// or nil. The tick loops poll it once per cycle.
+func (c *Cache) SanitizerErr() error { return c.violation }
+
+// Label returns the sanitizer label, defaulting to "cache".
+func (c *Cache) Label() string {
+	if c.label == "" {
+		return "cache"
+	}
+	return c.label
+}
+
+// audit latches the first invariant failure when sanitizing. It runs at
+// most once per cycle — the sanitizer's granularity is the cycle, not the
+// individual operation — and tiers its work: the O(1) counter-bound checks
+// run every audited cycle, the O(outstanding MSHRs) cross-checks every
+// deepAuditStride cycles.
+func (c *Cache) audit(now int64) {
+	c.sanitizeLast = now
+	if c.violation != nil || c.auditedAt == now {
+		return
+	}
+	c.auditedAt = now
+	if c.deepAuditAt < 0 || now-c.deepAuditAt >= deepAuditStride {
+		c.deepAuditAt = now
+		c.violation = c.CheckInvariants(now)
+	} else {
+		c.violation = c.checkBounds(now)
+	}
+}
+
+// CheckInvariants audits the bookkeeping the paper's results depend on:
+// demand-admitted MSHRs never exceed MSHREntries, the prefetch-only
+// population stays within its dedicated pool and within the MSHR map, the
+// miss queue respects its bound, and every queued miss has a live MSHR.
+//
+// A demand merge into a prefetch-only entry converts it: the entry serves
+// demand from then on but was admitted through the prefetch buffer, not a
+// demand MSHR, so converted entries are excluded from the MSHREntries bound
+// (the admission check in Access never gated them against it).
+func (c *Cache) CheckInvariants(now int64) error {
+	if err := c.checkBounds(now); err != nil {
+		return err
+	}
+	tagged, conv := 0, 0
+	for _, e := range c.mshrs { //simcheck:allow detlint order-insensitive count
+		if e.prefetchOnly {
+			tagged++
+		}
+		if e.converted {
+			conv++
+		}
+	}
+	if tagged != c.prefetchOnly {
+		return invariant.Errorf(c.Label(), now, "prefetch-only counter (%d) disagrees with tagged MSHR entries (%d)",
+			c.prefetchOnly, tagged)
+	}
+	if conv != c.converted {
+		return invariant.Errorf(c.Label(), now, "converted counter (%d) disagrees with tagged MSHR entries (%d)",
+			c.converted, conv)
+	}
+	for _, r := range c.missQ {
+		if _, ok := c.mshrs[r.LineAddr]; !ok {
+			return invariant.Errorf(c.Label(), now, "queued miss for line %#x has no MSHR", r.LineAddr)
+		}
+	}
+	return nil
+}
+
+// checkBounds is the O(1) slice of the audit: every counter against its
+// hardware bound, no scans. It runs on every audited cycle.
+func (c *Cache) checkBounds(now int64) error {
+	pool := c.prefetchPool
+	if pool < 0 {
+		pool = 0
+	}
+	admitted := len(c.mshrs) - c.prefetchOnly - c.converted
+	switch {
+	case c.prefetchOnly < 0:
+		return invariant.Errorf(c.Label(), now, "prefetch-only MSHR count is negative (%d)", c.prefetchOnly)
+	case c.converted < 0:
+		return invariant.Errorf(c.Label(), now, "converted MSHR count is negative (%d)", c.converted)
+	case c.prefetchOnly > len(c.mshrs):
+		return invariant.Errorf(c.Label(), now, "prefetch-only MSHRs (%d) exceed total outstanding MSHRs (%d)",
+			c.prefetchOnly, len(c.mshrs))
+	case pool > 0 && c.prefetchOnly > pool:
+		return invariant.Errorf(c.Label(), now, "prefetch-only MSHRs (%d) exceed the prefetch buffer (%d entries)",
+			c.prefetchOnly, pool)
+	case admitted < 0:
+		return invariant.Errorf(c.Label(), now, "demand-admitted MSHRs (%d) negative: %d outstanding, %d prefetch-only, %d converted",
+			admitted, len(c.mshrs), c.prefetchOnly, c.converted)
+	case admitted > c.cfg.MSHREntries:
+		return invariant.Errorf(c.Label(), now, "demand-admitted MSHRs (%d) exceed MSHREntries (%d)",
+			admitted, c.cfg.MSHREntries)
+	case len(c.missQ) > c.cfg.MissQueue:
+		return invariant.Errorf(c.Label(), now, "miss queue depth (%d) exceeds bound (%d)",
+			len(c.missQ), c.cfg.MissQueue)
+	}
+	return nil
+}
+
+// HashState folds the cache's architectural state — resident lines, MSHR
+// occupancy and the miss queue — into h for the determinism harness. Map
+// iteration is made order-independent by sorting the MSHR keys first.
+func (c *Cache) HashState(h hash.Hash64) {
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			if !ln.valid {
+				word(0)
+				continue
+			}
+			word(1)
+			word(ln.tag)
+			word(uint64(ln.lastUse))
+			bits := uint64(0)
+			if ln.prefetched {
+				bits |= 1
+			}
+			if ln.prefUsed {
+				bits |= 2
+			}
+			word(bits)
+		}
+	}
+	keys := make([]uint64, 0, len(c.mshrs))
+	for k := range c.mshrs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		e := c.mshrs[k]
+		word(k)
+		word(uint64(len(e.waiters)))
+		if e.prefetchOnly {
+			word(1)
+		} else {
+			word(0)
+		}
+	}
+	word(uint64(c.prefetchOnly))
+	for _, r := range c.missQ {
+		word(r.LineAddr)
+	}
 }
 
 // NewCache builds an L1-style cache: prefetched-but-unconsumed lines are
@@ -185,6 +369,9 @@ func (c *Cache) MissQueueLen() int { return len(c.missQ) }
 // appended to the miss queue (drain it with PopMiss). On MissMerged the
 // request is parked on the in-flight MSHR and will be returned by Fill.
 func (c *Cache) Access(now int64, req *Request) AccessResult {
+	if c.sanitize {
+		defer c.audit(now)
+	}
 	set := c.sets[c.setIndex(req.LineAddr)]
 	for i := range set {
 		ln := &set[i]
@@ -208,7 +395,9 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 			// The entry now serves demand: move it from the prefetch
 			// buffer into the demand MSHR population.
 			e.prefetchOnly = false
+			e.converted = true
 			c.prefetchOnly--
+			c.converted++
 			res.MergedIntoPrefetch = true
 			res.PrefIssueCycle = e.prefIssueCycle
 			res.PrefPC = e.prefPC
@@ -252,6 +441,9 @@ func (c *Cache) PopMiss() *Request {
 	r := c.missQ[0]
 	copy(c.missQ, c.missQ[1:])
 	c.missQ = c.missQ[:len(c.missQ)-1]
+	if c.sanitize {
+		c.audit(c.sanitizeLast)
+	}
 	return r
 }
 
@@ -266,14 +458,25 @@ func (c *Cache) PeekMiss() *Request {
 // Fill installs a line returning from downstream, frees its MSHR, and
 // returns the waiting requests. The victim is the LRU way; an evicted
 // prefetched-but-unused victim is reported for the Fig. 14a statistic.
-func (c *Cache) Fill(now int64, lineAddr uint64) FillResult {
+//
+// A fill with no outstanding MSHR can only be a logic bug upstream (a
+// response was duplicated, misrouted or replayed); it is reported as an
+// invariant.Violation naming the cache level, line address and cycle so the
+// tick loop can abort the run with context instead of panicking.
+func (c *Cache) Fill(now int64, lineAddr uint64) (FillResult, error) {
+	if c.sanitize {
+		defer c.audit(now)
+	}
 	e, ok := c.mshrs[lineAddr]
 	if !ok {
-		// A fill with no MSHR can only be a logic bug upstream.
-		panic(fmt.Sprintf("mem: fill for %#x without MSHR", lineAddr))
+		return FillResult{}, invariant.Errorf(c.Label(), now,
+			"fill for line %#x without an outstanding MSHR", lineAddr)
 	}
 	if e.prefetchOnly {
 		c.prefetchOnly--
+	}
+	if e.converted {
+		c.converted--
 	}
 	delete(c.mshrs, lineAddr)
 
@@ -315,7 +518,7 @@ func (c *Cache) Fill(now int64, lineAddr uint64) FillResult {
 		v.prefWarp = e.prefWarp
 		v.prefIssueCycle = e.prefIssueCycle
 	}
-	return res
+	return res, nil
 }
 
 // UnusedPrefetchedLines counts resident prefetched lines never touched by a

@@ -1,10 +1,13 @@
 package mem
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"caps/internal/config"
+	"caps/internal/invariant"
 )
 
 func testCacheCfg() config.CacheConfig {
@@ -12,6 +15,17 @@ func testCacheCfg() config.CacheConfig {
 		SizeKB: 1, LineBytes: 128, Ways: 2, // 4 sets
 		MSHREntries: 4, HitLatency: 1, MissQueue: 4,
 	}
+}
+
+// mustFill installs a line and fails the test on an invariant violation
+// (every fill in these tests has a matching MSHR unless stated otherwise).
+func mustFill(t *testing.T, c *Cache, now int64, addr uint64) FillResult {
+	t.Helper()
+	res, err := c.Fill(now, addr)
+	if err != nil {
+		t.Fatalf("Fill(%d, %#x): %v", now, addr, err)
+	}
+	return res
 }
 
 func demandReq(addr uint64) *Request {
@@ -31,7 +45,7 @@ func TestCacheMissFillHit(t *testing.T) {
 	if got := c.PopMiss(); got != r {
 		t.Fatalf("PopMiss returned %v, want the original request", got)
 	}
-	fill := c.Fill(10, 0)
+	fill := mustFill(t, c, 10, 0)
 	if len(fill.Waiters) != 1 || fill.Waiters[0] != r {
 		t.Fatalf("fill waiters = %v", fill.Waiters)
 	}
@@ -47,7 +61,7 @@ func TestCacheMergesIntoMSHR(t *testing.T) {
 	if res.Outcome != MissMerged {
 		t.Fatalf("second access = %v, want merged", res.Outcome)
 	}
-	if got := len(c.Fill(5, 0).Waiters); got != 2 {
+	if got := len(mustFill(t, c, 5, 0).Waiters); got != 2 {
 		t.Errorf("fill released %d waiters, want 2", got)
 	}
 }
@@ -83,7 +97,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	fillLine := func(addr uint64, at int64) {
 		c.Access(at, demandReq(addr))
 		c.PopMiss()
-		c.Fill(at, addr)
+		mustFill(t, c, at, addr)
 	}
 	// Three lines mapping to set 0: 0, 512, 1024.
 	fillLine(0, 1)
@@ -102,7 +116,7 @@ func TestPrefetchFirstUseAndDistance(t *testing.T) {
 	c := NewCache(testCacheCfg())
 	c.Access(5, prefReq(0, 5))
 	c.PopMiss()
-	c.Fill(20, 0)
+	mustFill(t, c, 20, 0)
 	res := c.Access(105, demandReq(0))
 	if res.Outcome != Hit || !res.FirstUseOfPrefetch {
 		t.Fatalf("demand on prefetched line: %+v", res)
@@ -127,7 +141,7 @@ func TestDemandMergeIntoPrefetchMSHR(t *testing.T) {
 	// After the merge, the line is no longer prefetch-only: the fill must
 	// not mark it prefetched-unused.
 	c.PopMiss()
-	c.Fill(20, 0)
+	mustFill(t, c, 20, 0)
 	if got := c.UnusedPrefetchedLines(); got != 0 {
 		t.Errorf("UnusedPrefetchedLines = %d, want 0 after demand merge", got)
 	}
@@ -138,7 +152,7 @@ func TestEvictionProtectionForPrefetchedLines(t *testing.T) {
 	fill := func(r *Request, at int64) FillResult {
 		c.Access(at, r)
 		c.PopMiss()
-		return c.Fill(at, r.LineAddr)
+		return mustFill(t, c, at, r.LineAddr)
 	}
 	fill(prefReq(0, 1), 1)  // prefetched, unused
 	fill(demandReq(512), 2) // demand line, newer
@@ -160,7 +174,7 @@ func TestEvictionProtectionDisabled(t *testing.T) {
 	fill := func(r *Request, at int64) FillResult {
 		c.Access(at, r)
 		c.PopMiss()
-		return c.Fill(at, r.LineAddr)
+		return mustFill(t, c, at, r.LineAddr)
 	}
 	fill(prefReq(0, 1), 1)
 	fill(demandReq(512), 2)
@@ -178,7 +192,7 @@ func TestWholeSetOfPrefetchesStillEvicts(t *testing.T) {
 	fill := func(r *Request, at int64) FillResult {
 		c.Access(at, r)
 		c.PopMiss()
-		return c.Fill(at, r.LineAddr)
+		return mustFill(t, c, at, r.LineAddr)
 	}
 	fill(prefReq(0, 1), 1)
 	fill(prefReq(512, 2), 2)
@@ -192,7 +206,7 @@ func TestUnconsumedPrefetchesInSet(t *testing.T) {
 	c := NewCache(testCacheCfg())
 	c.Access(1, prefReq(0, 1))
 	c.PopMiss()
-	c.Fill(2, 0)
+	mustFill(t, c, 2, 0)
 	if got := c.UnconsumedPrefetchesInSet(0); got != 1 {
 		t.Errorf("UnconsumedPrefetchesInSet = %d, want 1", got)
 	}
@@ -247,20 +261,33 @@ func TestZeroPoolCacheAcceptsPrefetchAsDemand(t *testing.T) {
 		t.Errorf("pool-0 cache tracked prefetchOnly = %d, want 0", got)
 	}
 	c.PopMiss()
-	c.Fill(5, 0)
+	mustFill(t, c, 5, 0)
 	// Line must NOT be marked prefetched (no protection bookkeeping here).
 	if got := c.UnusedPrefetchedLines(); got != 0 {
 		t.Errorf("pool-0 cache marked prefetched lines: %d", got)
 	}
 }
 
-func TestFillWithoutMSHRPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Fill without MSHR should panic (upstream bug)")
-		}
-	}()
-	NewCache(testCacheCfg()).Fill(1, 0)
+func TestFillWithoutMSHRReportsViolation(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.EnableSanitizer("L1[7]")
+	_, err := c.Fill(42, 0x1f80)
+	if err == nil {
+		t.Fatal("Fill without MSHR must report an invariant violation")
+	}
+	var v *invariant.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error type = %T, want *invariant.Violation", err)
+	}
+	if v.Component != "L1[7]" {
+		t.Errorf("violation component = %q, want the cache level label", v.Component)
+	}
+	if v.Cycle != 42 {
+		t.Errorf("violation cycle = %d, want 42", v.Cycle)
+	}
+	if !strings.Contains(v.Msg, "0x1f80") {
+		t.Errorf("violation message %q does not name the line address", v.Msg)
+	}
 }
 
 func TestCacheProbeAfterFillProperty(t *testing.T) {
@@ -279,7 +306,7 @@ func TestCacheProbeAfterFillProperty(t *testing.T) {
 		if res.Outcome == ResFailMSHR || res.Outcome == ResFailQueue {
 			// Drain one in-flight miss to make room.
 			if head := c.PopMiss(); head != nil {
-				c.Fill(now, head.LineAddr)
+				mustFill(t, c, now, head.LineAddr)
 			}
 			return true
 		}
@@ -287,7 +314,7 @@ func TestCacheProbeAfterFillProperty(t *testing.T) {
 			return false
 		}
 		c.PopMiss()
-		c.Fill(now, addr)
+		mustFill(t, c, now, addr)
 		return c.Probe(addr)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

@@ -1,6 +1,8 @@
 package mem
 
 import (
+	"fmt"
+
 	"caps/internal/config"
 	"caps/internal/stats"
 )
@@ -30,9 +32,13 @@ type Partition struct {
 
 // NewPartition builds one partition slice.
 func NewPartition(id int, g config.GPUConfig, dram *DRAMChannel, ic *Interconnect, st *stats.Sim) *Partition {
+	l2 := NewCacheLevel(g.L2, false)
+	if g.CheckInvariants {
+		l2.EnableSanitizer(fmt.Sprintf("L2[%d]", id))
+	}
 	return &Partition{
 		ID:             id,
-		l2:             NewCacheLevel(g.L2, false),
+		l2:             l2,
 		dram:           dram,
 		st:             st,
 		ic:             ic,
@@ -45,8 +51,10 @@ func (p *Partition) L2() *Cache { return p.l2 }
 
 // Tick advances the partition one cycle. DRAM channels are ticked
 // separately (they are shared between partitions); completed DRAM reads are
-// delivered to the owning partition via DeliverFromDRAM.
-func (p *Partition) Tick(now int64) {
+// delivered to the owning partition via DeliverFromDRAM. The returned error
+// is the first invariant violation detected by the L2 sanitizer (nil when
+// checking is disabled or the slice is healthy).
+func (p *Partition) Tick(now int64) error {
 	// Send matured L2 hits back through the interconnect.
 	out := p.hitPipe[:0]
 	for _, h := range p.hitPipe {
@@ -85,6 +93,7 @@ func (p *Partition) Tick(now int64) {
 		}
 		p.access(now, r)
 	}
+	return p.l2.SanitizerErr()
 }
 
 func (p *Partition) access(now int64, r *Request) {
@@ -108,18 +117,23 @@ func (p *Partition) access(now int64, r *Request) {
 		// MissNew sits in the L2 miss queue until DRAM accepts it;
 		// MissMerged waits on the existing MSHR. Nothing more to do.
 	case ResFailMSHR, ResFailQueue:
-		p.st.L2Accesses-- // not actually accepted; don't double count
+		p.st.UncountL2Replay() // not actually accepted; don't double count
 		p.retryQ = append(p.retryQ, r)
 	}
 }
 
 // DeliverFromDRAM installs a line returning from DRAM and queues responses
-// for every waiter.
-func (p *Partition) DeliverFromDRAM(now int64, r *Request) {
-	fill := p.l2.Fill(now, r.LineAddr)
+// for every waiter. A fill without a matching L2 MSHR is a routing bug and
+// is surfaced as an invariant violation.
+func (p *Partition) DeliverFromDRAM(now int64, r *Request) error {
+	fill, err := p.l2.Fill(now, r.LineAddr)
+	if err != nil {
+		return err
+	}
 	for _, w := range fill.Waiters {
 		p.hitPipe = append(p.hitPipe, timedResp{readyAt: now + int64(p.l2.cfg.HitLatency), req: w})
 	}
+	return nil
 }
 
 // Idle reports whether the partition holds no pending work.

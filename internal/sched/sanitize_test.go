@@ -1,0 +1,61 @@
+package sched
+
+// Corruption tests for the two-level/PAS scheduler invariants: the checks
+// must fire on a deliberately duplicated ready-queue slot and on queue
+// membership that disagrees with the SM's live-warp set.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"caps/internal/invariant"
+)
+
+func wantSchedViolation(t *testing.T, err error, substr string) {
+	t.Helper()
+	var v *invariant.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want invariant.Violation, got %v", err)
+	}
+	if !strings.Contains(v.Msg, substr) {
+		t.Fatalf("violation %q does not mention %q", v.Msg, substr)
+	}
+	if !strings.HasPrefix(v.Component, "sched/") {
+		t.Fatalf("component %q should name the scheduler", v.Component)
+	}
+}
+
+func TestSanitizerCatchesDuplicateReadySlot(t *testing.T) {
+	s := NewPAS(8, true)
+	s.OnActivate(0, true)
+	s.OnActivate(1, false)
+	if err := s.CheckInvariants(10, []int{0, 1}); err != nil {
+		t.Fatalf("healthy PAS queues tripped the sanitizer: %v", err)
+	}
+	s.ForceReady(0) // slot 0 now queued twice
+	wantSchedViolation(t, s.CheckInvariants(11, []int{0, 1}), "queued twice")
+}
+
+func TestSanitizerCatchesGhostSlot(t *testing.T) {
+	s := NewTwoLevel(4)
+	s.OnActivate(2, false)
+	s.ForceReady(9) // queued, but 9 is not live on the SM
+	wantSchedViolation(t, s.CheckInvariants(3, []int{2}), "not live")
+}
+
+func TestSanitizerCatchesLostSlot(t *testing.T) {
+	s := NewTwoLevel(4)
+	s.OnActivate(5, false)
+	s.OnFinish(5) // dequeued everywhere, but the SM still lists it live
+	wantSchedViolation(t, s.CheckInvariants(4, []int{5}), "missing from both queues")
+}
+
+func TestSanitizerCatchesReadyOverflow(t *testing.T) {
+	s := NewPAS(2, false)
+	slots := []int{0, 1, 2}
+	for _, slot := range slots {
+		s.ForceReady(slot) // bypasses the refill bound
+	}
+	wantSchedViolation(t, s.CheckInvariants(5, slots), "bound is 2")
+}

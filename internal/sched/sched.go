@@ -9,6 +9,8 @@
 // per-cycle eligibility (not blocked on loads, barriers or the scoreboard).
 package sched
 
+import "caps/internal/invariant"
+
 // View lets a scheduler query per-slot state owned by the SM.
 type View interface {
 	// Eligible reports whether the warp in the slot can issue this cycle.
@@ -357,3 +359,72 @@ func (s *TwoLevel) ReadySlots() []int { return append([]int(nil), s.ready...) }
 
 // PendingSlots returns a copy of the pending queue (test hook).
 func (s *TwoLevel) PendingSlots() []int { return append([]int(nil), s.pending...) }
+
+// IsLeading reports whether the slot is currently marked as its CTA's
+// leading warp (sanitizer and test hook).
+func (s *TwoLevel) IsLeading(slot int) bool { return s.leading[slot] }
+
+// ForceLeading overrides a slot's leading mark. It exists only so sanitizer
+// tests can corrupt the scheduler's view; the simulator never calls it.
+func (s *TwoLevel) ForceLeading(slot int, leading bool) { s.leading[slot] = leading }
+
+// ForceReady appends a slot to the ready queue unconditionally. Sanitizer
+// test hook: it can violate the queue bound or duplicate a slot on purpose.
+func (s *TwoLevel) ForceReady(slot int) { s.ready = append(s.ready, slot) }
+
+// CheckInvariants audits the two-level queue discipline (sanitizer entry
+// point, called by the SM once per cycle when invariant checking is on):
+// the ready queue respects its bound, no slot is queued twice, and the
+// ready and pending queues exactly partition the set of registered slots.
+// registered lists the slots whose warps are live on the SM.
+func (s *TwoLevel) CheckInvariants(now int64, registered []int) error {
+	comp := "sched/" + s.name
+	if len(s.ready) > s.readySize {
+		return invariant.Errorf(comp, now, "ready queue holds %d slots, bound is %d",
+			len(s.ready), s.readySize)
+	}
+	// Slot sets as stack bitmasks: this runs once per SM per cycle, so it
+	// must not allocate. 128 bits covers any realistic MaxWarpsPerSM (the
+	// CAPS seen/issued masks already cap warps-per-CTA at 64).
+	var want, seen slotMask
+	for _, slot := range registered {
+		if !want.set(slot) {
+			return invariant.Errorf(comp, now, "warp slot %d outside the %d-slot sanitizer range", slot, len(want)*64)
+		}
+	}
+	for _, q := range [2][]int{s.ready, s.pending} {
+		for _, slot := range q {
+			if seen.has(slot) {
+				return invariant.Errorf(comp, now, "warp slot %d queued twice", slot)
+			}
+			if !seen.set(slot) {
+				return invariant.Errorf(comp, now, "warp slot %d outside the %d-slot sanitizer range", slot, len(seen)*64)
+			}
+			if !want.has(slot) {
+				return invariant.Errorf(comp, now, "warp slot %d queued but not live on the SM", slot)
+			}
+		}
+	}
+	for _, slot := range registered {
+		if !seen.has(slot) {
+			return invariant.Errorf(comp, now, "live warp slot %d missing from both queues", slot)
+		}
+	}
+	return nil
+}
+
+// slotMask is a 128-slot bit set used by CheckInvariants to avoid per-cycle
+// map allocations.
+type slotMask [2]uint64
+
+func (m *slotMask) set(slot int) bool {
+	if slot < 0 || slot >= len(m)*64 {
+		return false
+	}
+	m[slot>>6] |= 1 << (slot & 63)
+	return true
+}
+
+func (m *slotMask) has(slot int) bool {
+	return slot >= 0 && slot < len(m)*64 && m[slot>>6]&(1<<(slot&63)) != 0
+}

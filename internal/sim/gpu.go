@@ -149,19 +149,31 @@ func (g *GPU) Cycle() int64 { return g.cycle }
 // SMs exposes the cores (tests and analyses).
 func (g *GPU) SMs() []*SM { return g.sms }
 
-// Step advances the whole machine one core cycle.
-func (g *GPU) Step() {
+// Partitions exposes the memory partitions (determinism harness, tests).
+func (g *GPU) Partitions() []*mem.Partition { return g.parts }
+
+// Step advances the whole machine one core cycle. The returned error is
+// the first invariant violation any component detected this cycle (see
+// internal/invariant); a violating run's statistics are meaningless, so
+// Run aborts on it.
+func (g *GPU) Step() error {
 	now := g.cycle
 	for _, ch := range g.drams {
 		for _, r := range ch.Tick(now) {
-			g.parts[r.Partition].DeliverFromDRAM(now, r)
+			if err := g.parts[r.Partition].DeliverFromDRAM(now, r); err != nil {
+				return err
+			}
 		}
 	}
 	for _, p := range g.parts {
-		p.Tick(now)
+		if err := p.Tick(now); err != nil {
+			return err
+		}
 	}
 	for _, sm := range g.sms {
-		sm.Tick(now)
+		if _, err := sm.Tick(now); err != nil {
+			return err
+		}
 	}
 	// Demand-driven CTA dispatch for CTAs that completed this cycle.
 	for _, smID := range g.dispatchReq {
@@ -175,7 +187,8 @@ func (g *GPU) Step() {
 	}
 	g.dispatchReq = g.dispatchReq[:0]
 	g.cycle++
-	g.st.Cycles = g.cycle
+	g.st.Cycles++
+	return nil
 }
 
 // Done reports whether the workload has fully drained.
@@ -218,7 +231,9 @@ func (g *GPU) Run() (*stats.Sim, error) {
 		if g.cfg.MaxCycle > 0 && g.cycle >= g.cfg.MaxCycle {
 			break
 		}
-		g.Step()
+		if err := g.Step(); err != nil {
+			return g.st, err
+		}
 		if g.st.Instructions != lastInsts {
 			lastInsts = g.st.Instructions
 			lastProgress = g.cycle

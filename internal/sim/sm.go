@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"caps/internal/config"
 	"caps/internal/kernels"
 	"caps/internal/mem"
@@ -62,6 +64,14 @@ type SM struct {
 	// the next one (demand-driven distribution).
 	onCTADone func(smID int)
 
+	// sanitize enables the per-cycle invariant audit (internal/invariant);
+	// sanComp and sanSlots are preallocated so the audit itself stays off
+	// the allocator's hot path.
+	sanitize bool
+	sanComp  string
+	sanSlots []int
+	sanNext  int64
+
 	nowCache int64
 	addrBuf  []uint64
 }
@@ -95,6 +105,12 @@ func newSM(id int, cfg config.GPUConfig, k *kernels.Kernel, sc sched.Scheduler,
 	}
 	for i := range sm.warps {
 		sm.warps[i].slot = i
+	}
+	if cfg.CheckInvariants {
+		sm.sanitize = true
+		sm.sanComp = fmt.Sprintf("SM[%d]", id)
+		sm.sanSlots = make([]int, 0, len(sm.warps))
+		sm.l1.EnableSanitizer(fmt.Sprintf("L1[%d]", id))
 	}
 	return sm
 }
@@ -156,26 +172,39 @@ func (sm *SM) ActiveCTAs() int { return sm.activeCTAs }
 func (sm *SM) L1() *mem.Cache { return sm.l1 }
 
 // Tick advances the SM one cycle. It returns the number of instructions
-// issued (the GPU uses it for the instruction cap).
-func (sm *SM) Tick(now int64) int {
+// issued (the GPU uses it for the instruction cap) and the first invariant
+// violation detected this cycle (always nil unless Config.CheckInvariants
+// is set, except for fills without an MSHR, which are structural bugs and
+// always surface).
+func (sm *SM) Tick(now int64) (int, error) {
 	sm.nowCache = now
-	sm.acceptResponses(now)
+	if err := sm.acceptResponses(now); err != nil {
+		return 0, err
+	}
 	sm.drainStores(now)
 	sm.pumpLSU(now)
 	sm.drainMisses(now)
 	issued := sm.issue(now)
 	sm.admitPrefetches(now)
-	return issued
+	if sm.sanitize {
+		if err := sm.checkInvariants(now); err != nil {
+			return issued, err
+		}
+	}
+	return issued, nil
 }
 
 // acceptResponses drains fills returning from the interconnect.
-func (sm *SM) acceptResponses(now int64) {
+func (sm *SM) acceptResponses(now int64) error {
 	for i := 0; i < respPerCycle; i++ {
 		r := sm.ic.PopForSM(now, sm.id)
 		if r == nil {
-			return
+			return nil
 		}
-		fill := sm.l1.Fill(now, r.LineAddr)
+		fill, err := sm.l1.Fill(now, r.LineAddr)
+		if err != nil {
+			return err
+		}
 		if fill.EvictedUnusedPrefetch {
 			sm.st.PrefEarlyEvict++
 		}
@@ -205,6 +234,7 @@ func (sm *SM) acceptResponses(now int64) {
 			}
 		}
 	}
+	return nil
 }
 
 // drainStores pushes buffered stores into the interconnect.
@@ -266,8 +296,7 @@ func (sm *SM) pumpLSU(now int64) {
 	case mem.ResFailMSHR, mem.ResFailQueue:
 		sm.st.ReservationFails++
 		sm.st.MemStalls++
-		sm.st.DemandAccesses-- // not accepted; it will be replayed
-		sm.st.L1Accesses--
+		sm.st.UncountDemandReplay() // not accepted; it will be replayed
 		return
 	}
 	g.idx++

@@ -5,8 +5,11 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -76,6 +79,41 @@ type Sim struct {
 	L1Accesses      int64 // demand + prefetch probes
 	SharedMemOps    int64
 	PrefTableLookup int64 // CAPS PerCTA/DIST accesses
+}
+
+// UncountDemandReplay reverses the demand-access accounting for an access
+// the L1 refused (reservation fail): the LSU replays it next cycle, so
+// leaving it counted would double-bill the replayed access. Corrections
+// live here as accessors so that counters stay monotonic at every call
+// site outside this package (simcheck's statlint pass enforces that).
+func (s *Sim) UncountDemandReplay() {
+	s.DemandAccesses--
+	s.L1Accesses--
+}
+
+// UncountL2Replay reverses the L2 access counter for a request the slice
+// could not accept (reservation fail); the partition retries it next cycle.
+func (s *Sim) UncountL2Replay() {
+	s.L2Accesses--
+}
+
+// Hash64 folds every counter into an FNV-1a hash. The determinism harness
+// compares hashes across repeated runs; reflection keeps the hash in sync
+// as counters are added, and struct field order is fixed by the source, so
+// the fold order is deterministic.
+func (s *Sim) Hash64() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	v := reflect.ValueOf(*s)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Int64 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(f.Int()))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // IPC returns instructions per cycle over the whole run.
