@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race determinism check bench
+.PHONY: build lint test race determinism trace-smoke check bench
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,15 @@ race:
 determinism:
 	$(GO) run ./cmd/simcheck -mode=determinism
 
-check: build lint test determinism
+# End-to-end observability smoke test: one short CAPS run with tracing and
+# metrics enabled, then validate the exported Chrome trace (well-formed
+# JSON, cycle-ordered tracks; see cmd/simcheck -mode=tracecheck).
+trace-smoke:
+	$(GO) run ./cmd/capsim -bench MM -prefetch caps -insts 50000 \
+		-trace /tmp/caps-trace.json -metrics /tmp/caps-metrics.csv
+	$(GO) run ./cmd/simcheck -mode=tracecheck /tmp/caps-trace.json
+
+check: build lint test determinism trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

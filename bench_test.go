@@ -23,10 +23,11 @@ func benchConfig() config.GPUConfig {
 
 // benchSuite restricts the sweep to one benchmark from each behaviour
 // class: bursty-regular (CNV), loop-tiled (MM), and irregular (BFS).
-func benchSuite() *experiments.Suite {
-	s := experiments.NewSuite(benchConfig())
-	s.Benches = []string{"CNV", "MM", "BFS"}
-	return s
+func benchSuite(benches ...string) *experiments.Suite {
+	if len(benches) == 0 {
+		benches = []string{"CNV", "MM", "BFS"}
+	}
+	return experiments.NewSuite(benchConfig(), experiments.WithBenches(benches))
 }
 
 func BenchmarkFigure1(b *testing.B) {
@@ -58,8 +59,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := benchSuite()
-		s.Benches = []string{"CNV"} // 4 CTA configs × 8 schemes
+		s := benchSuite("CNV") // 4 CTA configs × 8 schemes
 		if _, err := experiments.Figure11(s); err != nil {
 			b.Fatal(err)
 		}

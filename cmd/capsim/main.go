@@ -4,6 +4,7 @@
 // Usage:
 //
 //	capsim -bench CNV -prefetch caps [-sched pas] [-ctas 8] [-insts 1000000]
+//	capsim -bench MM -prefetch caps -trace out.json -metrics out.csv
 //	capsim -list
 package main
 
@@ -11,25 +12,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"caps/internal/config"
 	"caps/internal/energy"
 	"caps/internal/kernels"
+	"caps/internal/obs"
 	"caps/internal/prefetch"
+	"caps/internal/sched"
 	"caps/internal/sim"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "CNV", "benchmark abbreviation (see -list)")
-		pf      = flag.String("prefetch", "none", "prefetcher: none, intra, inter, mta, nlp, lap, orch, caps")
-		sched   = flag.String("sched", "", "scheduler: lrr, gto, tlv, pas (default: tlv; pas for caps)")
-		ctas    = flag.Int("ctas", 0, "override max concurrent CTAs per SM")
-		insts   = flag.Int64("insts", 0, "override instruction cap (0 = config default)")
-		noWake  = flag.Bool("nowakeup", false, "disable PAS eager warp wake-up")
-		list    = flag.Bool("list", false, "list benchmarks and prefetchers")
-		showCfg = flag.Bool("config", false, "print the GPU configuration and exit")
-		eEnergy = flag.Bool("energy", false, "print the energy breakdown")
+		bench    = flag.String("bench", "CNV", "benchmark abbreviation (see -list)")
+		pf       = flag.String("prefetch", "none", "prefetcher (see -list)")
+		schedFlg = flag.String("sched", "", "scheduler: "+strings.Join(sched.Names(), ", ")+" (default: tlv; pas for caps)")
+		ctas     = flag.Int("ctas", 0, "override max concurrent CTAs per SM")
+		insts    = flag.Int64("insts", 0, "override instruction cap (0 = config default)")
+		noWake   = flag.Bool("nowakeup", false, "disable PAS eager warp wake-up")
+		list     = flag.Bool("list", false, "list benchmarks, prefetchers and schedulers")
+		showCfg  = flag.Bool("config", false, "print the GPU configuration and exit")
+		eEnergy  = flag.Bool("energy", false, "print the energy breakdown")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
+		metOut   = flag.String("metrics", "", "write the metrics snapshot as CSV to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +46,7 @@ func main() {
 			fmt.Printf("  %-4s %s (%s)\n", k.Abbr, k.Name, k.Suite)
 		}
 		fmt.Println("prefetchers:", prefetch.Names())
+		fmt.Println("schedulers:", sched.Names())
 		return
 	}
 	if *showCfg {
@@ -47,33 +54,39 @@ func main() {
 		return
 	}
 
-	if *ctas > 0 {
-		cfg.MaxCTAsPerSM = *ctas
-	}
-	if *insts > 0 {
-		cfg.MaxInsts = *insts
-	}
-	if *noWake {
-		cfg.PrefetchWakeup = false
-	}
-	switch *sched {
-	case "":
-		if *pf == "caps" {
-			cfg.Scheduler = config.SchedPAS
-		}
-	case "lrr", "gto", "tlv", "pas":
-		cfg.Scheduler = config.SchedulerKind(*sched)
-	default:
-		fmt.Fprintf(os.Stderr, "capsim: unknown scheduler %q\n", *sched)
+	if !contains(prefetch.Names(), *pf) {
+		fmt.Fprintf(os.Stderr, "capsim: unknown prefetcher %q (registered: %s)\n",
+			*pf, strings.Join(prefetch.Names(), ", "))
 		os.Exit(2)
 	}
+	if *schedFlg != "" && !contains(sched.Names(), *schedFlg) {
+		fmt.Fprintf(os.Stderr, "capsim: unknown scheduler %q (registered: %s)\n",
+			*schedFlg, strings.Join(sched.Names(), ", "))
+		os.Exit(2)
+	}
+
+	o := config.Overrides{
+		MaxCTAsPerSM:  *ctas,
+		MaxInsts:      *insts,
+		DisableWakeup: *noWake,
+	}
+	if *schedFlg != "" {
+		o.Scheduler = config.SchedulerKind(*schedFlg)
+	} else if *pf == "caps" {
+		o.Scheduler = config.SchedPAS
+	}
+	cfg = config.Derive(cfg, o)
 
 	k, err := kernels.ByAbbr(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(2)
 	}
-	g, err := sim.New(cfg, k, sim.Options{Prefetcher: *pf})
+	var snk *obs.Sink
+	if *traceOut != "" || *metOut != "" {
+		snk = sim.NewSink(cfg, *traceOut != "", obs.DefaultTraceCap)
+	}
+	g, err := sim.New(cfg, k, sim.Options{Prefetcher: *pf, Obs: snk})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		os.Exit(1)
@@ -90,4 +103,44 @@ func main() {
 		fmt.Printf("energy: total=%.4f J  alu=%.4f shared=%.4f l1=%.4f l2=%.4f icnt=%.4f dram=%.4f caps=%.6f static=%.4f\n",
 			b.Total(), b.ALU, b.Shared, b.L1, b.L2, b.ICNT, b.DRAM, b.CAPS, b.Static)
 	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, snk)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: trace:", err)
+			os.Exit(1)
+		}
+		if n := snk.Trace().Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "capsim: trace buffer full, dropped %d events (raise obs.DefaultTraceCap)\n", n)
+		}
+	}
+	if *metOut != "" {
+		if err := writeFile(*metOut, func(f *os.File) error {
+			return obs.WriteCSV(f, snk.Snapshot())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: metrics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func contains(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,23 +13,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"caps/internal/config"
 	"caps/internal/experiments"
+	"caps/internal/obs"
+	"caps/internal/sim"
 	"caps/internal/stats"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "comma-separated figures to regenerate: 1, 4, 10, 11, 12, 13, 14a, 14b, 15")
-		table   = flag.String("table", "", "table to regenerate: 1, 2, 3, 4")
-		abl     = flag.String("ablation", "", "ablation to run: tables, buffer, threshold, wakeup, occupancy")
-		all     = flag.Bool("all", false, "regenerate every figure and table")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		insts   = flag.Int64("insts", 0, "override the per-run instruction cap")
-		par     = flag.Int("par", 0, "parallel simulations (default: GOMAXPROCS)")
-		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 16)")
+		fig      = flag.String("fig", "", "comma-separated figures to regenerate: 1, 4, 10, 11, 12, 13, 14a, 14b, 15")
+		table    = flag.String("table", "", "table to regenerate: 1, 2, 3, 4")
+		abl      = flag.String("ablation", "", "ablation to run: tables, buffer, threshold, wakeup, occupancy")
+		all      = flag.Bool("all", false, "regenerate every figure and table")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		insts    = flag.Int64("insts", 0, "override the per-run instruction cap")
+		par      = flag.Int("par", 0, "parallel simulations (default: GOMAXPROCS)")
+		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all 16)")
+		traceDir = flag.String("trace-dir", "", "write a Chrome trace + metrics CSV per run into this directory")
 	)
 	flag.Parse()
 
@@ -37,13 +41,30 @@ func main() {
 	if *insts > 0 {
 		cfg.MaxInsts = *insts
 	}
-	suite := experiments.NewSuite(cfg)
+	var opts []experiments.Option
 	if *par > 0 {
-		suite.Parallelism = *par
+		opts = append(opts, experiments.WithParallelism(*par))
 	}
 	if *benches != "" {
-		suite.Benches = strings.Split(*benches, ",")
+		opts = append(opts, experiments.WithBenches(strings.Split(*benches, ",")))
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, experiments.WithObs(
+			func(k experiments.RunKey) *obs.Sink {
+				return sim.NewSink(cfg, true, obs.DefaultTraceCap)
+			},
+			func(k experiments.RunKey, s *obs.Sink) {
+				if err := exportRun(*traceDir, k, s); err != nil {
+					fmt.Fprintln(os.Stderr, "capsweep: trace export:", err)
+				}
+			},
+		))
+	}
+	suite := experiments.NewSuite(cfg, opts...)
 
 	emit := func(title string, t *stats.Table) {
 		fmt.Printf("== %s ==\n", title)
@@ -181,4 +202,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runName builds a filesystem-safe identifier for one RunKey, e.g.
+// "MM-caps-pas" or "CNV-lap-tlv-ctas2-nowakeup".
+func runName(k experiments.RunKey) string {
+	name := fmt.Sprintf("%s-%s-%s", k.Bench, k.Prefetch, k.Scheduler)
+	if k.MaxCTAs > 0 {
+		name += fmt.Sprintf("-ctas%d", k.MaxCTAs)
+	}
+	if k.NoWakeup {
+		name += "-nowakeup"
+	}
+	return name
+}
+
+// exportRun writes <dir>/<run>.trace.json (Chrome trace-event format) and
+// <dir>/<run>.metrics.csv for one completed simulation.
+func exportRun(dir string, k experiments.RunKey, s *obs.Sink) error {
+	name := runName(k)
+	tf, err := os.Create(filepath.Join(dir, name+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(tf, s); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, name+".metrics.csv"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteCSV(mf, s.Snapshot()); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
 }

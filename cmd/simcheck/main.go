@@ -11,7 +11,14 @@
 //	    statistics + memory-system state. Exits 1 on a sanitizer
 //	    violation or a hash divergence.
 //
-// Both modes are wired into `make check` and CI.
+//	simcheck -mode=tracecheck file.json [more.json ...]
+//	    Validate Chrome trace-event files produced by `capsim -trace` or
+//	    `capsweep -trace-dir`: well-formed JSON, cycle-monotonic per
+//	    track, and report the track/event census. Exits 1 on a malformed
+//	    or out-of-order trace.
+//
+// The lint and determinism modes are wired into `make check` and CI;
+// tracecheck backs `make trace-smoke`.
 package main
 
 import (
@@ -23,11 +30,12 @@ import (
 	"caps/internal/analysis"
 	"caps/internal/config"
 	"caps/internal/invariant/determinism"
+	"caps/internal/obs"
 	"caps/internal/sim"
 )
 
 func main() {
-	mode := flag.String("mode", "lint", "lint or determinism")
+	mode := flag.String("mode", "lint", "lint, determinism or tracecheck")
 	benches := flag.String("benches", "STE,BFS,MM,CP", "determinism mode: comma-separated benchmark abbreviations")
 	insts := flag.Int64("insts", 60_000, "determinism mode: per-run instruction cap (0 = full run)")
 	flag.Parse()
@@ -37,8 +45,10 @@ func main() {
 		os.Exit(lint())
 	case "determinism":
 		os.Exit(checkDeterminism(strings.Split(*benches, ","), *insts))
+	case "tracecheck":
+		os.Exit(checkTraces(flag.Args()))
 	default:
-		fmt.Fprintf(os.Stderr, "simcheck: unknown mode %q (want lint or determinism)\n", *mode)
+		fmt.Fprintf(os.Stderr, "simcheck: unknown mode %q (want lint, determinism or tracecheck)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -97,6 +107,36 @@ func checkDeterminism(benches []string, insts int64) int {
 			}
 			fmt.Printf("%-6s %-5s reproducible (state hash %#016x)\n", b, pf, h)
 		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// checkTraces validates each Chrome trace file and prints its census.
+func checkTraces(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "simcheck: tracecheck needs at least one trace file")
+		return 2
+	}
+	failed := false
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simcheck:", err)
+			failed = true
+			continue
+		}
+		sum, err := obs.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simcheck: %s: %v\n", p, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: %d events on %d tracks (%d SM), %d sched events, %d complete prefetch lifecycles, %d dropped\n",
+			p, sum.Events, sum.Tracks, sum.SMTracks, sum.SchedEvents, sum.PrefLifecycle, sum.Dropped)
 	}
 	if failed {
 		return 1

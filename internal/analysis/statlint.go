@@ -17,10 +17,20 @@ import (
 //   - panic calls whose only argument is a bare string literal in the
 //     hot-path packages — a panic fired mid-simulation must carry state
 //     (cycle, address, component) or it is undebuggable.
+//
+// The same contract extends to internal/obs metric accumulation: an
+// obs.Counter is append-only by construction (it exposes only Inc/Add),
+// and hook sites increment it next to the matching stats.Sim field so the
+// two stay reconcilable (internal/sim's TestObsReconcilesWithStats). A
+// site that must update one without the other — or adjust a counter
+// non-monotonically through some future accessor — is exactly the
+// double-accounting hazard this lint exists to flag, and needs a
+// //simcheck:allow statlint waiver explaining why the obs and stats views
+// legitimately diverge there.
 var Statlint = &Analyzer{
 	Name:  "statlint",
 	Doc:   "reports non-monotonic stats.Sim writes outside internal/stats and context-free panics in hot paths",
-	Scope: scopeOf("sim", "mem", "sched", "core", "prefetch", "experiments"),
+	Scope: scopeOf("sim", "mem", "sched", "core", "prefetch", "experiments", "obs"),
 	Run:   runStatlint,
 }
 

@@ -254,10 +254,12 @@ func (g GPUConfig) Validate() error {
 	case g.L1.LineBytes != g.L2.LineBytes:
 		return fmt.Errorf("L1 and L2 line sizes must match, got %d and %d", g.L1.LineBytes, g.L2.LineBytes)
 	}
-	switch g.Scheduler {
-	case SchedLRR, SchedGTO, SchedTwoLevel, SchedPAS:
-	default:
-		return fmt.Errorf("unknown scheduler %q", g.Scheduler)
+	// Scheduler names are resolved through the sched registry at GPU
+	// construction (unknown names error there with the registered list);
+	// config only insists one is selected, so packages can register new
+	// policies without touching validation.
+	if g.Scheduler == "" {
+		return fmt.Errorf("Scheduler must be set")
 	}
 	if err := g.L1.Validate("L1"); err != nil {
 		return err

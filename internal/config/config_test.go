@@ -80,7 +80,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		"negative icnt":      func(c *GPUConfig) { c.ICNTLatency = -1 },
 		"zero icnt width":    func(c *GPUConfig) { c.ICNTWidth = 0 },
 		"zero icnt queue":    func(c *GPUConfig) { c.ICNTQueue = 0 },
-		"bad scheduler":      func(c *GPUConfig) { c.Scheduler = "bogus" },
+		"empty scheduler":    func(c *GPUConfig) { c.Scheduler = "" },
 		"line mismatch":      func(c *GPUConfig) { c.L2.LineBytes = 64 },
 		"non-pow2 line":      func(c *GPUConfig) { c.L1.LineBytes = 100; c.L2.LineBytes = 100 },
 		"zero L1 size":       func(c *GPUConfig) { c.L1.SizeKB = 0 },

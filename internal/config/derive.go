@@ -1,0 +1,58 @@
+package config
+
+// Overrides collects the per-run adjustments the drivers layer on top of a
+// base configuration. The zero value changes nothing: numeric fields apply
+// only when positive, Scheduler only when non-empty, and the booleans are
+// one-directional switches — the conventions the experiment RunKey and the
+// CLI flags already follow, centralized here instead of being re-implemented
+// by every caller.
+type Overrides struct {
+	Scheduler    SchedulerKind // replaces the scheduler when non-empty
+	MaxCTAsPerSM int           // >0 replaces the CTA occupancy limit
+	MaxInsts     int64         // >0 replaces the instruction cap
+	MaxCycle     int64         // >0 replaces the cycle cap
+
+	// DisableWakeup turns PAS's eager warp wake-up off (Fig. 14a
+	// ablation). It never turns it on: the base config owns the default.
+	DisableWakeup bool
+	// CheckInvariants turns the cycle-level sanitizer on.
+	CheckInvariants bool
+
+	// Ablation sweep knobs (>0 replaces).
+	PrefetchTableSize     int
+	PrefetchBufferEntries int
+	MispredictThreshold   int
+}
+
+// Derive returns base with the overrides applied. base is passed by value,
+// so the caller's configuration is never mutated.
+func Derive(base GPUConfig, o Overrides) GPUConfig {
+	if o.Scheduler != "" {
+		base.Scheduler = o.Scheduler
+	}
+	if o.MaxCTAsPerSM > 0 {
+		base.MaxCTAsPerSM = o.MaxCTAsPerSM
+	}
+	if o.MaxInsts > 0 {
+		base.MaxInsts = o.MaxInsts
+	}
+	if o.MaxCycle > 0 {
+		base.MaxCycle = o.MaxCycle
+	}
+	if o.DisableWakeup {
+		base.PrefetchWakeup = false
+	}
+	if o.CheckInvariants {
+		base.CheckInvariants = true
+	}
+	if o.PrefetchTableSize > 0 {
+		base.PrefetchTableSize = o.PrefetchTableSize
+	}
+	if o.PrefetchBufferEntries > 0 {
+		base.PrefetchBufferEntries = o.PrefetchBufferEntries
+	}
+	if o.MispredictThreshold > 0 {
+		base.MispredictThreshold = o.MispredictThreshold
+	}
+	return base
+}

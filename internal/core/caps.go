@@ -9,6 +9,7 @@ package core
 import (
 	"caps/internal/config"
 	"caps/internal/invariant"
+	obslib "caps/internal/obs"
 	"caps/internal/prefetch"
 	"caps/internal/stats"
 )
@@ -52,6 +53,11 @@ type CAPS struct {
 
 	dist   []distEntry
 	perCTA [][]perCTAEntry // [ctaSlot][entry]
+
+	// Observability (nil-safe): DIST allocations and PerCTA fills land on
+	// the owning SM's trace track.
+	sink *obslib.Sink
+	smID int
 }
 
 // New builds a CAPS engine for one SM.
@@ -67,6 +73,13 @@ func New(cfg config.GPUConfig, st *stats.Sim) *CAPS {
 
 var _ prefetch.Prefetcher = (*CAPS)(nil)
 var _ invariant.Checker = (*CAPS)(nil)
+
+// AttachObs connects the prefetcher's table events to an observability sink;
+// smID names the trace track (one CAPS instance serves one SM).
+func (c *CAPS) AttachObs(sink *obslib.Sink, smID int) {
+	c.sink = sink
+	c.smID = smID
+}
 
 // CheckInvariants audits the hardware table bounds of Tables I and II: the
 // DIST table and every PerCTA table hold exactly PrefetchTableSize entries
@@ -161,6 +174,7 @@ func (c *CAPS) lookupOrAllocDist(now int64, pc uint32) *distEntry {
 		return nil
 	}
 	*free = distEntry{pc: pc, valid: true, lastUse: now}
+	c.sink.DistAlloc(now, c.smID, pc)
 	return free
 }
 
@@ -198,6 +212,7 @@ func (c *CAPS) insertPerCTA(now int64, obs *prefetch.Observation) *perCTAEntry {
 		warpCount: obs.WarpsPerCTA,
 		lastUse:   now,
 	}
+	c.sink.PerCTAFill(now, c.smID, obs.CTAID, obs.PC)
 	return &tbl[victim]
 }
 

@@ -24,11 +24,7 @@ func runWith(cfg config.GPUConfig, bench, pf string) (*stats.Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	if pf == "caps" {
-		cfg.Scheduler = config.SchedPAS
-	} else {
-		cfg.Scheduler = config.SchedTwoLevel
-	}
+	cfg = config.Derive(cfg, config.Overrides{Scheduler: SchedulerFor(pf)})
 	g, err := sim.New(cfg, k, sim.Options{Prefetcher: pf})
 	if err != nil {
 		return nil, err
@@ -62,8 +58,7 @@ func AblationTableSize(cfg config.GPUConfig, sizes []int) (*stats.Table, error) 
 	}
 	t := &stats.Table{Header: []string{"table entries", "mean CAPS speedup"}}
 	for _, n := range sizes {
-		c := cfg
-		c.PrefetchTableSize = n
+		c := config.Derive(cfg, config.Overrides{PrefetchTableSize: n})
 		v, err := meanSpeedup(c)
 		if err != nil {
 			return nil, err
@@ -81,8 +76,7 @@ func AblationPrefetchBuffer(cfg config.GPUConfig, sizes []int) (*stats.Table, er
 	}
 	t := &stats.Table{Header: []string{"prefetch buffer entries", "mean CAPS speedup"}}
 	for _, n := range sizes {
-		c := cfg
-		c.PrefetchBufferEntries = n
+		c := config.Derive(cfg, config.Overrides{PrefetchBufferEntries: n})
 		v, err := meanSpeedup(c)
 		if err != nil {
 			return nil, err
@@ -100,8 +94,7 @@ func AblationMispredictThreshold(cfg config.GPUConfig, thresholds []int) (*stats
 	}
 	t := &stats.Table{Header: []string{"mispredict threshold", "mean CAPS speedup"}}
 	for _, n := range thresholds {
-		c := cfg
-		c.MispredictThreshold = n
+		c := config.Derive(cfg, config.Overrides{MispredictThreshold: n})
 		v, err := meanSpeedup(c)
 		if err != nil {
 			return nil, err
@@ -122,8 +115,7 @@ func AblationWakeup(cfg config.GPUConfig) (*stats.Table, error) {
 		return nil, err
 	}
 	t.AddRow("with wake-up", fmtF(v, 3))
-	off := cfg
-	off.PrefetchWakeup = false
+	off := config.Derive(cfg, config.Overrides{DisableWakeup: true})
 	v, err = meanSpeedup(off)
 	if err != nil {
 		return nil, err

@@ -16,9 +16,7 @@ func quickSuite() *Suite {
 	cfg.MaxInsts = 40_000
 	cfg.MaxCycle = 3_000_000
 	cfg.CheckInvariants = true
-	s := NewSuite(cfg)
-	s.Benches = []string{"CNV", "MM", "BFS"}
-	return s
+	return NewSuite(cfg, WithBenches([]string{"CNV", "MM", "BFS"}))
 }
 
 func TestSchedulerFor(t *testing.T) {

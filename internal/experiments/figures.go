@@ -299,7 +299,7 @@ func Figure15(s *Suite) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		v := energy.Normalized(p, s.Cfg, st, base)
+		v := energy.Normalized(p, s.cfg, st, base)
 		vs = append(vs, v)
 		t.AddRow(b, fmtF(v, 3))
 	}

@@ -11,6 +11,7 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/kernels"
+	"caps/internal/obs"
 	"caps/internal/sim"
 	"caps/internal/stats"
 )
@@ -38,37 +39,79 @@ type RunKey struct {
 	NoWakeup  bool // disable PAS eager wake-up (Fig. 14a ablation)
 }
 
-// Suite memoizes and parallelizes simulation runs.
+// Suite memoizes and parallelizes simulation runs. Construct one with
+// NewSuite; behavior beyond the base configuration is selected through
+// functional options (WithParallelism, WithBenches, WithObs).
 type Suite struct {
-	Cfg         config.GPUConfig
-	Parallelism int
-	// Benches restricts the benchmark set (Table IV abbreviations);
+	cfg         config.GPUConfig
+	parallelism int
+	// benches restricts the benchmark set (Table IV abbreviations);
 	// empty means all sixteen. Tests and quick benches use subsets.
-	Benches []string
+	benches []string
+
+	// Observability plumbing (WithObs): newSink builds a per-run sink
+	// before the simulation, runDone receives it afterwards.
+	newSink func(RunKey) *obs.Sink
+	runDone func(RunKey, *obs.Sink)
 
 	mu    sync.Mutex
 	cache map[RunKey]*stats.Sim
 }
 
-// NewSuite creates a suite over the given base configuration.
-func NewSuite(cfg config.GPUConfig) *Suite {
-	return &Suite{
-		Cfg:         cfg,
-		Parallelism: runtime.GOMAXPROCS(0),
-		cache:       make(map[RunKey]*stats.Sim),
+// Option configures a Suite at construction time.
+type Option func(*Suite)
+
+// WithParallelism bounds the number of concurrently executing simulations
+// (default: GOMAXPROCS). Values below 1 are ignored.
+func WithParallelism(n int) Option {
+	return func(s *Suite) {
+		if n > 0 {
+			s.parallelism = n
+		}
 	}
 }
 
+// WithBenches restricts the suite to a benchmark subset (Table IV
+// abbreviations); an empty slice keeps the full set.
+func WithBenches(benches []string) Option {
+	return func(s *Suite) { s.benches = benches }
+}
+
+// WithObs attaches per-run observability: newSink is called before each
+// simulation to build that run's sink (return nil to skip a run), and
+// runDone — optional — receives the sink after the run completes, for
+// exporting traces or metrics. Memoized (cached) runs do not re-invoke
+// either hook. Both callbacks may run concurrently from Warm's workers and
+// must be safe for that.
+func WithObs(newSink func(RunKey) *obs.Sink, runDone func(RunKey, *obs.Sink)) Option {
+	return func(s *Suite) {
+		s.newSink = newSink
+		s.runDone = runDone
+	}
+}
+
+// NewSuite creates a suite over the given base configuration.
+func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
+	s := &Suite{
+		cfg:         cfg,
+		parallelism: runtime.GOMAXPROCS(0),
+		cache:       make(map[RunKey]*stats.Sim),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Config returns the suite's base configuration.
+func (s *Suite) Config() config.GPUConfig { return s.cfg }
+
 func (s *Suite) configFor(k RunKey) config.GPUConfig {
-	cfg := s.Cfg
-	cfg.Scheduler = k.Scheduler
-	if k.MaxCTAs > 0 {
-		cfg.MaxCTAsPerSM = k.MaxCTAs
-	}
-	if k.NoWakeup {
-		cfg.PrefetchWakeup = false
-	}
-	return cfg
+	return config.Derive(s.cfg, config.Overrides{
+		Scheduler:     k.Scheduler,
+		MaxCTAsPerSM:  k.MaxCTAs,
+		DisableWakeup: k.NoWakeup,
+	})
 }
 
 // Run executes (or returns the memoized result of) one simulation.
@@ -84,13 +127,20 @@ func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := sim.New(s.configFor(k), kernel, sim.Options{Prefetcher: k.Prefetch})
+	var snk *obs.Sink
+	if s.newSink != nil {
+		snk = s.newSink(k)
+	}
+	g, err := sim.New(s.configFor(k), kernel, sim.Options{Prefetcher: k.Prefetch, Obs: snk})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
 	}
 	st, err := g.Run()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
+	}
+	if s.runDone != nil && snk != nil {
+		s.runDone(k, snk)
 	}
 	s.mu.Lock()
 	s.cache[k] = st
@@ -113,7 +163,7 @@ func (s *Suite) Warm(keys []RunKey) error {
 		return nil
 	}
 
-	par := s.Parallelism
+	par := s.parallelism
 	if par < 1 {
 		par = 1
 	}
@@ -163,8 +213,8 @@ func PrefetcherKey(bench, pf string) RunKey {
 // benchNames returns the suite's benchmark set (all of Table IV unless
 // restricted).
 func (s *Suite) benchNames() []string {
-	if len(s.Benches) > 0 {
-		return s.Benches
+	if len(s.benches) > 0 {
+		return s.benches
 	}
 	all := kernels.All()
 	names := make([]string, len(all))

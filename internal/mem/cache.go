@@ -8,6 +8,7 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/invariant"
+	"caps/internal/obs"
 )
 
 // Outcome classifies one cache access.
@@ -117,6 +118,12 @@ type Cache struct {
 	setShift uint64
 	setMask  uint64
 
+	// Observability: sink is nil unless AttachObs was called; every use is
+	// nil-safe so the disabled path costs one branch inside the sink call.
+	sink    *obs.Sink
+	sinkDom obs.Domain
+	sinkID  int
+
 	// Sanitizer state (see internal/invariant). When enabled, every
 	// Access/Fill/PopMiss re-audits the MSHR and miss-queue accounting and
 	// latches the first violation for the owning tick loop to surface.
@@ -133,6 +140,15 @@ type Cache struct {
 // scan at most this many cycles apart. Corruption is therefore reported
 // within deepAuditStride cycles of introduction, at tick-loop granularity.
 const deepAuditStride = 16
+
+// AttachObs connects the cache to an observability sink; dom and id name the
+// trace track (DomSM + SM id for an L1, DomPart + partition id for an L2
+// slice). Attaching a nil sink is a no-op at every event site.
+func (c *Cache) AttachObs(s *obs.Sink, dom obs.Domain, id int) {
+	c.sink = s
+	c.sinkDom = dom
+	c.sinkID = id
+}
 
 // EnableSanitizer switches on per-operation invariant auditing; label names
 // the cache level in violation reports (e.g. "L1[3]", "L2[0]").
@@ -391,6 +407,7 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 	if e, ok := c.mshrs[req.LineAddr]; ok {
 		e.waiters = append(e.waiters, req)
 		res := AccessResult{Outcome: MissMerged}
+		c.sink.MSHRMerge(now, c.sinkDom, c.sinkID, req.LineAddr)
 		if req.Kind == Demand && e.prefetchOnly {
 			// The entry now serves demand: move it from the prefetch
 			// buffer into the demand MSHR population.
@@ -401,6 +418,7 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 			res.MergedIntoPrefetch = true
 			res.PrefIssueCycle = e.prefIssueCycle
 			res.PrefPC = e.prefPC
+			c.sink.MSHRConvert(now, c.sinkID, req.LineAddr)
 		}
 		return res
 	}
@@ -412,14 +430,18 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 	usePool := req.Kind == Prefetch && c.prefetchPool > 0
 	if usePool {
 		if c.prefetchOnly >= c.prefetchPool {
+			c.sink.ResFail(now, c.sinkDom, c.sinkID, req.LineAddr, false)
 			return AccessResult{Outcome: ResFailMSHR}
 		}
 	} else if len(c.mshrs)-c.prefetchOnly >= c.cfg.MSHREntries {
+		c.sink.ResFail(now, c.sinkDom, c.sinkID, req.LineAddr, false)
 		return AccessResult{Outcome: ResFailMSHR}
 	}
 	if len(c.missQ) >= c.cfg.MissQueue {
+		c.sink.ResFail(now, c.sinkDom, c.sinkID, req.LineAddr, true)
 		return AccessResult{Outcome: ResFailQueue}
 	}
+	c.sink.MSHRAlloc(now, c.sinkDom, c.sinkID, req.LineAddr, usePool)
 	e := &mshrEntry{lineAddr: req.LineAddr, waiters: []*Request{req}}
 	if usePool {
 		e.prefetchOnly = true
@@ -517,6 +539,7 @@ func (c *Cache) Fill(now int64, lineAddr uint64) (FillResult, error) {
 		v.prefPC = e.prefPC
 		v.prefWarp = e.prefWarp
 		v.prefIssueCycle = e.prefIssueCycle
+		c.sink.PrefFill(now, c.sinkID, e.prefWarp, e.prefPC, lineAddr)
 	}
 	return res, nil
 }

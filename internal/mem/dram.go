@@ -2,6 +2,7 @@ package mem
 
 import (
 	"caps/internal/config"
+	"caps/internal/obs"
 	"caps/internal/stats"
 )
 
@@ -49,6 +50,10 @@ type DRAMChannel struct {
 
 	rowShift uint64
 	bankMask uint64
+
+	// Observability (nil-safe, see Cache).
+	sink   *obs.Sink
+	chanID int
 }
 
 // NewDRAMChannel builds a channel using the core-clock conversion from g.
@@ -73,6 +78,14 @@ func NewDRAMChannel(g config.GPUConfig, st *stats.Sim) *DRAMChannel {
 		ch.bankMask = 0
 	}
 	return ch
+}
+
+// AttachObs connects the channel to an observability sink; id names its
+// DomDRAM trace track. NewDRAMChannel has no channel id (channels are
+// interchangeable until wired into partitions), so identity arrives here.
+func (ch *DRAMChannel) AttachObs(s *obs.Sink, id int) {
+	ch.sink = s
+	ch.chanID = id
 }
 
 func (ch *DRAMChannel) mapAddr(lineAddr uint64) (bankIdx int, row uint64) {
@@ -152,12 +165,15 @@ func (ch *DRAMChannel) Tick(now int64) []*Request {
 	case bk.rowValid && bk.openRow == q.row:
 		access = ch.tRowHit
 		ch.st.DRAMRowHits++
+		ch.sink.RowHit(now, ch.chanID, q.req.LineAddr)
 	case bk.rowValid:
 		access = ch.tRowMiss
 		ch.st.DRAMRowMisses++
+		ch.sink.RowMiss(now, ch.chanID, q.req.LineAddr)
 	default:
 		access = ch.tRowOpen
 		ch.st.DRAMRowMisses++
+		ch.sink.RowMiss(now, ch.chanID, q.req.LineAddr)
 	}
 	bk.openRow = q.row
 	bk.rowValid = true

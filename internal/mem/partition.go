@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caps/internal/config"
+	"caps/internal/obs"
 	"caps/internal/stats"
 )
 
@@ -48,6 +49,12 @@ func NewPartition(id int, g config.GPUConfig, dram *DRAMChannel, ic *Interconnec
 
 // L2 exposes the slice's cache for tests and end-of-run accounting.
 func (p *Partition) L2() *Cache { return p.l2 }
+
+// AttachObs connects the partition's L2 slice to an observability sink; its
+// events land on the partition's DomPart track.
+func (p *Partition) AttachObs(s *obs.Sink) {
+	p.l2.AttachObs(s, obs.DomPart, p.ID)
+}
 
 // Tick advances the partition one cycle. DRAM channels are ticked
 // separately (they are shared between partitions); completed DRAM reads are

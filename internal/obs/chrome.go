@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export. The output is the JSON object form of the
+// Chrome trace-event format, which chrome://tracing and Perfetto's legacy
+// importer both accept: instant events ("ph":"i", thread scope) on one
+// track per SM, per memory partition and per DRAM channel, with metadata
+// events naming every track. Cycle numbers map 1:1 onto the format's
+// microsecond timestamps, so "1 ms" in the viewer reads as 1000 core
+// cycles.
+
+// chromePID assigns one synthetic process per domain so the viewer groups
+// SM, partition and DRAM tracks separately. PIDs are 1-based: pid 0 is
+// reserved by some importers.
+func chromePID(d Domain) int { return int(d) + 1 }
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the sink's event buffer as Chrome trace JSON.
+// It fails when the sink is nil or was built without tracing.
+func WriteChromeTrace(w io.Writer, s *Sink) error {
+	if s == nil || s.trace == nil {
+		return errors.New("obs: no trace to export (sink nil or tracing disabled)")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Track metadata: process per domain, thread per unit.
+	type domInfo struct {
+		dom   Domain
+		procN string
+		units int
+		label string
+	}
+	doms := []domInfo{
+		{DomSM, "SMs", s.cfg.SMs, "SM"},
+		{DomPart, "Memory partitions", s.cfg.Partitions, "Partition"},
+		{DomDRAM, "DRAM channels", s.cfg.Channels, "DRAM chan"},
+	}
+	for _, d := range doms {
+		if d.units == 0 {
+			continue
+		}
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", PID: chromePID(d.dom),
+			Args: map[string]any{"name": d.procN}}); err != nil {
+			return err
+		}
+		for u := 0; u < d.units; u++ {
+			if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: chromePID(d.dom), TID: u,
+				Args: map[string]any{"name": fmt.Sprintf("%s %d", d.label, u)}}); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, ev := range s.trace.Events() {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  ev.Kind.category(),
+			Ph:   "i",
+			S:    "t",
+			TS:   ev.Cycle,
+			PID:  chromePID(ev.Dom),
+			TID:  int(ev.Track),
+			Args: eventArgs(ev),
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}}\n",
+		s.trace.Dropped()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// eventArgs renders the kind-specific payload fields.
+func eventArgs(ev Event) map[string]any {
+	args := map[string]any{"cycle": ev.Cycle}
+	if ev.Warp >= 0 {
+		args["warp"] = ev.Warp
+	}
+	if ev.CTA >= 0 {
+		args["cta"] = ev.CTA
+	}
+	if ev.PC != 0 {
+		args["pc"] = ev.PC
+	}
+	if ev.Addr != 0 {
+		args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+	}
+	switch ev.Kind {
+	case EvPrefDrop:
+		args["reason"] = DropReason(ev.Arg).String()
+	case EvResFail:
+		if ev.Arg == 1 {
+			args["fail"] = "queue"
+		} else {
+			args["fail"] = "mshr"
+		}
+	case EvMSHRAlloc:
+		if ev.Arg == 1 {
+			args["class"] = "prefetch"
+		} else {
+			args["class"] = "demand"
+		}
+	}
+	return args
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	// Every hook must be a no-op on a nil sink — this is the disabled path
+	// the simulator takes on every run without -trace/-metrics.
+	s.CTALaunch(1, 0, 0)
+	s.CTAFinish(1, 0, 0)
+	s.WarpDispatch(1, 0, 0, 0)
+	s.WarpStall(1, 0, 0)
+	s.WarpBarrier(1, 0, 0, 0)
+	s.WarpFinish(1, 0, 0)
+	s.SchedPromote(1, 0, 0)
+	s.SchedDemote(1, 0, 0)
+	s.SchedWakeup(1, 0, 0)
+	s.DistAlloc(1, 0, 1)
+	s.PerCTAFill(1, 0, 0, 1)
+	s.PrefCandidate(1, 0, 0, 0, 1, 0x80)
+	s.PrefDrop(1, 0, 1, 0x80, DropStale)
+	s.PrefAdmit(1, 0, 0, 1, 0x80)
+	s.PrefFill(1, 0, 0, 1, 0x80)
+	s.PrefConsume(1, 0, 0, 1, 0x80, 10)
+	s.PrefLate(1, 0, 1, 0x80)
+	s.PrefEarlyEvict(1, 0, 1, 0x80)
+	s.MSHRAlloc(1, DomSM, 0, 0x80, false)
+	s.MSHRMerge(1, DomPart, 0, 0x80)
+	s.MSHRConvert(1, 0, 0x80)
+	s.ResFail(1, DomSM, 0, 0x80, true)
+	s.RowHit(1, 0, 0x80)
+	s.RowMiss(1, 0, 0x80)
+	s.DemandLatency(100)
+	s.RunDone(42)
+	if s.Registry() != nil || s.Trace() != nil || s.Snapshot() != nil {
+		t.Fatal("nil sink accessors must return nil")
+	}
+}
+
+func TestCountersAndSnapshot(t *testing.T) {
+	s := New(Config{SMs: 2, Partitions: 1, Channels: 1})
+	s.PrefCandidate(5, 0, 3, 1, 7, 0x1000)
+	s.PrefCandidate(6, 1, 4, 2, 7, 0x2000)
+	s.PrefAdmit(7, 0, 3, 7, 0x1000)
+	s.PrefDrop(8, 1, 7, 0x2000, DropDup)
+	s.RowMiss(9, 0, 0x1000)
+	s.RunDone(100)
+
+	if got := s.Registry().SumCounters("pref_candidate_total"); got != 2 {
+		t.Fatalf("pref_candidate_total = %d, want 2", got)
+	}
+	if got := s.Registry().SumCounters("pref_admit_total"); got != 1 {
+		t.Fatalf("pref_admit_total = %d, want 1", got)
+	}
+	if got := s.Registry().SumCounters("pref_drop_total"); got != 1 {
+		t.Fatalf("pref_drop_total = %d, want 1", got)
+	}
+
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	for i := 1; i < len(snap); i++ {
+		a, b := snap[i-1], snap[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Labels > b.Labels) {
+			t.Fatalf("snapshot unsorted at %d: %s%s after %s%s", i, b.Name, b.Labels, a.Name, a.Labels)
+		}
+	}
+	var cycles *Sample
+	for i := range snap {
+		if snap[i].Name == "sim_cycles" {
+			cycles = &snap[i]
+		}
+	}
+	if cycles == nil || cycles.Value != 100 {
+		t.Fatalf("sim_cycles gauge missing or wrong: %+v", cycles)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	s := New(Config{SMs: 1})
+	s.PrefConsume(10, 0, 0, 1, 0x80, 50)   // bucket le=100
+	s.PrefConsume(20, 0, 0, 1, 0x80, 150)  // bucket le=200
+	s.PrefConsume(30, 0, 0, 1, 0x80, 9999) // overflow
+	snap := s.Snapshot()
+	want := map[string]int64{
+		`pref_distance_cycles_bucket{le="100"}`:  1,
+		`pref_distance_cycles_bucket{le="200"}`:  2,
+		`pref_distance_cycles_bucket{le="+Inf"}`: 3,
+		`pref_distance_cycles_count`:             3,
+	}
+	got := map[string]int64{}
+	for _, sm := range snap {
+		got[sm.FullName()] = sm.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestTraceCapCountsDrops(t *testing.T) {
+	s := New(Config{SMs: 1, Trace: true, TraceCap: 2})
+	for i := int64(0); i < 5; i++ {
+		s.WarpStall(i, 0, 0)
+	}
+	if s.Trace().Len() != 2 {
+		t.Fatalf("buffered %d events, want 2", s.Trace().Len())
+	}
+	if s.Trace().Dropped() != 3 {
+		t.Fatalf("dropped %d events, want 3", s.Trace().Dropped())
+	}
+	// Metrics keep counting past the trace cap.
+	if got := s.Registry().SumCounters("warp_stall_total"); got != 5 {
+		t.Fatalf("warp_stall_total = %d, want 5", got)
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	s := New(Config{SMs: 2, Partitions: 1, Channels: 1, Trace: true})
+	s.CTALaunch(0, 0, 0)
+	s.WarpDispatch(0, 0, 0, 0)
+	s.SchedDemote(3, 0, 0)
+	s.PrefCandidate(4, 0, 1, 0, 2, 0x4000)
+	s.PrefAdmit(5, 0, 1, 2, 0x4000)
+	s.MSHRAlloc(5, DomSM, 0, 0x4000, true)
+	s.PrefFill(60, 0, 1, 2, 0x4000)
+	s.PrefConsume(80, 0, 1, 2, 0x4000, 75)
+	s.RowMiss(30, 0, 0x4000)
+	s.MSHRAlloc(20, DomPart, 0, 0x4000, false)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", buf.String())
+	}
+	sum, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 10 {
+		t.Fatalf("validated %d events, want 10", sum.Events)
+	}
+	if sum.PrefLifecycle != 1 {
+		t.Fatalf("complete prefetch lifecycles = %d, want 1", sum.PrefLifecycle)
+	}
+	if sum.SchedEvents != 1 {
+		t.Fatalf("sched events = %d, want 1", sum.SchedEvents)
+	}
+	if !strings.Contains(buf.String(), `"thread_name"`) {
+		t.Fatal("missing track naming metadata")
+	}
+}
+
+func TestValidateRejectsOutOfOrder(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"a","ph":"i","ts":10,"pid":1,"tid":0},
+		{"name":"b","ph":"i","ts":5,"pid":1,"tid":0}
+	]}`
+	if _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := New(Config{SMs: 1})
+	s.CTALaunch(1, 0, 0)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "metric,labels,value\n") {
+		t.Fatalf("missing CSV header: %q", out)
+	}
+	if !strings.Contains(out, `cta_launch_total,"{sm=""0""}",1`) {
+		t.Fatalf("cta_launch_total row missing or malformed:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total")
+	r.Counter("x_total")
+}

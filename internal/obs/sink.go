@@ -1,0 +1,479 @@
+package obs
+
+// Config sizes a Sink for one GPU: one metrics block and one trace track
+// per SM, memory partition and DRAM channel.
+type Config struct {
+	SMs        int
+	Partitions int
+	Channels   int
+
+	// Trace enables the event tracer; without it the sink collects
+	// metrics only.
+	Trace bool
+	// TraceCap bounds buffered events (DefaultTraceCap when <= 0).
+	TraceCap int
+}
+
+// smMetrics is the per-SM counter block.
+type smMetrics struct {
+	ctaLaunch, ctaFinish                             *Counter
+	warpDispatch, warpStall, warpBarrier, warpFinish *Counter
+	schedPromote, schedDemote, schedWakeup           *Counter
+	distAlloc, perCTAFill                            *Counter
+	prefCandidate, prefAdmit, prefFill               *Counter
+	prefConsume, prefLate, prefEarlyEvict            *Counter
+	prefDrop                                         [numDropReasons]*Counter
+	mshrAlloc, mshrMerge, mshrConvert                *Counter
+	resFailMSHR, resFailQueue                        *Counter
+}
+
+// partMetrics is the per-partition (L2 slice) counter block.
+type partMetrics struct {
+	mshrAlloc, mshrMerge      *Counter
+	resFailMSHR, resFailQueue *Counter
+}
+
+// chanMetrics is the per-DRAM-channel counter block.
+type chanMetrics struct {
+	rowHit, rowMiss *Counter
+}
+
+// Sink is the per-run observability hub. One Sink serves one GPU; the
+// simulator is single-goroutine per run, so updates are unsynchronized.
+// Every method is safe on a nil *Sink and returns immediately, which is
+// how disabled observability stays within its <=2% budget: hook sites pay
+// one nil check and nothing else.
+type Sink struct {
+	cfg   Config
+	reg   *Registry
+	trace *Trace
+
+	cyclesG   *Gauge
+	prefDist  *Histogram
+	demandLat *Histogram
+
+	sm   []smMetrics
+	part []partMetrics
+	ch   []chanMetrics
+}
+
+// New builds a sink, registering the full per-unit metric set up front so
+// hot-path updates never touch the registry.
+func New(cfg Config) *Sink {
+	s := &Sink{cfg: cfg, reg: NewRegistry()}
+	if cfg.Trace {
+		s.trace = NewTrace(cfg.TraceCap)
+	}
+	s.cyclesG = s.reg.Gauge("sim_cycles")
+	s.prefDist = s.reg.Histogram("pref_distance_cycles", 100, 20)
+	s.demandLat = s.reg.Histogram("demand_latency_cycles", 100, 20)
+
+	s.sm = make([]smMetrics, cfg.SMs)
+	for i := range s.sm {
+		l := Label{Key: "sm", Value: itoa(i)}
+		m := &s.sm[i]
+		m.ctaLaunch = s.reg.Counter("cta_launch_total", l)
+		m.ctaFinish = s.reg.Counter("cta_finish_total", l)
+		m.warpDispatch = s.reg.Counter("warp_dispatch_total", l)
+		m.warpStall = s.reg.Counter("warp_stall_total", l)
+		m.warpBarrier = s.reg.Counter("warp_barrier_total", l)
+		m.warpFinish = s.reg.Counter("warp_finish_total", l)
+		m.schedPromote = s.reg.Counter("sched_promote_total", l)
+		m.schedDemote = s.reg.Counter("sched_demote_total", l)
+		m.schedWakeup = s.reg.Counter("sched_wakeup_total", l)
+		m.distAlloc = s.reg.Counter("caps_dist_alloc_total", l)
+		m.perCTAFill = s.reg.Counter("caps_percta_fill_total", l)
+		m.prefCandidate = s.reg.Counter("pref_candidate_total", l)
+		m.prefAdmit = s.reg.Counter("pref_admit_total", l)
+		m.prefFill = s.reg.Counter("pref_fill_total", l)
+		m.prefConsume = s.reg.Counter("pref_consume_total", l)
+		m.prefLate = s.reg.Counter("pref_late_total", l)
+		m.prefEarlyEvict = s.reg.Counter("pref_early_evict_total", l)
+		for r := DropReason(0); r < numDropReasons; r++ {
+			m.prefDrop[r] = s.reg.Counter("pref_drop_total", l, Label{Key: "reason", Value: r.String()})
+		}
+		m.mshrAlloc = s.reg.Counter("l1_mshr_alloc_total", l)
+		m.mshrMerge = s.reg.Counter("l1_mshr_merge_total", l)
+		m.mshrConvert = s.reg.Counter("l1_mshr_convert_total", l)
+		m.resFailMSHR = s.reg.Counter("l1_resfail_total", l, Label{Key: "kind", Value: "mshr"})
+		m.resFailQueue = s.reg.Counter("l1_resfail_total", l, Label{Key: "kind", Value: "queue"})
+	}
+	s.part = make([]partMetrics, cfg.Partitions)
+	for i := range s.part {
+		l := Label{Key: "part", Value: itoa(i)}
+		m := &s.part[i]
+		m.mshrAlloc = s.reg.Counter("l2_mshr_alloc_total", l)
+		m.mshrMerge = s.reg.Counter("l2_mshr_merge_total", l)
+		m.resFailMSHR = s.reg.Counter("l2_resfail_total", l, Label{Key: "kind", Value: "mshr"})
+		m.resFailQueue = s.reg.Counter("l2_resfail_total", l, Label{Key: "kind", Value: "queue"})
+	}
+	s.ch = make([]chanMetrics, cfg.Channels)
+	for i := range s.ch {
+		l := Label{Key: "chan", Value: itoa(i)}
+		s.ch[i].rowHit = s.reg.Counter("dram_row_hit_total", l)
+		s.ch[i].rowMiss = s.reg.Counter("dram_row_miss_total", l)
+	}
+	return s
+}
+
+// itoa avoids strconv for the tiny ids used in labels (also keeps the
+// import set minimal).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Registry exposes the metric registry (nil-safe: returns nil when
+// disabled).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Trace exposes the event buffer (nil when tracing is disabled).
+func (s *Sink) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
+// Snapshot returns the current metric samples (nil for a nil sink).
+func (s *Sink) Snapshot() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Snapshot()
+}
+
+func (s *Sink) emit(e Event) {
+	if s.trace != nil {
+		s.trace.Append(e)
+	}
+}
+
+func (s *Sink) smOK(sm int) bool  { return sm >= 0 && sm < len(s.sm) }
+func (s *Sink) partOK(p int) bool { return p >= 0 && p < len(s.part) }
+func (s *Sink) chanOK(c int) bool { return c >= 0 && c < len(s.ch) }
+
+// RunDone records end-of-run totals (final cycle count).
+func (s *Sink) RunDone(cycle int64) {
+	if s == nil {
+		return
+	}
+	s.cyclesG.Set(cycle)
+}
+
+// ---------------------------------------------------- warp/CTA lifecycle ----
+
+// CTALaunch records a CTA being placed on an SM.
+func (s *Sink) CTALaunch(cycle int64, sm, cta int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].ctaLaunch.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvCTALaunch, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta)})
+}
+
+// CTAFinish records the last warp of a CTA retiring.
+func (s *Sink) CTAFinish(cycle int64, sm, cta int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].ctaFinish.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvCTAFinish, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta)})
+}
+
+// WarpDispatch records a warp context activating.
+func (s *Sink) WarpDispatch(cycle int64, sm, warpSlot, cta int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].warpDispatch.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvWarpDispatch, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)})
+}
+
+// WarpStall records a warp blocking on outstanding loads.
+func (s *Sink) WarpStall(cycle int64, sm, warpSlot int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].warpStall.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvWarpStall, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// WarpBarrier records a warp arriving at a CTA barrier.
+func (s *Sink) WarpBarrier(cycle int64, sm, warpSlot, cta int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].warpBarrier.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvWarpBarrier, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)})
+}
+
+// WarpFinish records a warp retiring.
+func (s *Sink) WarpFinish(cycle int64, sm, warpSlot int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].warpFinish.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvWarpFinish, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// ------------------------------------------------- scheduler transitions ----
+
+// SchedPromote records a warp moving from the pending to the ready queue.
+func (s *Sink) SchedPromote(cycle int64, sm, warpSlot int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].schedPromote.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvSchedPromote, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// SchedDemote records a warp leaving the ready queue on a long-latency op.
+func (s *Sink) SchedDemote(cycle int64, sm, warpSlot int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].schedDemote.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvSchedDemote, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// SchedWakeup records an eager prefetch wake-up promotion (PAS, §V-A).
+func (s *Sink) SchedWakeup(cycle int64, sm, warpSlot int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].schedWakeup.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvSchedWakeup, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// ----------------------------------------------------- prefetch lifecycle ----
+
+// DistAlloc records a CAPS DIST table entry allocation for a load PC.
+func (s *Sink) DistAlloc(cycle int64, sm int, pc uint32) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].distAlloc.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvDistAlloc, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc})
+}
+
+// PerCTAFill records a CTA's leading warp registering its base-address
+// vector in the PerCTA table.
+func (s *Sink) PerCTAFill(cycle int64, sm, cta int, pc uint32) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].perCTAFill.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPerCTAFill, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc})
+}
+
+// PrefCandidate records one generated prefetch candidate entering the SM's
+// prefetch queue path.
+func (s *Sink) PrefCandidate(cycle int64, sm, warpSlot, cta int, pc uint32, addr uint64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].prefCandidate.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPrefCandidate, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr})
+}
+
+// PrefDrop records a candidate discarded before doing useful work.
+func (s *Sink) PrefDrop(cycle int64, sm int, pc uint32, addr uint64, reason DropReason) {
+	if s == nil || !s.smOK(sm) || reason >= numDropReasons {
+		return
+	}
+	s.sm[sm].prefDrop[reason].Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPrefDrop, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr, Arg: uint8(reason)})
+}
+
+// PrefAdmit records a prefetch miss admitted into L1 and sent to memory.
+func (s *Sink) PrefAdmit(cycle int64, sm, warpSlot int, pc uint32, addr uint64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].prefAdmit.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPrefAdmit, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
+}
+
+// PrefFill records a prefetched line installing into L1.
+func (s *Sink) PrefFill(cycle int64, sm, warpSlot int, pc uint32, addr uint64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].prefFill.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPrefFill, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
+}
+
+// PrefConsume records the first demand hit on a prefetched line; distance
+// is demand cycle minus prefetch issue cycle (Fig. 14b).
+func (s *Sink) PrefConsume(cycle int64, sm, warpSlot int, pc uint32, addr uint64, distance int64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].prefConsume.Inc()
+	s.prefDist.Observe(distance)
+	s.emit(Event{Cycle: cycle, Kind: EvPrefConsume, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
+}
+
+// PrefLate records a demand access merging into an in-flight prefetch
+// (late-but-useful prefetch).
+func (s *Sink) PrefLate(cycle int64, sm int, pc uint32, addr uint64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].prefLate.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPrefLate, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr})
+}
+
+// PrefEarlyEvict records a prefetched line evicted before any demand use
+// (Fig. 14a numerator).
+func (s *Sink) PrefEarlyEvict(cycle int64, sm int, pc uint32, addr uint64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].prefEarlyEvict.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvPrefEarlyEvict, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr})
+}
+
+// ------------------------------------------------------- memory system ----
+
+// MSHRAlloc records a new MSHR allocation at an L1 (DomSM) or L2 (DomPart)
+// cache; prefetch marks prefetch-buffer allocations.
+func (s *Sink) MSHRAlloc(cycle int64, dom Domain, track int, addr uint64, prefetch bool) {
+	if s == nil {
+		return
+	}
+	var arg uint8
+	if prefetch {
+		arg = 1
+	}
+	switch dom {
+	case DomSM:
+		if !s.smOK(track) {
+			return
+		}
+		s.sm[track].mshrAlloc.Inc()
+	case DomPart:
+		if !s.partOK(track) {
+			return
+		}
+		s.part[track].mshrAlloc.Inc()
+	default:
+		return
+	}
+	s.emit(Event{Cycle: cycle, Kind: EvMSHRAlloc, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr, Arg: arg})
+}
+
+// MSHRMerge records a request merging into an in-flight MSHR.
+func (s *Sink) MSHRMerge(cycle int64, dom Domain, track int, addr uint64) {
+	if s == nil {
+		return
+	}
+	switch dom {
+	case DomSM:
+		if !s.smOK(track) {
+			return
+		}
+		s.sm[track].mshrMerge.Inc()
+	case DomPart:
+		if !s.partOK(track) {
+			return
+		}
+		s.part[track].mshrMerge.Inc()
+	default:
+		return
+	}
+	s.emit(Event{Cycle: cycle, Kind: EvMSHRMerge, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr})
+}
+
+// MSHRConvert records a demand merge converting a prefetch-only MSHR into a
+// demand-serving one (only the L1 has a prefetch buffer).
+func (s *Sink) MSHRConvert(cycle int64, sm int, addr uint64) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].mshrConvert.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvMSHRConvert, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Addr: addr})
+}
+
+// ResFail records a reservation failure (no MSHR, or miss queue full when
+// queueFull is set) at an L1 or L2 cache.
+func (s *Sink) ResFail(cycle int64, dom Domain, track int, addr uint64, queueFull bool) {
+	if s == nil {
+		return
+	}
+	var arg uint8
+	switch dom {
+	case DomSM:
+		if !s.smOK(track) {
+			return
+		}
+		if queueFull {
+			s.sm[track].resFailQueue.Inc()
+			arg = 1
+		} else {
+			s.sm[track].resFailMSHR.Inc()
+		}
+	case DomPart:
+		if !s.partOK(track) {
+			return
+		}
+		if queueFull {
+			s.part[track].resFailQueue.Inc()
+			arg = 1
+		} else {
+			s.part[track].resFailMSHR.Inc()
+		}
+	default:
+		return
+	}
+	s.emit(Event{Cycle: cycle, Kind: EvResFail, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr, Arg: arg})
+}
+
+// RowHit records a DRAM row-buffer hit on a channel.
+func (s *Sink) RowHit(cycle int64, ch int, addr uint64) {
+	if s == nil || !s.chanOK(ch) {
+		return
+	}
+	s.ch[ch].rowHit.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvRowHit, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr})
+}
+
+// RowMiss records a DRAM row activation (row miss or cold row).
+func (s *Sink) RowMiss(cycle int64, ch int, addr uint64) {
+	if s == nil || !s.chanOK(ch) {
+		return
+	}
+	s.ch[ch].rowMiss.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvRowMiss, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr})
+}
+
+// DemandLatency feeds the demand round-trip latency histogram.
+func (s *Sink) DemandLatency(lat int64) {
+	if s == nil {
+		return
+	}
+	s.demandLat.Observe(lat)
+}

@@ -1,0 +1,213 @@
+package obs
+
+import "fmt"
+
+// Domain identifies the hardware unit class an event belongs to; together
+// with Track it names one timeline in the exported trace (one track per SM,
+// per memory partition, per DRAM channel).
+type Domain uint8
+
+// Trace domains.
+const (
+	DomSM Domain = iota
+	DomPart
+	DomDRAM
+)
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	switch d {
+	case DomSM:
+		return "SM"
+	case DomPart:
+		return "Part"
+	case DomDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}
+
+// Kind is the typed event identifier.
+type Kind uint8
+
+// Event kinds: warp/CTA lifecycle, scheduler transitions, the prefetch
+// lifecycle (DIST allocation → PerCTA fill → candidate → admission → L1
+// fill → consumption or early eviction), and memory-system events.
+const (
+	EvCTALaunch Kind = iota
+	EvCTAFinish
+	EvWarpDispatch
+	EvWarpStall
+	EvWarpBarrier
+	EvWarpFinish
+	EvSchedPromote
+	EvSchedDemote
+	EvSchedWakeup
+	EvDistAlloc
+	EvPerCTAFill
+	EvPrefCandidate
+	EvPrefDrop
+	EvPrefAdmit
+	EvPrefFill
+	EvPrefConsume
+	EvPrefLate
+	EvPrefEarlyEvict
+	EvMSHRAlloc
+	EvMSHRMerge
+	EvMSHRConvert
+	EvResFail
+	EvRowHit
+	EvRowMiss
+
+	numKinds // sentinel
+)
+
+// kindNames maps each Kind to its dotted trace name; the dot groups events
+// visually in Perfetto ("pref.candidate", "mshr.alloc", ...).
+var kindNames = [numKinds]string{
+	EvCTALaunch:      "cta.launch",
+	EvCTAFinish:      "cta.finish",
+	EvWarpDispatch:   "warp.dispatch",
+	EvWarpStall:      "warp.stall",
+	EvWarpBarrier:    "warp.barrier",
+	EvWarpFinish:     "warp.finish",
+	EvSchedPromote:   "sched.promote",
+	EvSchedDemote:    "sched.demote",
+	EvSchedWakeup:    "sched.wakeup",
+	EvDistAlloc:      "caps.dist_alloc",
+	EvPerCTAFill:     "caps.percta_fill",
+	EvPrefCandidate:  "pref.candidate",
+	EvPrefDrop:       "pref.drop",
+	EvPrefAdmit:      "pref.admit",
+	EvPrefFill:       "pref.fill",
+	EvPrefConsume:    "pref.consume",
+	EvPrefLate:       "pref.late",
+	EvPrefEarlyEvict: "pref.early_evict",
+	EvMSHRAlloc:      "mshr.alloc",
+	EvMSHRMerge:      "mshr.merge",
+	EvMSHRConvert:    "mshr.convert",
+	EvResFail:        "mshr.resfail",
+	EvRowHit:         "dram.row_hit",
+	EvRowMiss:        "dram.row_miss",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// category groups kinds for the exporter's "cat" field so Perfetto can
+// filter by subsystem.
+func (k Kind) category() string {
+	switch {
+	case k <= EvWarpFinish:
+		return "warp"
+	case k <= EvSchedWakeup:
+		return "sched"
+	case k <= EvPrefEarlyEvict:
+		return "pref"
+	case k <= EvResFail:
+		return "mem"
+	default:
+		return "dram"
+	}
+}
+
+// DropReason classifies why a prefetch candidate was discarded before (or
+// at) L1 admission. It mirrors the stats.Sim PrefDrop* breakdown.
+type DropReason uint8
+
+// Prefetch drop reasons.
+const (
+	DropQueueFull DropReason = iota
+	DropDup
+	DropStale
+	DropCTAGone
+	DropPresent
+	DropInFlight
+	DropSetFull
+	DropRejected // L1 refused the admission access (merged or reservation fail)
+
+	numDropReasons // sentinel
+)
+
+var dropNames = [numDropReasons]string{
+	DropQueueFull: "queue_full",
+	DropDup:       "dup",
+	DropStale:     "stale",
+	DropCTAGone:   "cta_gone",
+	DropPresent:   "present",
+	DropInFlight:  "in_flight",
+	DropSetFull:   "set_full",
+	DropRejected:  "rejected",
+}
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	if int(r) < len(dropNames) {
+		return dropNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Event is one cycle-stamped trace record. Fields are a compact union:
+// Warp/CTA/PC/Addr are meaningful per Kind and -1/0 otherwise; Arg carries
+// the kind-specific subcode (DropReason for EvPrefDrop, 1 for a queue-full
+// reservation fail on EvResFail, request kind for EvMSHRAlloc).
+type Event struct {
+	Cycle int64
+	Addr  uint64
+	Warp  int32
+	CTA   int32
+	PC    uint32
+	Track int16
+	Kind  Kind
+	Dom   Domain
+	Arg   uint8
+}
+
+// Trace is a bounded, append-only event buffer. When the cap is reached,
+// further events are counted but not stored (silent truncation would read
+// as "nothing happened after cycle N"; the exporter surfaces the count).
+type Trace struct {
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// DefaultTraceCap bounds trace memory (~40 bytes/event → ~40 MB). Sized so
+// a full-length single-benchmark run keeps its complete prefetch and
+// scheduler history.
+const DefaultTraceCap = 1 << 20
+
+// NewTrace creates a trace buffer holding at most capEvents events
+// (DefaultTraceCap when capEvents <= 0).
+func NewTrace(capEvents int) *Trace {
+	if capEvents <= 0 {
+		capEvents = DefaultTraceCap
+	}
+	return &Trace{cap: capEvents}
+}
+
+// Append records one event, or counts it as dropped once the buffer is full.
+func (t *Trace) Append(e Event) {
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events in emission order (cycle-ordered: the
+// simulator is single-goroutine and cycles are monotonic).
+func (t *Trace) Events() []Event { return t.events }
+
+// Dropped returns the number of events lost to the buffer cap.
+func (t *Trace) Dropped() int64 { return t.dropped }
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int { return len(t.events) }

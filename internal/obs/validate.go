@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSummary reports what a validated Chrome trace contains.
+type TraceSummary struct {
+	Events        int // non-metadata events
+	Tracks        int // distinct (pid, tid) pairs carrying events
+	SMTracks      int // tracks in the SM process
+	SchedEvents   int // events in the "sched" category
+	PrefLifecycle int // complete candidate→fill→consume lifecycles (by line address)
+	Dropped       int64
+}
+
+// ValidateChromeTrace parses a Chrome trace-event JSON document and checks
+// the invariants the exporter guarantees: the document is valid JSON in
+// object form, it contains events, and per track the event timestamps are
+// monotonically non-decreasing (cycle order). It returns a summary for
+// further assertions (scheduler tracks present, prefetch lifecycles
+// complete).
+func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
+	var sum TraceSummary
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ph   string          `json:"ph"`
+			TS   int64           `json:"ts"`
+			PID  int             `json:"pid"`
+			TID  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			DroppedEvents int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return sum, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	sum.Dropped = doc.OtherData.DroppedEvents
+
+	type trackKey struct{ pid, tid int }
+	lastTS := make(map[trackKey]int64)
+	smTracks := make(map[int]bool)
+	// Prefetch lifecycle tracking by line address: candidate → fill →
+	// consume must appear in cycle order for at least one line.
+	const (
+		sawCandidate = 1 << iota
+		sawFill
+		sawConsume
+	)
+	lifecycle := make(map[string]uint8)
+
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		sum.Events++
+		k := trackKey{ev.PID, ev.TID}
+		if last, ok := lastTS[k]; ok && ev.TS < last {
+			return sum, fmt.Errorf("obs: track pid=%d tid=%d: timestamp %d after %d — events out of cycle order",
+				ev.PID, ev.TID, ev.TS, last)
+		}
+		lastTS[k] = ev.TS
+		if ev.PID == chromePID(DomSM) {
+			smTracks[ev.TID] = true
+		}
+		if ev.Cat == "sched" {
+			sum.SchedEvents++
+		}
+		switch ev.Name {
+		case kindNames[EvPrefCandidate], kindNames[EvPrefFill], kindNames[EvPrefConsume]:
+			var args struct {
+				Addr string `json:"addr"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Addr == "" {
+				continue
+			}
+			st := lifecycle[args.Addr]
+			switch ev.Name {
+			case kindNames[EvPrefCandidate]:
+				st |= sawCandidate
+			case kindNames[EvPrefFill]:
+				if st&sawCandidate != 0 {
+					st |= sawFill
+				}
+			case kindNames[EvPrefConsume]:
+				if st&sawFill != 0 {
+					st |= sawConsume
+				}
+			}
+			lifecycle[args.Addr] = st
+		}
+	}
+	if sum.Events == 0 {
+		return sum, fmt.Errorf("obs: trace contains no events")
+	}
+	sum.Tracks = len(lastTS)
+	sum.SMTracks = len(smTracks)
+	for _, st := range lifecycle { //simcheck:allow detlint order-insensitive count
+		if st&sawConsume != 0 {
+			sum.PrefLifecycle++
+		}
+	}
+	return sum, nil
+}

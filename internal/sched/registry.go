@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"caps/internal/config"
+)
+
+// Factory builds a scheduler instance for one SM from the run configuration.
+type Factory func(cfg config.GPUConfig) Scheduler
+
+var registry = map[string]Factory{}
+
+// Register adds a named scheduler constructor. It panics on a duplicate
+// name: registration happens in package init, where a collision is a
+// programming error, not a runtime condition.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds the named scheduler; the error lists the registered names so a
+// CLI typo is self-explanatory.
+func New(name string, cfg config.GPUConfig) (Scheduler, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (registered: %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("lrr", func(cfg config.GPUConfig) Scheduler { return NewLRR(cfg.MaxWarpsPerSM) })
+	Register("gto", func(cfg config.GPUConfig) Scheduler { return NewGTO(cfg.MaxWarpsPerSM) })
+	Register("tlv", func(cfg config.GPUConfig) Scheduler { return NewTwoLevel(cfg.ReadyQueueSize) })
+	Register("pas", func(cfg config.GPUConfig) Scheduler { return NewPAS(cfg.ReadyQueueSize, cfg.PrefetchWakeup) })
+	Register("tlv-grouped", func(cfg config.GPUConfig) Scheduler {
+		return NewTwoLevelInterleaved(cfg.ReadyQueueSize, cfg.MaxWarpsPerSM/cfg.ReadyQueueSize)
+	})
+}

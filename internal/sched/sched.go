@@ -9,7 +9,10 @@
 // per-cycle eligibility (not blocked on loads, barriers or the scoreboard).
 package sched
 
-import "caps/internal/invariant"
+import (
+	"caps/internal/invariant"
+	"caps/internal/obs"
+)
 
 // View lets a scheduler query per-slot state owned by the SM.
 type View interface {
@@ -171,6 +174,13 @@ type TwoLevel struct {
 	leading  map[int]bool
 	baseDone map[int]bool // leading warp has issued its first load
 	rr       int          // round-robin cursor within the ready queue
+
+	// Observability (nil-safe). lastNow is the cycle most recently pushed
+	// via ObsTick (or Pick); OnLongLatency/OnWake have no time parameter,
+	// so their events are stamped with it.
+	sink    *obs.Sink
+	smID    int
+	lastNow int64
 }
 
 // NewTwoLevel creates the baseline two-level scheduler with the given ready
@@ -200,6 +210,19 @@ func NewTwoLevelInterleaved(readySize, groups int) *TwoLevel {
 
 // Name implements Scheduler.
 func (s *TwoLevel) Name() string { return s.name }
+
+// AttachObs connects the scheduler to an observability sink; smID names the
+// trace track its promote/demote events land on.
+func (s *TwoLevel) AttachObs(sink *obs.Sink, smID int) {
+	s.sink = sink
+	s.smID = smID
+}
+
+// ObsTick publishes the current cycle for event stamping. The SM calls it
+// at the top of each Tick, before memory responses can trigger OnWake —
+// without it, wake-driven demotes would be stamped with the previous
+// cycle and break per-track timestamp monotonicity in exported traces.
+func (s *TwoLevel) ObsTick(now int64) { s.lastNow = now }
 
 // OnActivate implements Scheduler. New warps enter the pending queue; the
 // refill step promotes them (leading warps first under PAS).
@@ -276,6 +299,7 @@ func (s *TwoLevel) refill(v View) {
 		slot := s.pending[idx]
 		copy(s.pending[idx:], s.pending[idx+1:])
 		s.pending = s.pending[:len(s.pending)-1]
+		s.sink.SchedPromote(s.lastNow, s.smID, slot)
 		if s.leadingFirst && s.leading[slot] && !s.baseDone[slot] {
 			s.ready = append([]int{slot}, s.ready...)
 		} else {
@@ -289,6 +313,7 @@ func (s *TwoLevel) refill(v View) {
 // round-robin cursor spreads issue over the ready queue — the paper
 // prioritizes leading warps only "until they compute the base address".
 func (s *TwoLevel) Pick(now int64, v View) int {
+	s.lastNow = now
 	s.refill(v)
 	n := len(s.ready)
 	if n == 0 {
@@ -323,6 +348,7 @@ func (s *TwoLevel) OnLongLatency(slot int) {
 	if s.ready, ok = removeSlot(s.ready, slot); !ok {
 		return
 	}
+	s.sink.SchedDemote(s.lastNow, s.smID, slot)
 	s.pending = append(s.pending, slot)
 }
 
@@ -348,6 +374,7 @@ func (s *TwoLevel) OnWake(slot int) bool {
 		victim := s.ready[victimIdx]
 		copy(s.ready[victimIdx:], s.ready[victimIdx+1:])
 		s.ready = s.ready[:len(s.ready)-1]
+		s.sink.SchedDemote(s.lastNow, s.smID, victim)
 		s.pending = append(s.pending, victim)
 	}
 	s.ready = append(s.ready, slot)

@@ -8,6 +8,7 @@ import (
 	_ "caps/internal/core"
 	"caps/internal/kernels"
 	"caps/internal/mem"
+	"caps/internal/obs"
 	"caps/internal/prefetch"
 	"caps/internal/sched"
 	"caps/internal/stats"
@@ -29,6 +30,9 @@ type GPU struct {
 
 	// dispatchReq queues SMs whose CTA completed and want a new one.
 	dispatchReq []int
+
+	// snk is the run's observability sink (nil when disabled).
+	snk *obs.Sink
 }
 
 // Options selects the prefetcher and scheduler for a run.
@@ -38,6 +42,22 @@ type Options struct {
 	Scheduler config.SchedulerKind
 	// Tracer observes every demand load (Fig. 1 analysis). Optional.
 	Tracer func(obs *prefetch.Observation)
+	// Obs, when non-nil, receives metrics and (if the sink was built with
+	// tracing) cycle-stamped events from every simulator layer. A nil sink
+	// costs one branch per event site.
+	Obs *obs.Sink
+}
+
+// NewSink builds an observability sink sized for the configuration (one
+// track per SM, memory partition and DRAM channel).
+func NewSink(cfg config.GPUConfig, trace bool, traceCap int) *obs.Sink {
+	return obs.New(obs.Config{
+		SMs:        cfg.NumSMs,
+		Partitions: cfg.NumPartitions,
+		Channels:   cfg.DRAM.Channels,
+		Trace:      trace,
+		TraceCap:   traceCap,
+	})
 }
 
 // New builds a GPU for one kernel run.
@@ -64,16 +84,18 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 	interleaved := opt.Prefetcher == "orch" && cfg.Scheduler == config.SchedTwoLevel
 
 	st := &stats.Sim{}
-	g := &GPU{cfg: cfg, kernel: k, st: st}
+	g := &GPU{cfg: cfg, kernel: k, st: st, snk: opt.Obs}
 	g.icnt = mem.NewInterconnect(cfg.NumSMs, cfg.NumPartitions, cfg.ICNTQueue, cfg.ICNTLatency, cfg.ICNTWidth)
 
 	g.drams = make([]*mem.DRAMChannel, cfg.DRAM.Channels)
 	for i := range g.drams {
 		g.drams[i] = mem.NewDRAMChannel(cfg, st)
+		g.drams[i].AttachObs(opt.Obs, i)
 	}
 	g.parts = make([]*mem.Partition, cfg.NumPartitions)
 	for i := range g.parts {
 		g.parts[i] = mem.NewPartition(i, cfg, g.drams[i%cfg.DRAM.Channels], g.icnt, st)
+		g.parts[i].AttachObs(opt.Obs)
 	}
 
 	g.sms = make([]*SM, cfg.NumSMs)
@@ -88,30 +110,27 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 		}
 		g.sms[i] = newSM(i, cfg, k, sc, pf, g.icnt, st, g.requestDispatch)
 		g.sms[i].Tracer = opt.Tracer
+		g.sms[i].AttachObs(opt.Obs)
 	}
 
 	g.initialDispatch()
 	return g, nil
 }
 
+// newScheduler resolves cfg.Scheduler through the sched registry. ORCH's
+// interleaved flag redirects the two-level baseline to its grouped variant;
+// everything else is a straight name lookup, so schedulers registered by
+// other packages are selectable without touching this switch point.
 func newScheduler(cfg config.GPUConfig, interleaved bool) (sched.Scheduler, error) {
-	n := cfg.MaxWarpsPerSM
-	switch cfg.Scheduler {
-	case config.SchedLRR:
-		return sched.NewLRR(n), nil
-	case config.SchedGTO:
-		return sched.NewGTO(n), nil
-	case config.SchedTwoLevel:
-		if interleaved {
-			groups := n / cfg.ReadyQueueSize
-			return sched.NewTwoLevelInterleaved(cfg.ReadyQueueSize, groups), nil
-		}
-		return sched.NewTwoLevel(cfg.ReadyQueueSize), nil
-	case config.SchedPAS:
-		return sched.NewPAS(cfg.ReadyQueueSize, cfg.PrefetchWakeup), nil
-	default:
-		return nil, fmt.Errorf("sim: unknown scheduler %q", cfg.Scheduler)
+	name := string(cfg.Scheduler)
+	if interleaved && cfg.Scheduler == config.SchedTwoLevel {
+		name = "tlv-grouped"
 	}
+	sc, err := sched.New(name, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return sc, nil
 }
 
 // initialDispatch assigns CTAs to SMs one at a time in round-robin order
@@ -247,9 +266,10 @@ func (g *GPU) Run() (*stats.Sim, error) {
 }
 
 // finalAccounting collects end-of-run statistics (never-used prefetched
-// lines still resident in the L1s).
+// lines still resident in the L1s) and closes out the observability sink.
 func (g *GPU) finalAccounting() {
 	for _, sm := range g.sms {
 		g.st.PrefUnusedAtEnd += sm.L1().UnusedPrefetchedLines()
 	}
+	g.snk.RunDone(g.cycle)
 }

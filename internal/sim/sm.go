@@ -6,6 +6,7 @@ import (
 	"caps/internal/config"
 	"caps/internal/kernels"
 	"caps/internal/mem"
+	"caps/internal/obs"
 	"caps/internal/prefetch"
 	"caps/internal/sched"
 	"caps/internal/stats"
@@ -59,6 +60,13 @@ type SM struct {
 	// Tracer, when set, observes every demand load issue (used by the
 	// Fig. 1 analysis).
 	Tracer func(obs *prefetch.Observation)
+
+	// snk is the observability sink (nil when disabled; every call is
+	// nil-safe). schedClock, when the scheduler supports it, receives the
+	// current cycle at the top of each Tick so scheduler-internal events
+	// are stamped correctly even when they fire before Pick.
+	snk        *obs.Sink
+	schedClock obsClock
 
 	// onCTADone is invoked when a CTA completes so the GPU can dispatch
 	// the next one (demand-driven distribution).
@@ -115,6 +123,35 @@ func newSM(id int, cfg config.GPUConfig, k *kernels.Kernel, sc sched.Scheduler,
 	return sm
 }
 
+// obsAttacher is implemented by schedulers and prefetchers that carry their
+// own trace hooks (TwoLevel, CAPS); baselines without events need nothing.
+type obsAttacher interface {
+	AttachObs(*obs.Sink, int)
+}
+
+// obsClock is implemented by schedulers whose event hooks can fire outside
+// Pick and therefore need the current cycle pushed to them.
+type obsClock interface {
+	ObsTick(now int64)
+}
+
+// AttachObs connects the SM, its L1, and (when they support it) its
+// scheduler and prefetcher to an observability sink. Attaching nil is a
+// no-op at every event site.
+func (sm *SM) AttachObs(s *obs.Sink) {
+	sm.snk = s
+	sm.l1.AttachObs(s, obs.DomSM, sm.id)
+	if a, ok := sm.sched.(obsAttacher); ok {
+		a.AttachObs(s, sm.id)
+	}
+	if s != nil {
+		sm.schedClock, _ = sm.sched.(obsClock)
+	}
+	if a, ok := sm.pref.(obsAttacher); ok {
+		a.AttachObs(s, sm.id)
+	}
+}
+
 // FreeCTASlot returns the index of an unoccupied CTA slot, or -1.
 func (sm *SM) FreeCTASlot() int {
 	for i := range sm.ctas {
@@ -137,10 +174,12 @@ func (sm *SM) LaunchCTA(slot, ctaID int) {
 		warpsLeft: sm.warpsPerCTA,
 	}
 	sm.pref.OnCTALaunch(slot)
+	sm.snk.CTALaunch(sm.nowCache, sm.id, ctaID)
 	for w := 0; w < sm.warpsPerCTA; w++ {
 		ws := &sm.warps[slot*sm.warpsPerCTA+w]
 		ws.reset(slot, ctaID, coord, w, len(sm.kernel.Loads))
 		sm.sched.OnActivate(ws.slot, w == 0)
+		sm.snk.WarpDispatch(sm.nowCache, sm.id, ws.slot, ctaID)
 	}
 	sm.activeCTAs++
 	sm.liveWarps += sm.warpsPerCTA
@@ -178,6 +217,9 @@ func (sm *SM) L1() *mem.Cache { return sm.l1 }
 // always surface).
 func (sm *SM) Tick(now int64) (int, error) {
 	sm.nowCache = now
+	if sm.schedClock != nil {
+		sm.schedClock.ObsTick(now)
+	}
 	if err := sm.acceptResponses(now); err != nil {
 		return 0, err
 	}
@@ -207,12 +249,14 @@ func (sm *SM) acceptResponses(now int64) error {
 		}
 		if fill.EvictedUnusedPrefetch {
 			sm.st.PrefEarlyEvict++
+			sm.snk.PrefEarlyEvict(now, sm.id, fill.EvictedPrefPC, r.LineAddr)
 		}
 		for _, w := range fill.Waiters {
 			switch w.Kind {
 			case mem.Demand:
 				sm.st.DemandLatencySum += now - w.IssueCycle
 				sm.st.DemandLatencyCount++
+				sm.snk.DemandLatency(now - w.IssueCycle)
 				ws := &sm.warps[w.WarpSlot]
 				if ws.active && ws.outstanding > 0 {
 					ws.outstanding--
@@ -228,6 +272,7 @@ func (sm *SM) acceptResponses(now int64) error {
 					if ws.active && !ws.finished {
 						if sm.sched.OnWake(w.WarpSlot) {
 							sm.st.WakeupPromotions++
+							sm.snk.SchedWakeup(now, sm.id, w.WarpSlot)
 						}
 					}
 				}
@@ -276,6 +321,7 @@ func (sm *SM) pumpLSU(now int64) {
 			sm.st.PrefUseful++
 			sm.st.PrefDistanceSum += now - res.PrefIssueCycle
 			sm.st.PrefDistanceCount++
+			sm.snk.PrefConsume(now, sm.id, g.warp.slot, res.PrefPC, addr, now-res.PrefIssueCycle)
 		}
 		g.warp.outstanding--
 		if g.warp.outstanding == 0 {
@@ -292,6 +338,7 @@ func (sm *SM) pumpLSU(now int64) {
 			sm.st.PrefLate++
 			sm.st.PrefDistanceSum += now - res.PrefIssueCycle
 			sm.st.PrefDistanceCount++
+			sm.snk.PrefLate(now, sm.id, res.PrefPC, addr)
 		}
 	case mem.ResFailMSHR, mem.ResFailQueue:
 		sm.st.ReservationFails++
@@ -361,6 +408,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		w.pc++
 		if w.outstanding > 0 {
 			w.waitLoad = true
+			sm.snk.WarpStall(now, sm.id, w.slot)
 			// The warp now waits on memory: demote it so the two-level
 			// ready queue stays populated with runnable warps.
 			sm.sched.OnLongLatency(w.slot)
@@ -390,6 +438,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		w.atBarrier = true
 		cta.barrierCnt++
 		w.pc++
+		sm.snk.WarpBarrier(now, sm.id, w.slot, w.ctaID)
 		if cta.barrierCnt == cta.warpsLeft {
 			cta.barrierCnt = 0
 			for i := 0; i < cta.warpCount; i++ {
@@ -443,6 +492,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 			// A dependent use follows immediately: the warp stalls on the
 			// long-latency load and leaves the two-level ready queue.
 			w.waitLoad = true
+			sm.snk.WarpStall(now, sm.id, w.slot)
 			sm.sched.OnLongLatency(w.slot)
 		}
 		w.pc++
@@ -517,12 +567,14 @@ func (sm *SM) finishWarp(w *warpState) {
 	sm.liveWarps--
 	sm.st.WarpsDone++
 	sm.sched.OnFinish(w.slot)
+	sm.snk.WarpFinish(sm.nowCache, sm.id, w.slot)
 	cta := &sm.ctas[w.ctaSlot]
 	cta.warpsLeft--
 	if cta.warpsLeft == 0 {
 		cta.active = false
 		sm.activeCTAs--
 		sm.st.CTAsDone++
+		sm.snk.CTAFinish(sm.nowCache, sm.id, w.ctaID)
 		if sm.onCTADone != nil {
 			sm.onCTADone(sm.id)
 		}
@@ -536,14 +588,17 @@ func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 	if c.GenCycle == 0 {
 		c.GenCycle = now
 	}
+	sm.snk.PrefCandidate(now, sm.id, c.TargetWarpSlot, c.TargetCTAID, c.PC, c.Addr)
 	if sm.prefIn[c.Addr] {
 		sm.st.PrefDropped++
 		sm.st.PrefDropDup++
+		sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropDup)
 		return
 	}
 	if len(sm.prefQ) >= prefQueueCap {
 		sm.st.PrefDropped++
 		sm.st.PrefDropQueueFull++
+		sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropQueueFull)
 		return
 	}
 	sm.prefIn[c.Addr] = true
@@ -570,6 +625,7 @@ func (sm *SM) admitPrefetches(now int64) {
 		if now-c.GenCycle > prefTTL {
 			sm.st.PrefDropped++
 			sm.st.PrefDropStale++
+			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropStale)
 			continue
 		}
 		if c.TargetWarpSlot >= 0 && c.TargetCTAID >= 0 && c.TargetWarpSlot < len(sm.warps) {
@@ -577,17 +633,20 @@ func (sm *SM) admitPrefetches(now int64) {
 			if !w.active || w.ctaID != c.TargetCTAID {
 				sm.st.PrefDropped++
 				sm.st.PrefDropCTAGone++
+				sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropCTAGone)
 				continue
 			}
 		}
 		if sm.l1.Probe(c.Addr) {
 			sm.st.PrefDropped++
 			sm.st.PrefDropPresent++
+			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropPresent)
 			continue
 		}
 		if sm.l1.InFlight(c.Addr) {
 			sm.st.PrefDropped++
 			sm.st.PrefDropInFlight++
+			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropInFlight)
 			continue
 		}
 		if sm.l1.UnconsumedPrefetchesInSet(c.Addr) >= prefWaysPerSet {
@@ -595,6 +654,7 @@ func (sm *SM) admitPrefetches(now int64) {
 			// data; admitting more would crowd out demand lines.
 			sm.st.PrefDropped++
 			sm.st.PrefDropSetFull++
+			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropSetFull)
 			continue
 		}
 		req := &mem.Request{
@@ -613,9 +673,11 @@ func (sm *SM) admitPrefetches(now int64) {
 			sm.st.PrefIssued++
 			sm.st.PrefToMemory++
 			admitted++
+			sm.snk.PrefAdmit(now, sm.id, c.TargetWarpSlot, c.PC, c.Addr)
 		default:
 			// Present, merged or rejected: the prefetch does no work.
 			sm.st.PrefDropped++
+			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropRejected)
 		}
 	}
 }
