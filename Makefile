@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race determinism trace-smoke check bench
+.PHONY: build lint test race determinism trace-smoke profile-smoke bench-json check bench
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,24 @@ trace-smoke:
 		-trace /tmp/caps-trace.json -metrics /tmp/caps-metrics.csv
 	$(GO) run ./cmd/simcheck -mode=tracecheck /tmp/caps-trace.json
 
-check: build lint test determinism trace-smoke
+# End-to-end profiling smoke test: run the same benchmark twice with the
+# stall-stack profiler on, then diff the two profiles — identical runs must
+# produce zero regressions (also exercises the HTML report path).
+profile-smoke:
+	$(GO) run ./cmd/capsim -bench CNV -prefetch caps -insts 50000 \
+		-profile /tmp/caps-prof-a.json
+	$(GO) run ./cmd/capsim -bench CNV -prefetch caps -insts 50000 \
+		-profile /tmp/caps-prof-b.json
+	$(GO) run ./cmd/capsprof diff /tmp/caps-prof-a.json /tmp/caps-prof-b.json
+	$(GO) run ./cmd/capsprof report /tmp/caps-prof-a.json -html /tmp/caps-prof-a.html
+
+# Regenerates BENCH_caps.json: headline IPC + prefetch metrics for every
+# benchmark under the CAPS configuration. capsprof diff accepts the file as
+# a baseline, turning the committed numbers into a regression gate.
+bench-json:
+	$(GO) run ./cmd/capsweep -insts 200000 -bench-json BENCH_caps.json
+
+check: build lint test determinism trace-smoke profile-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -5,6 +5,8 @@
 //
 //	capsim -bench CNV -prefetch caps [-sched pas] [-ctas 8] [-insts 1000000]
 //	capsim -bench MM -prefetch caps -trace out.json -metrics out.csv
+//	capsim -bench CNV -prefetch caps -profile out.profile.json
+//	capsim -bench MM -prefetch caps -cpuprofile cpu.pprof
 //	capsim -list
 package main
 
@@ -12,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"caps/internal/config"
@@ -19,11 +23,18 @@ import (
 	"caps/internal/kernels"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
+	"caps/internal/profile"
 	"caps/internal/sched"
 	"caps/internal/sim"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; keeping it a function lets deferred cleanups (pprof
+// stop/flush) execute before the process exits.
+func run() int {
 	var (
 		bench    = flag.String("bench", "CNV", "benchmark abbreviation (see -list)")
 		pf       = flag.String("prefetch", "none", "prefetcher (see -list)")
@@ -36,6 +47,9 @@ func main() {
 		eEnergy  = flag.Bool("energy", false, "print the energy breakdown")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
 		metOut   = flag.String("metrics", "", "write the metrics snapshot as CSV to this file")
+		profOut  = flag.String("profile", "", "write a capsprof profile JSON (stall stacks + per-PC ledger) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile of the simulator itself to this file")
 	)
 	flag.Parse()
 
@@ -47,22 +61,22 @@ func main() {
 		}
 		fmt.Println("prefetchers:", prefetch.Names())
 		fmt.Println("schedulers:", sched.Names())
-		return
+		return 0
 	}
 	if *showCfg {
 		fmt.Print(cfg.TableString())
-		return
+		return 0
 	}
 
 	if !contains(prefetch.Names(), *pf) {
 		fmt.Fprintf(os.Stderr, "capsim: unknown prefetcher %q (registered: %s)\n",
 			*pf, strings.Join(prefetch.Names(), ", "))
-		os.Exit(2)
+		return 2
 	}
 	if *schedFlg != "" && !contains(sched.Names(), *schedFlg) {
 		fmt.Fprintf(os.Stderr, "capsim: unknown scheduler %q (registered: %s)\n",
 			*schedFlg, strings.Join(sched.Names(), ", "))
-		os.Exit(2)
+		return 2
 	}
 
 	o := config.Overrides{
@@ -80,21 +94,41 @@ func main() {
 	k, err := kernels.ByAbbr(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
-		os.Exit(2)
+		return 2
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var snk *obs.Sink
-	if *traceOut != "" || *metOut != "" {
+	var col *profile.Collector
+	if *traceOut != "" || *metOut != "" || *profOut != "" {
 		snk = sim.NewSink(cfg, *traceOut != "", obs.DefaultTraceCap)
+	}
+	if *profOut != "" {
+		col = profile.NewCollector(cfg.NumSMs)
+		snk.Attach(col)
 	}
 	g, err := sim.New(cfg, k, sim.Options{Prefetcher: *pf, Obs: snk})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	st, err := g.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%s  prefetch=%s  sched=%s\n", k.Abbr, *pf, cfg.Scheduler)
 	fmt.Print(st.String())
@@ -108,7 +142,7 @@ func main() {
 			return obs.WriteChromeTrace(f, snk)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "capsim: trace:", err)
-			os.Exit(1)
+			return 1
 		}
 		if n := snk.Trace().Dropped(); n > 0 {
 			fmt.Fprintf(os.Stderr, "capsim: trace buffer full, dropped %d events (raise obs.DefaultTraceCap)\n", n)
@@ -119,9 +153,31 @@ func main() {
 			return obs.WriteCSV(f, snk.Snapshot())
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "capsim: metrics:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if *profOut != "" {
+		meta := profile.Meta{Bench: k.Abbr, Prefetcher: *pf, Scheduler: string(cfg.Scheduler), SMs: cfg.NumSMs}
+		p, err := col.Build(meta, st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: profile:", err)
+			return 1
+		}
+		if err := p.WriteFile(*profOut); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: profile:", err)
+			return 1
+		}
+	}
+	if *memProf != "" {
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := writeFile(*memProf, func(f *os.File) error {
+			return pprof.WriteHeapProfile(f)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: memprofile:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 func contains(names []string, s string) bool {

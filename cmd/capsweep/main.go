@@ -15,25 +15,29 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"caps/internal/config"
 	"caps/internal/experiments"
 	"caps/internal/obs"
+	"caps/internal/profile"
 	"caps/internal/sim"
 	"caps/internal/stats"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "comma-separated figures to regenerate: 1, 4, 10, 11, 12, 13, 14a, 14b, 15")
-		table    = flag.String("table", "", "table to regenerate: 1, 2, 3, 4")
-		abl      = flag.String("ablation", "", "ablation to run: tables, buffer, threshold, wakeup, occupancy")
-		all      = flag.Bool("all", false, "regenerate every figure and table")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		insts    = flag.Int64("insts", 0, "override the per-run instruction cap")
-		par      = flag.Int("par", 0, "parallel simulations (default: GOMAXPROCS)")
-		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all 16)")
-		traceDir = flag.String("trace-dir", "", "write a Chrome trace + metrics CSV per run into this directory")
+		fig        = flag.String("fig", "", "comma-separated figures to regenerate: 1, 4, 10, 11, 12, 13, 14a, 14b, 15")
+		table      = flag.String("table", "", "table to regenerate: 1, 2, 3, 4")
+		abl        = flag.String("ablation", "", "ablation to run: tables, buffer, threshold, wakeup, occupancy")
+		all        = flag.Bool("all", false, "regenerate every figure and table")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		insts      = flag.Int64("insts", 0, "override the per-run instruction cap")
+		par        = flag.Int("par", 0, "parallel simulations (default: GOMAXPROCS)")
+		benches    = flag.String("benches", "", "comma-separated benchmark subset (default: all 16)")
+		traceDir   = flag.String("trace-dir", "", "write a Chrome trace + metrics CSV per run into this directory")
+		profileDir = flag.String("profile-dir", "", "write a capsprof profile JSON per run into this directory")
+		benchJSON  = flag.String("bench-json", "", "run the CAPS suite and write BENCH_caps.json-style metrics to this file, then exit")
 	)
 	flag.Parse()
 
@@ -48,23 +52,64 @@ func main() {
 	if *benches != "" {
 		opts = append(opts, experiments.WithBenches(strings.Split(*benches, ",")))
 	}
-	if *traceDir != "" {
-		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "capsweep:", err)
-			os.Exit(1)
+	if *traceDir != "" || *profileDir != "" {
+		for _, dir := range []string{*traceDir, *profileDir} {
+			if dir == "" {
+				continue
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "capsweep:", err)
+				os.Exit(1)
+			}
 		}
+		// Warm's workers run concurrently, so the sink→collector pairing is
+		// kept in a mutex-guarded map keyed by the (unique, memoized) RunKey.
+		var mu sync.Mutex
+		collectors := make(map[experiments.RunKey]*profile.Collector)
 		opts = append(opts, experiments.WithObs(
 			func(k experiments.RunKey) *obs.Sink {
-				return sim.NewSink(cfg, true, obs.DefaultTraceCap)
+				snk := sim.NewSink(cfg, *traceDir != "", obs.DefaultTraceCap)
+				if *profileDir != "" {
+					col := profile.NewCollector(cfg.NumSMs)
+					snk.Attach(col)
+					mu.Lock()
+					collectors[k] = col
+					mu.Unlock()
+				}
+				return snk
 			},
-			func(k experiments.RunKey, s *obs.Sink) {
-				if err := exportRun(*traceDir, k, s); err != nil {
-					fmt.Fprintln(os.Stderr, "capsweep: trace export:", err)
+			func(k experiments.RunKey, s *obs.Sink, st *stats.Sim) {
+				if *traceDir != "" {
+					if err := exportRun(*traceDir, k, s); err != nil {
+						fmt.Fprintln(os.Stderr, "capsweep: trace export:", err)
+					}
+				}
+				if *profileDir != "" {
+					mu.Lock()
+					col := collectors[k]
+					mu.Unlock()
+					if err := exportProfile(*profileDir, cfg, k, col, st); err != nil {
+						fmt.Fprintln(os.Stderr, "capsweep: profile export:", err)
+					}
 				}
 			},
 		))
 	}
 	suite := experiments.NewSuite(cfg, opts...)
+
+	if *benchJSON != "" {
+		rep, err := suite.BuildBenchReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteFile(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *benchJSON, len(rep.Benchmarks))
+		return
+	}
 
 	emit := func(title string, t *stats.Table) {
 		fmt.Printf("== %s ==\n", title)
@@ -241,4 +286,19 @@ func exportRun(dir string, k experiments.RunKey, s *obs.Sink) error {
 		return err
 	}
 	return mf.Close()
+}
+
+// exportProfile builds and writes <dir>/<run>.profile.json for one
+// completed simulation.
+func exportProfile(dir string, cfg config.GPUConfig, k experiments.RunKey,
+	col *profile.Collector, st *stats.Sim) error {
+	if col == nil {
+		return fmt.Errorf("%s: no collector registered", runName(k))
+	}
+	meta := profile.Meta{Bench: k.Bench, Prefetcher: k.Prefetch, Scheduler: string(k.Scheduler), SMs: cfg.NumSMs}
+	p, err := col.Build(meta, st)
+	if err != nil {
+		return err
+	}
+	return p.WriteFile(filepath.Join(dir, runName(k)+".profile.json"))
 }

@@ -50,9 +50,10 @@ type Suite struct {
 	benches []string
 
 	// Observability plumbing (WithObs): newSink builds a per-run sink
-	// before the simulation, runDone receives it afterwards.
+	// before the simulation, runDone receives it afterwards together with
+	// the run's statistics.
 	newSink func(RunKey) *obs.Sink
-	runDone func(RunKey, *obs.Sink)
+	runDone func(RunKey, *obs.Sink, *stats.Sim)
 
 	mu    sync.Mutex
 	cache map[RunKey]*stats.Sim
@@ -79,11 +80,11 @@ func WithBenches(benches []string) Option {
 
 // WithObs attaches per-run observability: newSink is called before each
 // simulation to build that run's sink (return nil to skip a run), and
-// runDone — optional — receives the sink after the run completes, for
-// exporting traces or metrics. Memoized (cached) runs do not re-invoke
-// either hook. Both callbacks may run concurrently from Warm's workers and
-// must be safe for that.
-func WithObs(newSink func(RunKey) *obs.Sink, runDone func(RunKey, *obs.Sink)) Option {
+// runDone — optional — receives the sink and the finished run's stats, for
+// exporting traces, metrics, or profiles. Memoized (cached) runs do not
+// re-invoke either hook. Both callbacks may run concurrently from Warm's
+// workers and must be safe for that.
+func WithObs(newSink func(RunKey) *obs.Sink, runDone func(RunKey, *obs.Sink, *stats.Sim)) Option {
 	return func(s *Suite) {
 		s.newSink = newSink
 		s.runDone = runDone
@@ -140,7 +141,7 @@ func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
 	}
 	if s.runDone != nil && snk != nil {
-		s.runDone(k, snk)
+		s.runDone(k, snk, st)
 	}
 	s.mu.Lock()
 	s.cache[k] = st

@@ -29,6 +29,7 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -100,6 +101,20 @@ func WriteChromeTrace(w io.Writer, s *Sink) error {
 			TID:  int(ev.Track),
 			Args: eventArgs(ev),
 		}
+		// Stall runs export as paired async-nestable events so the viewer
+		// draws one span per run instead of an instant per transition. Both
+		// halves share a display name and an id keyed by (SM, warp slot).
+		switch ev.Kind {
+		case EvWarpStallBegin, EvWarpStallEnd:
+			ce.Name = "warp.stall"
+			ce.S = ""
+			ce.ID = fmt.Sprintf("stall-%d-%d", ev.Track, ev.Warp)
+			if ev.Kind == EvWarpStallBegin {
+				ce.Ph = "b"
+			} else {
+				ce.Ph = "e"
+			}
+		}
 		if err := emit(ce); err != nil {
 			return err
 		}
@@ -141,6 +156,10 @@ func eventArgs(ev Event) map[string]any {
 		} else {
 			args["class"] = "demand"
 		}
+	case EvPrefConsume:
+		args["distance"] = ev.Val
+	case EvCycleClass:
+		args["class"] = CycleClass(ev.Arg).String()
 	}
 	return args
 }

@@ -14,7 +14,9 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.CTALaunch(1, 0, 0)
 	s.CTAFinish(1, 0, 0)
 	s.WarpDispatch(1, 0, 0, 0)
-	s.WarpStall(1, 0, 0)
+	s.WarpStallBegin(1, 0, 0)
+	s.WarpStallEnd(2, 0, 0)
+	s.CycleClass(1, 0, CycleIssue)
 	s.WarpBarrier(1, 0, 0, 0)
 	s.WarpFinish(1, 0, 0)
 	s.SchedPromote(1, 0, 0)
@@ -23,10 +25,10 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.DistAlloc(1, 0, 1)
 	s.PerCTAFill(1, 0, 0, 1)
 	s.PrefCandidate(1, 0, 0, 0, 1, 0x80)
-	s.PrefDrop(1, 0, 1, 0x80, DropStale)
-	s.PrefAdmit(1, 0, 0, 1, 0x80)
+	s.PrefDrop(1, 0, 0, 1, 0x80, DropStale)
+	s.PrefAdmit(1, 0, 0, 0, 1, 0x80)
 	s.PrefFill(1, 0, 0, 1, 0x80)
-	s.PrefConsume(1, 0, 0, 1, 0x80, 10)
+	s.PrefConsume(1, 0, 0, 0, 1, 0x80, 10)
 	s.PrefLate(1, 0, 1, 0x80)
 	s.PrefEarlyEvict(1, 0, 1, 0x80)
 	s.MSHRAlloc(1, DomSM, 0, 0x80, false)
@@ -36,6 +38,7 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.RowHit(1, 0, 0x80)
 	s.RowMiss(1, 0, 0x80)
 	s.DemandLatency(100)
+	s.Attach(nil)
 	s.RunDone(42)
 	if s.Registry() != nil || s.Trace() != nil || s.Snapshot() != nil {
 		t.Fatal("nil sink accessors must return nil")
@@ -46,8 +49,8 @@ func TestCountersAndSnapshot(t *testing.T) {
 	s := New(Config{SMs: 2, Partitions: 1, Channels: 1})
 	s.PrefCandidate(5, 0, 3, 1, 7, 0x1000)
 	s.PrefCandidate(6, 1, 4, 2, 7, 0x2000)
-	s.PrefAdmit(7, 0, 3, 7, 0x1000)
-	s.PrefDrop(8, 1, 7, 0x2000, DropDup)
+	s.PrefAdmit(7, 0, 3, 1, 7, 0x1000)
+	s.PrefDrop(8, 1, 2, 7, 0x2000, DropDup)
 	s.RowMiss(9, 0, 0x1000)
 	s.RunDone(100)
 
@@ -84,9 +87,9 @@ func TestCountersAndSnapshot(t *testing.T) {
 
 func TestHistogramBuckets(t *testing.T) {
 	s := New(Config{SMs: 1})
-	s.PrefConsume(10, 0, 0, 1, 0x80, 50)   // bucket le=100
-	s.PrefConsume(20, 0, 0, 1, 0x80, 150)  // bucket le=200
-	s.PrefConsume(30, 0, 0, 1, 0x80, 9999) // overflow
+	s.PrefConsume(10, 0, 0, 0, 1, 0x80, 50)   // bucket le=100
+	s.PrefConsume(20, 0, 0, 0, 1, 0x80, 150)  // bucket le=200
+	s.PrefConsume(30, 0, 0, 0, 1, 0x80, 9999) // overflow
 	snap := s.Snapshot()
 	want := map[string]int64{
 		`pref_distance_cycles_bucket{le="100"}`:  1,
@@ -108,7 +111,7 @@ func TestHistogramBuckets(t *testing.T) {
 func TestTraceCapCountsDrops(t *testing.T) {
 	s := New(Config{SMs: 1, Trace: true, TraceCap: 2})
 	for i := int64(0); i < 5; i++ {
-		s.WarpStall(i, 0, 0)
+		s.WarpStallBegin(i, 0, 0)
 	}
 	if s.Trace().Len() != 2 {
 		t.Fatalf("buffered %d events, want 2", s.Trace().Len())
@@ -117,8 +120,8 @@ func TestTraceCapCountsDrops(t *testing.T) {
 		t.Fatalf("dropped %d events, want 3", s.Trace().Dropped())
 	}
 	// Metrics keep counting past the trace cap.
-	if got := s.Registry().SumCounters("warp_stall_total"); got != 5 {
-		t.Fatalf("warp_stall_total = %d, want 5", got)
+	if got := s.Registry().SumCounters("warp_stall_begin_total"); got != 5 {
+		t.Fatalf("warp_stall_begin_total = %d, want 5", got)
 	}
 }
 
@@ -126,12 +129,14 @@ func TestChromeExportValidates(t *testing.T) {
 	s := New(Config{SMs: 2, Partitions: 1, Channels: 1, Trace: true})
 	s.CTALaunch(0, 0, 0)
 	s.WarpDispatch(0, 0, 0, 0)
+	s.WarpStallBegin(2, 0, 1)
 	s.SchedDemote(3, 0, 0)
 	s.PrefCandidate(4, 0, 1, 0, 2, 0x4000)
-	s.PrefAdmit(5, 0, 1, 2, 0x4000)
+	s.PrefAdmit(5, 0, 1, 0, 2, 0x4000)
 	s.MSHRAlloc(5, DomSM, 0, 0x4000, true)
 	s.PrefFill(60, 0, 1, 2, 0x4000)
-	s.PrefConsume(80, 0, 1, 2, 0x4000, 75)
+	s.WarpStallEnd(70, 0, 1)
+	s.PrefConsume(80, 0, 1, 0, 2, 0x4000, 75)
 	s.RowMiss(30, 0, 0x4000)
 	s.MSHRAlloc(20, DomPart, 0, 0x4000, false)
 
@@ -146,14 +151,17 @@ func TestChromeExportValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Events != 10 {
-		t.Fatalf("validated %d events, want 10", sum.Events)
+	if sum.Events != 12 {
+		t.Fatalf("validated %d events, want 12", sum.Events)
 	}
 	if sum.PrefLifecycle != 1 {
 		t.Fatalf("complete prefetch lifecycles = %d, want 1", sum.PrefLifecycle)
 	}
 	if sum.SchedEvents != 1 {
 		t.Fatalf("sched events = %d, want 1", sum.SchedEvents)
+	}
+	if sum.StallBegins != 1 || sum.StallEnds != 1 {
+		t.Fatalf("stall pairs = %d/%d, want 1/1", sum.StallBegins, sum.StallEnds)
 	}
 	if !strings.Contains(buf.String(), `"thread_name"`) {
 		t.Fatal("missing track naming metadata")
@@ -183,6 +191,112 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, `cta_launch_total,"{sm=""0""}",1`) {
 		t.Fatalf("cta_launch_total row missing or malformed:\n%s", out)
+	}
+}
+
+// collectConsumer records every event it is fed (test double for the
+// streaming profiler attachment point).
+type collectConsumer struct{ events []Event }
+
+func (c *collectConsumer) Consume(e Event) { c.events = append(c.events, e) }
+
+func TestConsumerSeesAllEventsIncludingCycleClass(t *testing.T) {
+	s := New(Config{SMs: 1, Trace: true, TraceCap: 2})
+	var c collectConsumer
+	s.Attach(&c)
+	s.CTALaunch(0, 0, 0)
+	s.WarpStallBegin(1, 0, 0)
+	s.WarpStallEnd(5, 0, 0)   // over the trace cap: dropped from trace, not from consumers
+	s.CycleClass(6, 0, CycleIssue) // never buffered, streamed only
+	if s.Trace().Len() != 2 || s.Trace().Dropped() != 1 {
+		t.Fatalf("trace len=%d dropped=%d, want 2/1", s.Trace().Len(), s.Trace().Dropped())
+	}
+	if len(c.events) != 4 {
+		t.Fatalf("consumer saw %d events, want 4", len(c.events))
+	}
+	last := c.events[3]
+	if last.Kind != EvCycleClass || CycleClass(last.Arg) != CycleIssue {
+		t.Fatalf("last consumer event = %+v, want EvCycleClass/issue", last)
+	}
+	// The trace buffer must never see the per-cycle class stream.
+	for _, e := range s.Trace().Events() {
+		if e.Kind == EvCycleClass {
+			t.Fatal("EvCycleClass leaked into the bounded trace buffer")
+		}
+	}
+}
+
+func TestValidateRejectsEndWithoutBegin(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"warp.stall","cat":"warp","ph":"e","ts":10,"pid":1,"tid":0,"id":"stall-0-0"}
+	]}`
+	if _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+		t.Fatal("stall end without begin accepted")
+	}
+}
+
+// TestEnumStringsExhaustive fails when a new enum value is added without a
+// name: the String fallback prints "kind(N)"-style placeholders, which must
+// never be reachable for in-range values. It also requires names to be
+// unique so CSV/trace output stays unambiguous.
+func TestEnumStringsExhaustive(t *testing.T) {
+	check := func(kind string, n int, str func(int) string) {
+		t.Helper()
+		seen := make(map[string]bool, n)
+		for i := 0; i < n; i++ {
+			name := str(i)
+			if name == "" || strings.Contains(name, "(") {
+				t.Errorf("%s value %d has no name (got %q) — add it to the name table", kind, i, name)
+			}
+			if seen[name] {
+				t.Errorf("%s value %d reuses name %q", kind, i, name)
+			}
+			seen[name] = true
+		}
+		// One past the end must hit the fallback, proving the sentinel is
+		// in sync with the name table.
+		if over := str(n); !strings.Contains(over, "(") {
+			t.Errorf("%s out-of-range value %d unexpectedly named %q", kind, n, over)
+		}
+	}
+	check("Kind", int(numKinds), func(i int) string { return Kind(i).String() })
+	check("Domain", int(numDomains), func(i int) string { return Domain(i).String() })
+	check("DropReason", int(numDropReasons), func(i int) string { return DropReason(i).String() })
+	check("CycleClass", int(NumCycleClasses), func(i int) string { return CycleClass(i).String() })
+}
+
+func TestWriteCSVFullSnapshot(t *testing.T) {
+	s := New(Config{SMs: 1, Partitions: 1, Channels: 1})
+	s.PrefDrop(1, 0, 0, 7, 0x80, DropSetFull)
+	s.CycleClass(1, 0, CycleMemStructural)
+	s.ResFail(2, DomPart, 0, 0x100, false)
+	s.DemandLatency(42)
+	s.RunDone(10)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "metric,labels,value" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	// Every data row must have exactly three comma-separated fields once
+	// the quoted label column is accounted for.
+	wantRows := []string{
+		`pref_drop_total,"{sm=""0"",reason=""set_full""}",1`,
+		`sm_cycle_class_total,"{sm=""0"",class=""mem_structural""}",1`,
+		`l2_resfail_total,"{part=""0"",kind=""mshr""}",1`,
+		`demand_latency_cycles_count,"",1`,
+		`sim_cycles,"",10`,
+	}
+	for _, row := range wantRows {
+		if !strings.Contains(out, row) {
+			t.Errorf("CSV missing row %q\ngot:\n%s", row, out)
+		}
+	}
+	if len(lines) != len(s.Snapshot())+1 {
+		t.Fatalf("CSV has %d data rows, snapshot has %d samples", len(lines)-1, len(s.Snapshot()))
 	}
 }
 

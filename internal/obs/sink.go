@@ -16,15 +16,17 @@ type Config struct {
 
 // smMetrics is the per-SM counter block.
 type smMetrics struct {
-	ctaLaunch, ctaFinish                             *Counter
-	warpDispatch, warpStall, warpBarrier, warpFinish *Counter
-	schedPromote, schedDemote, schedWakeup           *Counter
-	distAlloc, perCTAFill                            *Counter
-	prefCandidate, prefAdmit, prefFill               *Counter
-	prefConsume, prefLate, prefEarlyEvict            *Counter
-	prefDrop                                         [numDropReasons]*Counter
-	mshrAlloc, mshrMerge, mshrConvert                *Counter
-	resFailMSHR, resFailQueue                        *Counter
+	ctaLaunch, ctaFinish                   *Counter
+	warpDispatch, warpBarrier, warpFinish  *Counter
+	warpStallBegin, warpStallEnd           *Counter
+	schedPromote, schedDemote, schedWakeup *Counter
+	distAlloc, perCTAFill                  *Counter
+	prefCandidate, prefAdmit, prefFill     *Counter
+	prefConsume, prefLate, prefEarlyEvict  *Counter
+	prefDrop                               [numDropReasons]*Counter
+	cycleClass                             [NumCycleClasses]*Counter
+	mshrAlloc, mshrMerge, mshrConvert      *Counter
+	resFailMSHR, resFailQueue              *Counter
 }
 
 // partMetrics is the per-partition (L2 slice) counter block.
@@ -48,6 +50,11 @@ type Sink struct {
 	reg   *Registry
 	trace *Trace
 
+	// consumers receive every emitted event in emission order (streaming
+	// profilers; see internal/profile). They hold bounded state of their
+	// own — the sink never buffers on their behalf.
+	consumers []Consumer
+
 	cyclesG   *Gauge
 	prefDist  *Histogram
 	demandLat *Histogram
@@ -55,6 +62,15 @@ type Sink struct {
 	sm   []smMetrics
 	part []partMetrics
 	ch   []chanMetrics
+}
+
+// Consumer is a streaming event observer attached to a Sink. Consume is
+// called synchronously from the simulation goroutine for every event, in
+// emission order (cycle-monotonic per track); implementations must not
+// retain the simulator's attention — fold the event and return. High-rate
+// events that bypass the trace buffer (EvCycleClass) still reach consumers.
+type Consumer interface {
+	Consume(e Event)
 }
 
 // New builds a sink, registering the full per-unit metric set up front so
@@ -75,7 +91,8 @@ func New(cfg Config) *Sink {
 		m.ctaLaunch = s.reg.Counter("cta_launch_total", l)
 		m.ctaFinish = s.reg.Counter("cta_finish_total", l)
 		m.warpDispatch = s.reg.Counter("warp_dispatch_total", l)
-		m.warpStall = s.reg.Counter("warp_stall_total", l)
+		m.warpStallBegin = s.reg.Counter("warp_stall_begin_total", l)
+		m.warpStallEnd = s.reg.Counter("warp_stall_end_total", l)
 		m.warpBarrier = s.reg.Counter("warp_barrier_total", l)
 		m.warpFinish = s.reg.Counter("warp_finish_total", l)
 		m.schedPromote = s.reg.Counter("sched_promote_total", l)
@@ -91,6 +108,9 @@ func New(cfg Config) *Sink {
 		m.prefEarlyEvict = s.reg.Counter("pref_early_evict_total", l)
 		for r := DropReason(0); r < numDropReasons; r++ {
 			m.prefDrop[r] = s.reg.Counter("pref_drop_total", l, Label{Key: "reason", Value: r.String()})
+		}
+		for c := CycleClass(0); c < NumCycleClasses; c++ {
+			m.cycleClass[c] = s.reg.Counter("sm_cycle_class_total", l, Label{Key: "class", Value: c.String()})
 		}
 		m.mshrAlloc = s.reg.Counter("l1_mshr_alloc_total", l)
 		m.mshrMerge = s.reg.Counter("l1_mshr_merge_total", l)
@@ -165,9 +185,32 @@ func (s *Sink) Snapshot() []Sample {
 	return s.reg.Snapshot()
 }
 
+// Attach registers a streaming consumer. Not safe to call mid-run: attach
+// everything before the first simulated cycle so consumers see the whole
+// stream. Nil-safe (attaching to a disabled sink is a no-op).
+func (s *Sink) Attach(c Consumer) {
+	if s == nil || c == nil {
+		return
+	}
+	s.consumers = append(s.consumers, c)
+}
+
 func (s *Sink) emit(e Event) {
 	if s.trace != nil {
 		s.trace.Append(e)
+	}
+	for _, c := range s.consumers {
+		c.Consume(e)
+	}
+}
+
+// emitStream feeds consumers only, bypassing the trace buffer. Per-cycle
+// events (EvCycleClass fires once per SM per cycle) would displace the
+// whole lifecycle history from a bounded trace; profilers fold them
+// instead.
+func (s *Sink) emitStream(e Event) {
+	for _, c := range s.consumers {
+		c.Consume(e)
 	}
 }
 
@@ -212,13 +255,40 @@ func (s *Sink) WarpDispatch(cycle int64, sm, warpSlot, cta int) {
 	s.emit(Event{Cycle: cycle, Kind: EvWarpDispatch, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)})
 }
 
-// WarpStall records a warp blocking on outstanding loads.
-func (s *Sink) WarpStall(cycle int64, sm, warpSlot int) {
+// WarpStallBegin records a warp entering a memory-wait stall run (it
+// blocked on outstanding loads). One begin/end pair brackets the whole run
+// regardless of its length, keeping trace volume proportional to stall
+// *transitions*, not stalled cycles.
+func (s *Sink) WarpStallBegin(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
-	s.sm[sm].warpStall.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvWarpStall, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.sm[sm].warpStallBegin.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvWarpStallBegin, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// WarpStallEnd records the matching end of a stall run: the warp's last
+// outstanding load returned and it is schedulable again.
+func (s *Sink) WarpStallEnd(cycle int64, sm, warpSlot int) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	s.sm[sm].warpStallEnd.Inc()
+	s.emit(Event{Cycle: cycle, Kind: EvWarpStallEnd, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+}
+
+// CycleClass attributes one SM cycle to its stall-stack bucket. This is
+// the highest-rate hook in the system (one call per SM per cycle), so it
+// updates a pre-resolved counter and streams to consumers only — the
+// bounded trace buffer never sees it.
+func (s *Sink) CycleClass(cycle int64, sm int, class CycleClass) {
+	if s == nil || !s.smOK(sm) || class >= NumCycleClasses {
+		return
+	}
+	s.sm[sm].cycleClass[class].Inc()
+	if len(s.consumers) > 0 {
+		s.emitStream(Event{Cycle: cycle, Kind: EvCycleClass, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Arg: uint8(class)})
+	}
 }
 
 // WarpBarrier records a warp arriving at a CTA barrier.
@@ -299,22 +369,24 @@ func (s *Sink) PrefCandidate(cycle int64, sm, warpSlot, cta int, pc uint32, addr
 	s.emit(Event{Cycle: cycle, Kind: EvPrefCandidate, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr})
 }
 
-// PrefDrop records a candidate discarded before doing useful work.
-func (s *Sink) PrefDrop(cycle int64, sm int, pc uint32, addr uint64, reason DropReason) {
+// PrefDrop records a candidate discarded before doing useful work; cta is
+// the candidate's target CTA (-1 when the drop site no longer knows it).
+func (s *Sink) PrefDrop(cycle int64, sm, cta int, pc uint32, addr uint64, reason DropReason) {
 	if s == nil || !s.smOK(sm) || reason >= numDropReasons {
 		return
 	}
 	s.sm[sm].prefDrop[reason].Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefDrop, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr, Arg: uint8(reason)})
+	s.emit(Event{Cycle: cycle, Kind: EvPrefDrop, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc, Addr: addr, Arg: uint8(reason)})
 }
 
-// PrefAdmit records a prefetch miss admitted into L1 and sent to memory.
-func (s *Sink) PrefAdmit(cycle int64, sm, warpSlot int, pc uint32, addr uint64) {
+// PrefAdmit records a prefetch miss admitted into L1 and sent to memory;
+// cta is the target CTA the candidate was generated for.
+func (s *Sink) PrefAdmit(cycle int64, sm, warpSlot, cta int, pc uint32, addr uint64) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
 	s.sm[sm].prefAdmit.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefAdmit, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
+	s.emit(Event{Cycle: cycle, Kind: EvPrefAdmit, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr})
 }
 
 // PrefFill records a prefetched line installing into L1.
@@ -326,15 +398,16 @@ func (s *Sink) PrefFill(cycle int64, sm, warpSlot int, pc uint32, addr uint64) {
 	s.emit(Event{Cycle: cycle, Kind: EvPrefFill, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
 }
 
-// PrefConsume records the first demand hit on a prefetched line; distance
-// is demand cycle minus prefetch issue cycle (Fig. 14b).
-func (s *Sink) PrefConsume(cycle int64, sm, warpSlot int, pc uint32, addr uint64, distance int64) {
+// PrefConsume records the first demand hit on a prefetched line; cta is
+// the consuming warp's CTA and distance is demand cycle minus prefetch
+// issue cycle (Fig. 14b), carried in Event.Val.
+func (s *Sink) PrefConsume(cycle int64, sm, warpSlot, cta int, pc uint32, addr uint64, distance int64) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
 	s.sm[sm].prefConsume.Inc()
 	s.prefDist.Observe(distance)
-	s.emit(Event{Cycle: cycle, Kind: EvPrefConsume, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
+	s.emit(Event{Cycle: cycle, Kind: EvPrefConsume, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr, Val: distance})
 }
 
 // PrefLate records a demand access merging into an in-flight prefetch

@@ -12,6 +12,8 @@ const (
 	DomSM Domain = iota
 	DomPart
 	DomDRAM
+
+	numDomains // sentinel
 )
 
 // String implements fmt.Stringer.
@@ -38,7 +40,8 @@ const (
 	EvCTALaunch Kind = iota
 	EvCTAFinish
 	EvWarpDispatch
-	EvWarpStall
+	EvWarpStallBegin
+	EvWarpStallEnd
 	EvWarpBarrier
 	EvWarpFinish
 	EvSchedPromote
@@ -59,6 +62,7 @@ const (
 	EvResFail
 	EvRowHit
 	EvRowMiss
+	EvCycleClass
 
 	numKinds // sentinel
 )
@@ -69,7 +73,8 @@ var kindNames = [numKinds]string{
 	EvCTALaunch:      "cta.launch",
 	EvCTAFinish:      "cta.finish",
 	EvWarpDispatch:   "warp.dispatch",
-	EvWarpStall:      "warp.stall",
+	EvWarpStallBegin: "warp.stall_begin",
+	EvWarpStallEnd:   "warp.stall_end",
 	EvWarpBarrier:    "warp.barrier",
 	EvWarpFinish:     "warp.finish",
 	EvSchedPromote:   "sched.promote",
@@ -90,6 +95,7 @@ var kindNames = [numKinds]string{
 	EvResFail:        "mshr.resfail",
 	EvRowHit:         "dram.row_hit",
 	EvRowMiss:        "dram.row_miss",
+	EvCycleClass:     "sm.cycle_class",
 }
 
 // String implements fmt.Stringer.
@@ -112,9 +118,47 @@ func (k Kind) category() string {
 		return "pref"
 	case k <= EvResFail:
 		return "mem"
-	default:
+	case k <= EvRowMiss:
 		return "dram"
+	default:
+		return "cycle"
 	}
+}
+
+// CycleClass attributes one SM cycle to exactly one cause. The taxonomy
+// (DESIGN §"Cycle accounting taxonomy") is a CPI-stack decomposition: per
+// SM, the class counts sum to the run's total cycles. Classification
+// precedence lives in the producer (internal/sim); this package only names
+// the buckets.
+type CycleClass uint8
+
+// Stall-stack buckets.
+const (
+	CycleIssue         CycleClass = iota // >=1 instruction issued
+	CycleMemStructural                   // LSU/store structural stall (resfail replay, queue full)
+	CycleBarrier                         // live warps blocked only by a CTA barrier
+	CycleEmptyReady                      // no issuable warp: ready queue drained on memory or latency
+	CycleDrain                           // no live warps but in-flight memory still draining
+	CycleIdle                            // SM fully idle (no work assigned)
+
+	NumCycleClasses // sentinel
+)
+
+var cycleClassNames = [NumCycleClasses]string{
+	CycleIssue:         "issue",
+	CycleMemStructural: "mem_structural",
+	CycleBarrier:       "barrier",
+	CycleEmptyReady:    "empty_ready",
+	CycleDrain:         "drain",
+	CycleIdle:          "idle",
+}
+
+// String implements fmt.Stringer.
+func (c CycleClass) String() string {
+	if int(c) < len(cycleClassNames) {
+		return cycleClassNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
 }
 
 // DropReason classifies why a prefetch candidate was discarded before (or
@@ -134,6 +178,10 @@ const (
 
 	numDropReasons // sentinel
 )
+
+// NumDropReasons exposes the DropReason count so consumers (internal/
+// profile) can size per-reason aggregates without a map.
+const NumDropReasons = int(numDropReasons)
 
 var dropNames = [numDropReasons]string{
 	DropQueueFull: "queue_full",
@@ -156,11 +204,14 @@ func (r DropReason) String() string {
 
 // Event is one cycle-stamped trace record. Fields are a compact union:
 // Warp/CTA/PC/Addr are meaningful per Kind and -1/0 otherwise; Arg carries
-// the kind-specific subcode (DropReason for EvPrefDrop, 1 for a queue-full
-// reservation fail on EvResFail, request kind for EvMSHRAlloc).
+// the kind-specific subcode (DropReason for EvPrefDrop, CycleClass for
+// EvCycleClass, 1 for a queue-full reservation fail on EvResFail, request
+// kind for EvMSHRAlloc); Val carries the kind-specific magnitude
+// (prefetch-to-demand distance in cycles for EvPrefConsume).
 type Event struct {
 	Cycle int64
 	Addr  uint64
+	Val   int64
 	Warp  int32
 	CTA   int32
 	PC    uint32

@@ -13,6 +13,8 @@ type TraceSummary struct {
 	SMTracks      int // tracks in the SM process
 	SchedEvents   int // events in the "sched" category
 	PrefLifecycle int // complete candidate→fill→consume lifecycles (by line address)
+	StallBegins   int // async stall-run begin events ("warp.stall" ph=b)
+	StallEnds     int // async stall-run end events ("warp.stall" ph=e)
 	Dropped       int64
 }
 
@@ -32,6 +34,7 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 			TS   int64           `json:"ts"`
 			PID  int             `json:"pid"`
 			TID  int             `json:"tid"`
+			ID   string          `json:"id"`
 			Args json.RawMessage `json:"args"`
 		} `json:"traceEvents"`
 		OtherData struct {
@@ -55,6 +58,9 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 		sawConsume
 	)
 	lifecycle := make(map[string]uint8)
+	// Stall runs must pair: per async id, an end may only follow an open
+	// begin (ends without begins would render as orphan spans).
+	stallOpen := make(map[string]int)
 
 	for _, ev := range doc.TraceEvents {
 		if ev.Ph == "M" {
@@ -72,6 +78,22 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 		}
 		if ev.Cat == "sched" {
 			sum.SchedEvents++
+		}
+		if ev.Name == "warp.stall" {
+			switch ev.Ph {
+			case "b":
+				sum.StallBegins++
+				stallOpen[ev.ID]++
+			case "e":
+				sum.StallEnds++
+				if stallOpen[ev.ID] <= 0 {
+					return sum, fmt.Errorf("obs: stall run id=%q: end at ts=%d without a matching begin", ev.ID, ev.TS)
+				}
+				stallOpen[ev.ID]--
+			default:
+				return sum, fmt.Errorf("obs: stall run id=%q: unexpected phase %q", ev.ID, ev.Ph)
+			}
+			continue
 		}
 		switch ev.Name {
 		case kindNames[EvPrefCandidate], kindNames[EvPrefFill], kindNames[EvPrefConsume]:

@@ -73,6 +73,15 @@ func TestGoldenChromeTrace(t *testing.T) {
 	if sum.PrefLifecycle == 0 {
 		t.Error("trace has no complete prefetch lifecycle (candidate → fill → consume)")
 	}
+	// Stall runs are coalesced into begin/end pairs; the validator already
+	// rejected any end without a matching begin, so here it is enough to
+	// require that runs exist and that begins bound ends from above.
+	if sum.StallBegins == 0 {
+		t.Error("trace has no warp stall runs (begin/end coalescing broken)")
+	}
+	if sum.StallEnds > sum.StallBegins {
+		t.Errorf("stall ends (%d) exceed begins (%d)", sum.StallEnds, sum.StallBegins)
+	}
 }
 
 // TestObsReconcilesWithStats cross-checks the obs counters against the
@@ -101,6 +110,18 @@ func TestObsReconcilesWithStats(t *testing.T) {
 		if got := reg.SumCounters(c.metric); got != c.want {
 			t.Errorf("%s = %d, stats say %d", c.metric, got, c.want)
 		}
+	}
+	// Every SM classifies every cycle exactly once, so the cycle-class
+	// counters across all SMs sum to NumSMs × Cycles.
+	if got, want := reg.SumCounters("sm_cycle_class_total"), int64(cfg.NumSMs)*st.Cycles; got != want {
+		t.Errorf("sm_cycle_class_total = %d, want NumSMs*Cycles = %d", got, want)
+	}
+	// Stall runs pair up; at most the final in-flight run per warp may be
+	// missing its end when the run hits an instruction cap.
+	begins := reg.SumCounters("warp_stall_begin_total")
+	ends := reg.SumCounters("warp_stall_end_total")
+	if begins == 0 || ends > begins {
+		t.Errorf("stall begin/end = %d/%d, want begins > 0 and ends <= begins", begins, ends)
 	}
 	if st.PrefIssued == 0 {
 		t.Error("run admitted no prefetches; reconciliation is vacuous")

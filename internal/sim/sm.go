@@ -72,6 +72,12 @@ type SM struct {
 	// the next one (demand-driven distribution).
 	onCTADone func(smID int)
 
+	// memStallEv latches "a memory structural stall happened this cycle"
+	// (LSU replay after a reservation fail, or a full LSU/store queue) so
+	// cycle classification can separate structural stalls from an
+	// empty-ready-queue wait. Reset at the top of every Tick.
+	memStallEv bool
+
 	// sanitize enables the per-cycle invariant audit (internal/invariant);
 	// sanComp and sanSlots are preallocated so the audit itself stays off
 	// the allocator's hot path.
@@ -217,6 +223,7 @@ func (sm *SM) L1() *mem.Cache { return sm.l1 }
 // always surface).
 func (sm *SM) Tick(now int64) (int, error) {
 	sm.nowCache = now
+	sm.memStallEv = false
 	if sm.schedClock != nil {
 		sm.schedClock.ObsTick(now)
 	}
@@ -227,6 +234,9 @@ func (sm *SM) Tick(now int64) (int, error) {
 	sm.pumpLSU(now)
 	sm.drainMisses(now)
 	issued := sm.issue(now)
+	if sm.snk != nil {
+		sm.snk.CycleClass(now, sm.id, sm.classifyCycle(issued))
+	}
 	sm.admitPrefetches(now)
 	if sm.sanitize {
 		if err := sm.checkInvariants(now); err != nil {
@@ -261,6 +271,9 @@ func (sm *SM) acceptResponses(now int64) error {
 				if ws.active && ws.outstanding > 0 {
 					ws.outstanding--
 					if ws.outstanding == 0 {
+						if ws.waitLoad {
+							sm.snk.WarpStallEnd(now, sm.id, ws.slot)
+						}
 						ws.waitLoad = false
 					}
 				}
@@ -321,10 +334,13 @@ func (sm *SM) pumpLSU(now int64) {
 			sm.st.PrefUseful++
 			sm.st.PrefDistanceSum += now - res.PrefIssueCycle
 			sm.st.PrefDistanceCount++
-			sm.snk.PrefConsume(now, sm.id, g.warp.slot, res.PrefPC, addr, now-res.PrefIssueCycle)
+			sm.snk.PrefConsume(now, sm.id, g.warp.slot, g.warp.ctaID, res.PrefPC, addr, now-res.PrefIssueCycle)
 		}
 		g.warp.outstanding--
 		if g.warp.outstanding == 0 {
+			if g.warp.waitLoad {
+				sm.snk.WarpStallEnd(now, sm.id, g.warp.slot)
+			}
 			g.warp.waitLoad = false
 		}
 	case mem.MissNew:
@@ -343,6 +359,7 @@ func (sm *SM) pumpLSU(now int64) {
 	case mem.ResFailMSHR, mem.ResFailQueue:
 		sm.st.ReservationFails++
 		sm.st.MemStalls++
+		sm.memStallEv = true
 		sm.st.UncountDemandReplay() // not accepted; it will be replayed
 		return
 	}
@@ -389,6 +406,46 @@ func (sm *SM) issue(now int64) int {
 	return issued
 }
 
+// classifyCycle attributes the just-finished issue stage's cycle to exactly
+// one stall-stack bucket (DESIGN §"Cycle accounting taxonomy"). Precedence:
+// issuing beats every stall cause; with no live warps the SM is draining
+// in-flight memory or idle; among stall causes a structural memory stall
+// observed this cycle wins, then a memory wait (ready queue drained by
+// outstanding loads), then a barrier. Live warps blocked by none of those
+// are mid multi-cycle ops — a latency-empty ready queue, same bucket as the
+// memory wait.
+func (sm *SM) classifyCycle(issued int) obs.CycleClass {
+	if issued > 0 {
+		return obs.CycleIssue
+	}
+	if sm.liveWarps == 0 {
+		if len(sm.lsuQ) > 0 || len(sm.storeQ) > 0 || sm.l1.OutstandingMSHRs() > 0 {
+			return obs.CycleDrain
+		}
+		return obs.CycleIdle
+	}
+	if sm.memStallEv {
+		return obs.CycleMemStructural
+	}
+	barrier := false
+	for i := range sm.warps {
+		w := &sm.warps[i]
+		if !w.active || w.finished {
+			continue
+		}
+		if w.waitLoad {
+			return obs.CycleEmptyReady
+		}
+		if w.atBarrier {
+			barrier = true
+		}
+	}
+	if barrier {
+		return obs.CycleBarrier
+	}
+	return obs.CycleEmptyReady
+}
+
 // execute runs one instruction of the warp; it returns false when the
 // instruction could not issue (structural stall) so the warp retries.
 func (sm *SM) execute(now int64, w *warpState) bool {
@@ -408,7 +465,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		w.pc++
 		if w.outstanding > 0 {
 			w.waitLoad = true
-			sm.snk.WarpStall(now, sm.id, w.slot)
+			sm.snk.WarpStallBegin(now, sm.id, w.slot)
 			// The warp now waits on memory: demote it so the two-level
 			// ready queue stays populated with runnable warps.
 			sm.sched.OnLongLatency(w.slot)
@@ -456,6 +513,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 	case kernels.OpLoad:
 		if len(sm.lsuQ) >= lsuQueueCap {
 			sm.st.MemStalls++
+			sm.memStallEv = true
 			return false
 		}
 		spec := &sm.kernel.Loads[in.Load]
@@ -492,7 +550,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 			// A dependent use follows immediately: the warp stalls on the
 			// long-latency load and leaves the two-level ready queue.
 			w.waitLoad = true
-			sm.snk.WarpStall(now, sm.id, w.slot)
+			sm.snk.WarpStallBegin(now, sm.id, w.slot)
 			sm.sched.OnLongLatency(w.slot)
 		}
 		w.pc++
@@ -502,6 +560,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		addrs := sm.genAddrs(w, in.Load, iter)
 		if len(sm.storeQ)+len(addrs) > storeQueueCap {
 			sm.st.MemStalls++
+			sm.memStallEv = true
 			return false
 		}
 		w.iterCount[in.Load]++
@@ -592,13 +651,13 @@ func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 	if sm.prefIn[c.Addr] {
 		sm.st.PrefDropped++
 		sm.st.PrefDropDup++
-		sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropDup)
+		sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropDup)
 		return
 	}
 	if len(sm.prefQ) >= prefQueueCap {
 		sm.st.PrefDropped++
 		sm.st.PrefDropQueueFull++
-		sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropQueueFull)
+		sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropQueueFull)
 		return
 	}
 	sm.prefIn[c.Addr] = true
@@ -625,7 +684,7 @@ func (sm *SM) admitPrefetches(now int64) {
 		if now-c.GenCycle > prefTTL {
 			sm.st.PrefDropped++
 			sm.st.PrefDropStale++
-			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropStale)
+			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropStale)
 			continue
 		}
 		if c.TargetWarpSlot >= 0 && c.TargetCTAID >= 0 && c.TargetWarpSlot < len(sm.warps) {
@@ -633,20 +692,20 @@ func (sm *SM) admitPrefetches(now int64) {
 			if !w.active || w.ctaID != c.TargetCTAID {
 				sm.st.PrefDropped++
 				sm.st.PrefDropCTAGone++
-				sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropCTAGone)
+				sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropCTAGone)
 				continue
 			}
 		}
 		if sm.l1.Probe(c.Addr) {
 			sm.st.PrefDropped++
 			sm.st.PrefDropPresent++
-			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropPresent)
+			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropPresent)
 			continue
 		}
 		if sm.l1.InFlight(c.Addr) {
 			sm.st.PrefDropped++
 			sm.st.PrefDropInFlight++
-			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropInFlight)
+			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropInFlight)
 			continue
 		}
 		if sm.l1.UnconsumedPrefetchesInSet(c.Addr) >= prefWaysPerSet {
@@ -654,7 +713,7 @@ func (sm *SM) admitPrefetches(now int64) {
 			// data; admitting more would crowd out demand lines.
 			sm.st.PrefDropped++
 			sm.st.PrefDropSetFull++
-			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropSetFull)
+			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropSetFull)
 			continue
 		}
 		req := &mem.Request{
@@ -673,11 +732,11 @@ func (sm *SM) admitPrefetches(now int64) {
 			sm.st.PrefIssued++
 			sm.st.PrefToMemory++
 			admitted++
-			sm.snk.PrefAdmit(now, sm.id, c.TargetWarpSlot, c.PC, c.Addr)
+			sm.snk.PrefAdmit(now, sm.id, c.TargetWarpSlot, c.TargetCTAID, c.PC, c.Addr)
 		default:
 			// Present, merged or rejected: the prefetch does no work.
 			sm.st.PrefDropped++
-			sm.snk.PrefDrop(now, sm.id, c.PC, c.Addr, obs.DropRejected)
+			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropRejected)
 		}
 	}
 }
