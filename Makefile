@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race determinism trace-smoke profile-smoke bench-json check bench
+.PHONY: build lint test race determinism trace-smoke profile-smoke serve-smoke bench-json check bench
 
 build:
 	$(GO) build ./...
@@ -39,13 +39,21 @@ profile-smoke:
 	$(GO) run ./cmd/capsprof diff /tmp/caps-prof-a.json /tmp/caps-prof-b.json
 	$(GO) run ./cmd/capsprof report /tmp/caps-prof-a.json -html /tmp/caps-prof-a.html
 
+# End-to-end telemetry + run-store smoke test, run fully in-process by
+# capsd (no curl, no fixed ports): two short runs with the telemetry server
+# live, /metrics validated by the strict Prometheus parser, one SSE event
+# read off /events, both runs stored, and the diff gate checked to pass a
+# clean pair and catch an injected IPC regression.
+serve-smoke:
+	$(GO) run ./cmd/capsd smoke
+
 # Regenerates BENCH_caps.json: headline IPC + prefetch metrics for every
 # benchmark under the CAPS configuration. capsprof diff accepts the file as
 # a baseline, turning the committed numbers into a regression gate.
 bench-json:
 	$(GO) run ./cmd/capsweep -insts 200000 -bench-json BENCH_caps.json
 
-check: build lint test determinism trace-smoke profile-smoke
+check: build lint test determinism trace-smoke profile-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

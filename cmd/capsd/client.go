@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"caps/internal/telemetry"
+)
+
+// cmdScrape fetches a /metrics URL and validates it with the strict
+// exposition parser — the same check CI's serve-smoke gate runs, usable
+// against any live capsim/capsweep -serve process without curl or promtool.
+func cmdScrape(args []string) error {
+	fs := flag.NewFlagSet("scrape", flag.ContinueOnError)
+	match := fs.String("match", "", "only print series whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scrape: want exactly one URL")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape: %s: %s", fs.Arg(0), resp.Status)
+	}
+	m, err := telemetry.ParseMetrics(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape: exposition does not parse: %w", err)
+	}
+	fmt.Printf("OK: %d samples, %d typed families\n", len(m.Samples), len(m.Types))
+	if *match != "" {
+		for _, s := range m.Samples {
+			if strings.Contains(s.Name, *match) {
+				fmt.Printf("%s%s %g\n", s.Name, renderLabels(s.Labels), s.Value)
+			}
+		}
+	}
+	return nil
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// cmdEvents subscribes to an /events SSE URL and prints n events.
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	n := fs.Int("n", 1, "number of events to print before exiting (0 = until the stream closes)")
+	timeout := fs.Duration("timeout", 60*time.Second, "give up after this long")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("events: want exactly one URL")
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("events: %s served %q, not text/event-stream", fs.Arg(0), ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	seen := 0
+	var kind string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Printf("%s %s\n", kind, strings.TrimPrefix(line, "data: "))
+			seen++
+			if *n > 0 && seen >= *n {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("events: stream: %w", err)
+	}
+	if *n > 0 && seen < *n {
+		return fmt.Errorf("events: stream closed after %d event(s), wanted %d", seen, *n)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Command capsd is the fleet-side companion to capsim/capsweep: it serves
+// a live dashboard over the persistent run store and queries, compares and
+// garbage-collects stored runs.
+//
+// Usage:
+//
+//	capsd serve  [-addr :8080] [-store .caps/runs] [-baseline BENCH_caps.json]
+//	capsd ls     [-store DIR] [-bench MM] [-prefetch caps] [-all]
+//	capsd show   [-store DIR] [-json] [-html out.html] <id>
+//	capsd diff   [-store DIR] <base-id> <cur-id>       # exit 1 on regression
+//	capsd gc     [-store DIR]
+//	capsd scrape <url>                                  # fetch+validate /metrics
+//	capsd events [-n 1] <url>                           # print SSE events
+//	capsd smoke                                         # in-process CI gate
+//
+// Run IDs may be abbreviated to any unique prefix (as printed by ls).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"caps/internal/profile"
+	"caps/internal/runstore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = cmdServe(rest)
+	case "ls":
+		err = cmdLs(rest)
+	case "show":
+		err = cmdShow(rest)
+	case "diff":
+		var regressed bool
+		regressed, err = cmdDiff(rest)
+		if err == nil && regressed {
+			return 1
+		}
+	case "gc":
+		err = cmdGC(rest)
+	case "scrape":
+		err = cmdScrape(rest)
+	case "events":
+		err = cmdEvents(rest)
+	case "smoke":
+		err = cmdSmoke(rest)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "capsd: unknown command %q\n", cmd)
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsd:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: capsd <command> [flags]
+
+commands:
+  serve    serve the run-store dashboard (run table, IPC charts vs baseline)
+  ls       list stored runs
+  show     print one stored run (-json for the full record, -html for a report)
+  diff     compare two stored runs; exit 1 when the second regresses
+  gc       drop superseded records from the store log
+  scrape   fetch a /metrics URL and validate the Prometheus exposition
+  events   subscribe to an /events URL and print SSE events
+  smoke    in-process serve+store+diff smoke test (CI gate)`)
+}
+
+// storeFlag registers the shared -store flag on fs.
+func storeFlag(fs *flag.FlagSet) *string {
+	return fs.String("store", runstore.DefaultDir, "run store directory")
+}
+
+func openStore(dir string) (*runstore.Store, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("no run store at %s (run capsweep/capsim with -store, or pass -store DIR)", dir)
+	}
+	return runstore.Open(dir)
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ContinueOnError)
+	dir := storeFlag(fs)
+	bench := fs.String("bench", "", "filter by benchmark")
+	pf := fs.String("prefetch", "", "filter by prefetcher")
+	all := fs.Bool("all", false, "include superseded records")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	entries := store.List(runstore.Query{Bench: *bench, Prefetcher: *pf, All: *all})
+	if len(entries) == 0 {
+		fmt.Println("no stored runs")
+		return nil
+	}
+	fmt.Printf("%-16s %-5s %-8s %-5s %12s %8s %8s %8s %-12s %s\n",
+		"ID", "BENCH", "PREFETCH", "SCHED", "CYCLES", "IPC", "COVER", "ACCUR", "GITREV", "CREATED")
+	for _, e := range entries {
+		rev := e.GitRev
+		if rev == "" {
+			rev = "-"
+		}
+		fmt.Printf("%-16s %-5s %-8s %-5s %12d %8.4f %8.4f %8.4f %-12s %s\n",
+			e.ID, e.Bench, e.Prefetcher, e.Scheduler, e.Cycles, e.IPC, e.Coverage, e.Accuracy,
+			rev, time.Unix(e.CreatedAt, 0).UTC().Format("2006-01-02 15:04"))
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	dir := storeFlag(fs)
+	asJSON := fs.Bool("json", false, "print the full record as JSON")
+	htmlOut := fs.String("html", "", "write the run's profile report (capsprof HTML) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show: want exactly one run id, got %d", fs.NArg())
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	rec, err := store.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	}
+	fmt.Printf("run       %s\n", rec.ID)
+	fmt.Printf("bench     %s  prefetch=%s  sched=%s\n", rec.Bench, rec.Prefetcher, rec.Scheduler)
+	fmt.Printf("config    %s  gitrev=%s  created=%s\n", rec.ConfigHash, orDash(rec.GitRev),
+		time.Unix(rec.CreatedAt, 0).UTC().Format(time.RFC3339))
+	fmt.Printf("cycles    %d\ninsts     %d\nipc       %.4f\ncoverage  %.4f\naccuracy  %.4f\n",
+		rec.Cycles, rec.Instructions, rec.IPC, rec.Coverage, rec.Accuracy)
+	if rec.Profile == nil {
+		fmt.Println("profile   (none)")
+	} else {
+		fmt.Printf("profile   %d PCs, %d CTAs, %d SM stacks\n",
+			len(rec.Profile.PCs), len(rec.Profile.CTAs), len(rec.Profile.SMs))
+	}
+	if *htmlOut != "" {
+		if rec.Profile == nil {
+			return fmt.Errorf("show: run %s has no profile to render", rec.ID)
+		}
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := profile.WriteHTML(f, rec.Profile); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// cmdDiff compares two stored runs with the capsprof gate. The returned
+// bool reports whether any metric regressed (the caller exits 1).
+func cmdDiff(args []string) (bool, error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	dir := storeFlag(fs)
+	ipcFrac := fs.Float64("ipc-frac", profile.DefaultThresholds().IPCFrac, "max tolerated fractional IPC drop")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("diff: want <base-id> <cur-id>, got %d args", fs.NArg())
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return false, err
+	}
+	base, err := store.Get(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	cur, err := store.Get(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+	th := profile.DefaultThresholds()
+	th.IPCFrac = *ipcFrac
+	regs := diffRecords(base, cur, th)
+	fmt.Printf("base %s  %s/%s  ipc=%.4f\ncur  %s  %s/%s  ipc=%.4f\n",
+		base.ID, base.Bench, base.Prefetcher, base.IPC,
+		cur.ID, cur.Bench, cur.Prefetcher, cur.IPC)
+	if base.Profile == nil || cur.Profile == nil {
+		fmt.Println("note: one side has no stored profile; headline metrics only, stall stacks not gated")
+	}
+	if len(regs) == 0 {
+		fmt.Println("no regressions")
+		return false, nil
+	}
+	fmt.Printf("%d regression(s):\n", len(regs))
+	for _, r := range regs {
+		fmt.Println("  " + r.String())
+	}
+	return true, nil
+}
+
+// diffRecords runs profile.Diff over two stored runs, synthesizing a
+// headline-only profile when a record was stored without one so the gate
+// still covers IPC/coverage/accuracy.
+func diffRecords(base, cur *runstore.Record, th profile.Thresholds) []profile.Regression {
+	return profile.Diff(profileOf(base), profileOf(cur), th)
+}
+
+func profileOf(r *runstore.Record) *profile.Profile {
+	if r.Profile != nil {
+		return r.Profile
+	}
+	return &profile.Profile{
+		Meta:         profile.Meta{Bench: r.Bench, Prefetcher: r.Prefetcher, Scheduler: r.Scheduler},
+		TotalCycles:  r.Cycles,
+		Instructions: r.Instructions,
+		IPC:          r.IPC,
+		Coverage:     r.Coverage,
+		Accuracy:     r.Accuracy,
+	}
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+	dir := storeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	removed, err := store.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dropped %d superseded record(s), %d live\n", removed, store.Len())
+	return nil
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"caps/internal/profile"
+	"caps/internal/runstore"
+)
+
+// Paper-reported CAPS results (IPDPS 2018, §VI): mean IPC normalized to
+// the two-level scheduler without prefetching. Drawn as reference lines on
+// the speedup chart so the dashboard always shows where the fleet stands
+// against the paper.
+const (
+	paperMeanAll       = 1.08
+	paperMeanRegular   = 1.09
+	paperMeanIrregular = 1.06
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	dir := storeFlag(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	baselinePath := fs.String("baseline", "BENCH_caps.json", "committed bench baseline (\"\" to disable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	var baseline *profile.BenchReport
+	if *baselinePath != "" {
+		if _, statErr := os.Stat(*baselinePath); statErr == nil {
+			b, berr := profile.ReadBaseline(*baselinePath)
+			if berr != nil {
+				return berr
+			}
+			if b.Bench == nil {
+				return fmt.Errorf("serve: %s is not a bench report", *baselinePath)
+			}
+			baseline = b.Bench
+		} else {
+			fmt.Fprintf(os.Stderr, "capsd: no baseline at %s, charts show stored runs only\n", *baselinePath)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", dashboardHandler(store, baseline))
+	mux.HandleFunc("/api/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, store.List(runstore.Query{All: r.URL.Query().Get("all") == "1"}))
+	})
+	fmt.Printf("capsd: serving run store %s on %s\n", store.Dir(), *addr)
+	return http.ListenAndServe(*addr, mux)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// dashboardHandler renders the run table and the IPC charts from the
+// store's current contents on every request — the store is the source of
+// truth, so a running sweep's newly stored runs appear on refresh.
+func dashboardHandler(store *runstore.Store, baseline *profile.BenchReport) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		entries := store.List(runstore.Query{})
+		var b strings.Builder
+		b.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>capsd — run store</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 70em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { border: 1px solid #ddd; padding: 0.3em 0.6em; text-align: right; }
+th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; font-family: ui-monospace, monospace; }
+.chart { margin: 0.5em 0; }
+</style></head><body>
+<h1>capsd — run store</h1>
+`)
+		fmt.Fprintf(&b, "<p>%d stored run(s) in <code>%s</code></p>\n", len(entries), html.EscapeString(store.Dir()))
+
+		writeIPCCharts(&b, entries, baseline)
+
+		b.WriteString("<h2>Runs</h2>\n")
+		if len(entries) == 0 {
+			b.WriteString("<p>Store is empty — run capsweep or capsim with <code>-store</code>.</p>\n")
+		} else {
+			b.WriteString("<table><tr><th>id</th><th>bench</th><th>prefetch</th><th>sched</th><th>cycles</th><th>ipc</th><th>coverage</th><th>accuracy</th><th>gitrev</th><th>created (UTC)</th></tr>\n")
+			for _, e := range entries {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%.4f</td><td>%.4f</td><td>%.4f</td><td>%s</td><td>%s</td></tr>\n",
+					html.EscapeString(e.ID), html.EscapeString(e.Bench), html.EscapeString(e.Prefetcher),
+					html.EscapeString(e.Scheduler), e.Cycles, e.IPC, e.Coverage, e.Accuracy,
+					html.EscapeString(orDash(e.GitRev)),
+					time.Unix(e.CreatedAt, 0).UTC().Format("2006-01-02 15:04"))
+			}
+			b.WriteString("</table>\n")
+		}
+		b.WriteString("</body></html>\n")
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}
+
+// writeIPCCharts renders the two dashboard charts: stored CAPS IPC against
+// the committed baseline, and CAPS speedup over the stored no-prefetch
+// runs against the paper's reported means.
+func writeIPCCharts(b *strings.Builder, entries []*runstore.Entry, baseline *profile.BenchReport) {
+	// Latest caps and none run per bench (entries are latest-per-identity
+	// already; a bench can still appear under several schedulers — keep
+	// the paper pairing: caps/pas and none baseline).
+	caps := make(map[string]*runstore.Entry)
+	none := make(map[string]*runstore.Entry)
+	var benches []string
+	for _, e := range entries {
+		switch e.Prefetcher {
+		case "caps":
+			if _, seen := caps[e.Bench]; !seen {
+				benches = append(benches, e.Bench)
+			}
+			caps[e.Bench] = e
+		case "none":
+			none[e.Bench] = e
+		}
+	}
+	sort.Strings(benches)
+	if len(benches) == 0 {
+		return
+	}
+
+	b.WriteString("<h2>CAPS IPC vs committed baseline</h2>\n")
+	stored := profile.ChartSeries{Name: "stored", Color: "#1976d2", Values: make([]float64, len(benches))}
+	committed := profile.ChartSeries{Name: "committed baseline", Color: "#90caf9", Values: make([]float64, len(benches))}
+	for i, bench := range benches {
+		stored.Values[i] = caps[bench].IPC
+		committed.Values[i] = math.NaN()
+		if baseline != nil {
+			if row, ok := baseline.Benchmarks[bench]; ok {
+				committed.Values[i] = row.IPC
+			}
+		}
+	}
+	series := []profile.ChartSeries{stored}
+	if baseline != nil {
+		series = append(series, committed)
+	}
+	if err := profile.WriteBarChartSVG(b, "CAPS IPC per benchmark", benches, series, nil); err != nil {
+		fmt.Fprintf(b, "<p>chart error: %s</p>\n", html.EscapeString(err.Error()))
+	}
+
+	// Speedup chart needs the stored no-prefetch runs to normalize by.
+	var spLabels []string
+	var spValues []float64
+	for _, bench := range benches {
+		base, ok := none[bench]
+		if !ok || base.IPC <= 0 {
+			continue
+		}
+		spLabels = append(spLabels, bench)
+		spValues = append(spValues, caps[bench].IPC/base.IPC)
+	}
+	if len(spLabels) == 0 {
+		b.WriteString("<p>No stored no-prefetch runs — store baseline runs to see the speedup chart.</p>\n")
+		return
+	}
+	b.WriteString("<h2>CAPS speedup over no-prefetch two-level baseline</h2>\n")
+	err := profile.WriteBarChartSVG(b, "normalized IPC (CAPS / no-prefetch)", spLabels,
+		[]profile.ChartSeries{{Name: "stored speedup", Color: "#43a047", Values: spValues}},
+		[]profile.RefLine{
+			{Name: fmt.Sprintf("paper mean all (%.2f)", paperMeanAll), Color: "#e53935", Value: paperMeanAll},
+			{Name: fmt.Sprintf("paper regular (%.2f)", paperMeanRegular), Color: "#fb8c00", Value: paperMeanRegular},
+			{Name: fmt.Sprintf("paper irregular (%.2f)", paperMeanIrregular), Color: "#8e24aa", Value: paperMeanIrregular},
+		})
+	if err != nil {
+		fmt.Fprintf(b, "<p>chart error: %s</p>\n", html.EscapeString(err.Error()))
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"caps/internal/config"
+	"caps/internal/experiments"
+	"caps/internal/profile"
+	"caps/internal/runstore"
+	"caps/internal/telemetry"
+)
+
+// cmdSmoke is the CI gate for the whole telemetry+runstore stack, run
+// in-process so it needs no curl, no background processes and no fixed
+// port: it drives two short simulations with the telemetry server live,
+// scrapes /metrics through the strict parser, reads an SSE event off
+// /events, checks both runs landed in the store, and verifies the diff
+// gate both passes a clean pair and fails an injected regression.
+func cmdSmoke(args []string) error {
+	fs := flag.NewFlagSet("smoke", flag.ContinueOnError)
+	insts := fs.Int64("insts", 40_000, "per-run instruction cap")
+	bench := fs.String("bench", "MM", "benchmark to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	storeDir, err := os.MkdirTemp("", "capsd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	store, err := runstore.Open(storeDir)
+	if err != nil {
+		return err
+	}
+
+	srv := telemetry.NewServer("127.0.0.1:0")
+	addr, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // smoke verdict already decided
+	}()
+	fmt.Printf("smoke: telemetry on http://%s, store in %s\n", addr, storeDir)
+
+	cfg := config.Default()
+	cfg.MaxInsts = *insts
+	var storeErrs []string
+	suite := experiments.NewSuite(cfg,
+		experiments.WithBenches([]string{*bench}),
+		experiments.WithTelemetry(srv.Hub()),
+		experiments.WithRunStore(store, func(k experiments.RunKey, err error) {
+			storeErrs = append(storeErrs, fmt.Sprintf("%s: %v", k.Name(), err))
+		}),
+	)
+	capsKey := experiments.PrefetcherKey(*bench, "caps")
+	noneKey := experiments.BaselineKey(*bench)
+	if _, err := suite.Run(capsKey); err != nil {
+		return fmt.Errorf("smoke: caps run: %w", err)
+	}
+	if _, err := suite.Run(noneKey); err != nil {
+		return fmt.Errorf("smoke: baseline run: %w", err)
+	}
+	if len(storeErrs) > 0 {
+		return fmt.Errorf("smoke: store hooks failed: %s", strings.Join(storeErrs, "; "))
+	}
+
+	if err := smokeScrape(addr); err != nil {
+		return err
+	}
+	if err := smokeEvents(addr); err != nil {
+		return err
+	}
+	return smokeDiff(store, capsKey, noneKey)
+}
+
+// smokeScrape pulls /metrics over real HTTP and validates the exposition.
+func smokeScrape(addr string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("smoke: scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	m, err := telemetry.ParseMetrics(resp.Body)
+	if err != nil {
+		return fmt.Errorf("smoke: /metrics does not parse: %w", err)
+	}
+	done := 0.0
+	for _, s := range m.Find("caps_run_done") {
+		done += s.Value
+	}
+	if done != 2 {
+		return fmt.Errorf("smoke: caps_run_done sums to %g, want 2", done)
+	}
+	if len(m.Find("cta_launch_total")) == 0 {
+		return fmt.Errorf("smoke: /metrics is missing simulator counters")
+	}
+	fmt.Printf("smoke: /metrics OK (%d samples)\n", len(m.Samples))
+	return nil
+}
+
+// smokeEvents reads one replayed SSE event off /events.
+func smokeEvents(addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://"+addr+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("smoke: events: %w", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			if !strings.Contains(data, `"done":true`) {
+				return fmt.Errorf("smoke: replayed event not done: %s", data)
+			}
+			fmt.Printf("smoke: /events OK (%s)\n", data)
+			return nil
+		}
+	}
+	return fmt.Errorf("smoke: /events closed without an event (scanner err: %v)", sc.Err())
+}
+
+// smokeDiff exercises the diff gate on the stored runs: a run against
+// itself must be clean, and an injected IPC regression must be caught.
+func smokeDiff(store *runstore.Store, capsKey, noneKey experiments.RunKey) error {
+	capsEntries := store.List(runstore.Query{Bench: capsKey.Bench, Prefetcher: "caps"})
+	noneEntries := store.List(runstore.Query{Bench: noneKey.Bench, Prefetcher: "none"})
+	if len(capsEntries) != 1 || len(noneEntries) != 1 {
+		return fmt.Errorf("smoke: store has %d caps + %d none runs, want 1 + 1",
+			len(capsEntries), len(noneEntries))
+	}
+	capsRec, err := store.Get(capsEntries[0].ID)
+	if err != nil {
+		return err
+	}
+	if capsRec.Profile == nil {
+		return fmt.Errorf("smoke: stored run has no profile")
+	}
+	th := profile.DefaultThresholds()
+	if regs := diffRecords(capsRec, capsRec, th); len(regs) != 0 {
+		return fmt.Errorf("smoke: run diffed against itself regressed: %v", regs)
+	}
+	// Injected regression: the same run with its IPC halved must trip the
+	// gate — this is the exact comparison `capsd diff` exits 1 on.
+	bad := *capsRec
+	badProfile := *capsRec.Profile
+	badProfile.IPC /= 2
+	bad.IPC /= 2
+	bad.Profile = &badProfile
+	regs := diffRecords(capsRec, &bad, th)
+	if len(regs) == 0 {
+		return fmt.Errorf("smoke: injected 50%% IPC regression not detected")
+	}
+	fmt.Printf("smoke: diff gate OK (clean pair passes, injected regression caught: %s)\n", regs[0].Metric)
+	return nil
+}

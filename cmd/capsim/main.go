@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"caps/internal/config"
 	"caps/internal/energy"
@@ -24,8 +26,10 @@ import (
 	"caps/internal/obs"
 	"caps/internal/prefetch"
 	"caps/internal/profile"
+	"caps/internal/runstore"
 	"caps/internal/sched"
 	"caps/internal/sim"
+	"caps/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +54,8 @@ func run() int {
 		profOut  = flag.String("profile", "", "write a capsprof profile JSON (stall stacks + per-PC ledger) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile of the simulator itself to this file")
+		serveAdr = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the run executes")
+		storeDir = flag.String("store", "", "record the completed run (stats + profile) into this run store directory (see capsd)")
 	)
 	flag.Parse()
 
@@ -113,12 +119,26 @@ func run() int {
 
 	var snk *obs.Sink
 	var col *profile.Collector
-	if *traceOut != "" || *metOut != "" || *profOut != "" {
+	if *traceOut != "" || *metOut != "" || *profOut != "" || *serveAdr != "" || *storeDir != "" {
 		snk = sim.NewSink(cfg, *traceOut != "", obs.DefaultTraceCap)
 	}
-	if *profOut != "" {
+	if *profOut != "" || *storeDir != "" {
 		col = profile.NewCollector(cfg.NumSMs)
 		snk.Attach(col)
+	}
+	runID := fmt.Sprintf("%s-%s-%s", k.Abbr, *pf, cfg.Scheduler)
+	var srv *telemetry.Server
+	if *serveAdr != "" {
+		srv = telemetry.NewServer(*serveAdr)
+		addr, err := srv.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsim:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "capsim: telemetry on http://%s\n", addr)
+		meta := telemetry.RunMeta{ID: runID, Bench: k.Abbr, Prefetcher: *pf,
+			Scheduler: string(cfg.Scheduler), MaxInsts: cfg.MaxInsts}
+		snk.Attach(telemetry.NewRunProgress(srv.Hub(), meta, snk.Registry()))
 	}
 	g, err := sim.New(cfg, k, sim.Options{Prefetcher: *pf, Obs: snk})
 	if err != nil {
@@ -129,6 +149,16 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		return 1
+	}
+	if srv != nil {
+		meta := telemetry.RunMeta{ID: runID, Bench: k.Abbr, Prefetcher: *pf,
+			Scheduler: string(cfg.Scheduler), MaxInsts: cfg.MaxInsts}
+		srv.Hub().RunDone(meta, st.Cycles, st.Instructions, st.IPC(), snk.Snapshot())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+		}()
 	}
 	fmt.Printf("%s  prefetch=%s  sched=%s\n", k.Abbr, *pf, cfg.Scheduler)
 	fmt.Print(st.String())
@@ -156,16 +186,36 @@ func run() int {
 			return 1
 		}
 	}
-	if *profOut != "" {
+	var prof *profile.Profile
+	if col != nil {
 		meta := profile.Meta{Bench: k.Abbr, Prefetcher: *pf, Scheduler: string(cfg.Scheduler), SMs: cfg.NumSMs}
-		p, err := col.Build(meta, st)
+		prof, err = col.Build(meta, st)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capsim: profile:", err)
 			return 1
 		}
-		if err := p.WriteFile(*profOut); err != nil {
+	}
+	if *profOut != "" {
+		if err := prof.WriteFile(*profOut); err != nil {
 			fmt.Fprintln(os.Stderr, "capsim: profile:", err)
 			return 1
+		}
+	}
+	if *storeDir != "" {
+		store, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: store:", err)
+			return 1
+		}
+		id, dup, err := store.Put(runstore.NewRecord(cfg, k.Abbr, *pf, st, prof))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: store:", err)
+			return 1
+		}
+		if dup {
+			fmt.Printf("stored: %s (unchanged, deduplicated)\n", id)
+		} else {
+			fmt.Printf("stored: %s\n", id)
 		}
 	}
 	if *memProf != "" {

@@ -10,19 +10,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"caps/internal/config"
 	"caps/internal/experiments"
 	"caps/internal/obs"
 	"caps/internal/profile"
+	"caps/internal/runstore"
 	"caps/internal/sim"
 	"caps/internal/stats"
+	"caps/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +42,8 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write a Chrome trace + metrics CSV per run into this directory")
 		profileDir = flag.String("profile-dir", "", "write a capsprof profile JSON per run into this directory")
 		benchJSON  = flag.String("bench-json", "", "run the CAPS suite and write BENCH_caps.json-style metrics to this file, then exit")
+		serveAddr  = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the sweep runs")
+		storeDir   = flag.String("store", "", "record every completed run (stats + profile) into this run store directory (see capsd)")
 	)
 	flag.Parse()
 
@@ -95,6 +101,33 @@ func main() {
 			},
 		))
 	}
+	exitCode := 0
+	if *serveAddr != "" {
+		srv := telemetry.NewServer(*serveAddr)
+		addr, err := srv.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "capsweep: telemetry on http://%s\n", addr)
+		opts = append(opts, experiments.WithTelemetry(srv.Hub()))
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+		}()
+	}
+	if *storeDir != "" {
+		store, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, experiments.WithRunStore(store, func(k experiments.RunKey, err error) {
+			fmt.Fprintf(os.Stderr, "capsweep: store %s: %v\n", k.Name(), err)
+			exitCode = 1
+		}))
+	}
 	suite := experiments.NewSuite(cfg, opts...)
 
 	if *benchJSON != "" {
@@ -120,9 +153,12 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// fail reports a driver error and marks the sweep partially failed, but
+	// does not exit: remaining figures still run, and the failure summary
+	// at the end carries the non-zero verdict.
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "capsweep:", err)
-		os.Exit(1)
+		exitCode = 1
 	}
 
 	figures := map[string]func(){
@@ -130,6 +166,7 @@ func main() {
 			t, err := experiments.Figure1(cfg, 10)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 1: inter-warp stride prefetch accuracy and cycle gap vs warp distance (MM)", t)
 		},
@@ -140,6 +177,7 @@ func main() {
 			t, err := experiments.Figure10(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 10: normalized IPC over two-level scheduler without prefetch", t)
 		},
@@ -147,6 +185,7 @@ func main() {
 			t, err := experiments.Figure11(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 11: performance by number of concurrent CTAs", t)
 		},
@@ -154,6 +193,7 @@ func main() {
 			cov, acc, err := experiments.Figure12(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 12a: prefetch coverage", cov)
 			emit("Figure 12b: prefetch accuracy", acc)
@@ -162,6 +202,7 @@ func main() {
 			reqs, reads, err := experiments.Figure13(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 13a: fetch requests from cores (normalized)", reqs)
 			emit("Figure 13b: data read from memory (normalized)", reads)
@@ -170,6 +211,7 @@ func main() {
 			t, err := experiments.Figure14a(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 14a: early prefetch ratio", t)
 		},
@@ -177,6 +219,7 @@ func main() {
 			t, err := experiments.Figure14b(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 14b: prefetch distance of timely prefetches", t)
 		},
@@ -184,6 +227,7 @@ func main() {
 			t, err := experiments.Figure15(suite)
 			if err != nil {
 				fail(err)
+				return
 			}
 			emit("Figure 15: energy consumption by CAPS (normalized)", t)
 		},
@@ -211,61 +255,61 @@ func main() {
 		for _, id := range []string{"1", "4", "10", "11", "12", "13", "14a", "14b", "15"} {
 			figures[id]()
 		}
-		return
-	}
-	if *abl != "" {
-		f, ok := ablations[*abl]
-		if !ok {
-			fail(fmt.Errorf("unknown ablation %q", *abl))
-		}
-		t, err := f()
-		if err != nil {
-			fail(err)
-		}
-		emit("Ablation: "+*abl, t)
 		ran = true
 	}
-	if *fig != "" {
+	if !*all && *abl != "" {
+		if f, ok := ablations[*abl]; !ok {
+			fail(fmt.Errorf("unknown ablation %q", *abl))
+		} else if t, err := f(); err != nil {
+			fail(err)
+		} else {
+			emit("Ablation: "+*abl, t)
+		}
+		ran = true
+	}
+	if !*all && *fig != "" {
 		for _, id := range strings.Split(*fig, ",") {
 			f, ok := figures[id]
 			if !ok {
 				fail(fmt.Errorf("unknown figure %q", id))
+				continue
 			}
 			f()
 		}
 		ran = true
 	}
-	if *table != "" {
+	if !*all && *table != "" {
 		f, ok := tables[*table]
 		if !ok {
 			fail(fmt.Errorf("unknown table %q", *table))
+		} else {
+			f()
 		}
-		f()
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
 
-// runName builds a filesystem-safe identifier for one RunKey, e.g.
-// "MM-caps-pas" or "CNV-lap-tlv-ctas2-nowakeup".
-func runName(k experiments.RunKey) string {
-	name := fmt.Sprintf("%s-%s-%s", k.Bench, k.Prefetch, k.Scheduler)
-	if k.MaxCTAs > 0 {
-		name += fmt.Sprintf("-ctas%d", k.MaxCTAs)
+	// Partial-failure summary: drivers keep going past a broken run, but a
+	// sweep that lost any run reports what failed and exits non-zero.
+	if fails := suite.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "capsweep: %d run(s) failed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %-30s %v\n", f.Key.Name(), f.Err)
+		}
+		exitCode = 1
 	}
-	if k.NoWakeup {
-		name += "-nowakeup"
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
-	return name
 }
 
 // exportRun writes <dir>/<run>.trace.json (Chrome trace-event format) and
 // <dir>/<run>.metrics.csv for one completed simulation.
 func exportRun(dir string, k experiments.RunKey, s *obs.Sink) error {
-	name := runName(k)
+	name := k.Name()
 	tf, err := os.Create(filepath.Join(dir, name+".trace.json"))
 	if err != nil {
 		return err
@@ -293,12 +337,12 @@ func exportRun(dir string, k experiments.RunKey, s *obs.Sink) error {
 func exportProfile(dir string, cfg config.GPUConfig, k experiments.RunKey,
 	col *profile.Collector, st *stats.Sim) error {
 	if col == nil {
-		return fmt.Errorf("%s: no collector registered", runName(k))
+		return fmt.Errorf("%s: no collector registered", k.Name())
 	}
 	meta := profile.Meta{Bench: k.Bench, Prefetcher: k.Prefetch, Scheduler: string(k.Scheduler), SMs: cfg.NumSMs}
 	p, err := col.Build(meta, st)
 	if err != nil {
 		return err
 	}
-	return p.WriteFile(filepath.Join(dir, runName(k)+".profile.json"))
+	return p.WriteFile(filepath.Join(dir, k.Name()+".profile.json"))
 }

@@ -7,13 +7,17 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"caps/internal/config"
 	"caps/internal/kernels"
 	"caps/internal/obs"
+	"caps/internal/profile"
+	"caps/internal/runstore"
 	"caps/internal/sim"
 	"caps/internal/stats"
+	"caps/internal/telemetry"
 )
 
 // Prefetchers lists the evaluated prefetchers in the paper's figure order.
@@ -39,6 +43,20 @@ type RunKey struct {
 	NoWakeup  bool // disable PAS eager wake-up (Fig. 14a ablation)
 }
 
+// Name builds a filesystem- and label-safe identifier for the run, e.g.
+// "MM-caps-pas" or "CNV-lap-tlv-ctas2-nowakeup". It is the run's identity
+// in exported trace/profile filenames, telemetry streams and run tables.
+func (k RunKey) Name() string {
+	name := fmt.Sprintf("%s-%s-%s", k.Bench, k.Prefetch, k.Scheduler)
+	if k.MaxCTAs > 0 {
+		name += fmt.Sprintf("-ctas%d", k.MaxCTAs)
+	}
+	if k.NoWakeup {
+		name += "-nowakeup"
+	}
+	return name
+}
+
 // Suite memoizes and parallelizes simulation runs. Construct one with
 // NewSuite; behavior beyond the base configuration is selected through
 // functional options (WithParallelism, WithBenches, WithObs).
@@ -49,14 +67,18 @@ type Suite struct {
 	// empty means all sixteen. Tests and quick benches use subsets.
 	benches []string
 
-	// Observability plumbing (WithObs): newSink builds a per-run sink
-	// before the simulation, runDone receives it afterwards together with
-	// the run's statistics.
+	// Observability plumbing: newSink (WithObs) builds a per-run sink
+	// before the simulation; attach hooks (WithTelemetry, WithRunStore)
+	// decorate that sink with consumers; runDone hooks receive the sink
+	// afterwards together with the run's statistics. When only attach
+	// hooks are present a plain metrics sink is created automatically.
 	newSink func(RunKey) *obs.Sink
-	runDone func(RunKey, *obs.Sink, *stats.Sim)
+	attach  []func(RunKey, *obs.Sink)
+	runDone []func(RunKey, *obs.Sink, *stats.Sim)
 
-	mu    sync.Mutex
-	cache map[RunKey]*stats.Sim
+	mu       sync.Mutex
+	cache    map[RunKey]*stats.Sim
+	failures map[RunKey]error
 }
 
 // Option configures a Suite at construction time.
@@ -87,7 +109,75 @@ func WithBenches(benches []string) Option {
 func WithObs(newSink func(RunKey) *obs.Sink, runDone func(RunKey, *obs.Sink, *stats.Sim)) Option {
 	return func(s *Suite) {
 		s.newSink = newSink
-		s.runDone = runDone
+		if runDone != nil {
+			s.runDone = append(s.runDone, runDone)
+		}
+	}
+}
+
+// WithTelemetry publishes every run's live progress and metric snapshots
+// into hub: an obs.Consumer streams EvProgress beats (registry snapshots
+// taken on the simulation goroutine, so the lock-free registry is never
+// read concurrently), and run completion posts the final state with the
+// authoritative IPC. Composes with WithObs and WithRunStore.
+func WithTelemetry(hub *telemetry.Hub) Option {
+	return func(s *Suite) {
+		meta := func(k RunKey) telemetry.RunMeta {
+			return telemetry.RunMeta{
+				ID:         k.Name(),
+				Bench:      k.Bench,
+				Prefetcher: k.Prefetch,
+				Scheduler:  string(k.Scheduler),
+				MaxInsts:   s.configFor(k).MaxInsts,
+			}
+		}
+		s.attach = append(s.attach, func(k RunKey, snk *obs.Sink) {
+			snk.Attach(telemetry.NewRunProgress(hub, meta(k), snk.Registry()))
+		})
+		s.runDone = append(s.runDone, func(k RunKey, snk *obs.Sink, st *stats.Sim) {
+			hub.RunDone(meta(k), st.Cycles, st.Instructions, st.IPC(), snk.Snapshot())
+		})
+	}
+}
+
+// WithRunStore records every completed run into store: a per-run profile
+// collector is attached so the stored record carries a full capsprof
+// profile (making any two stored runs diff-able with `capsd diff`), and
+// the finished run is Put with its config hash and git revision. Store
+// write errors are reported through onErr (may be nil to ignore them);
+// they never fail the simulation itself.
+func WithRunStore(store *runstore.Store, onErr func(RunKey, error)) Option {
+	return func(s *Suite) {
+		// Warm's workers run concurrently; pair sink→collector through a
+		// mutex-guarded map keyed by the (unique, memoized) RunKey.
+		var mu sync.Mutex
+		collectors := make(map[RunKey]*profile.Collector)
+		s.attach = append(s.attach, func(k RunKey, snk *obs.Sink) {
+			col := profile.NewCollector(s.configFor(k).NumSMs)
+			snk.Attach(col)
+			mu.Lock()
+			collectors[k] = col
+			mu.Unlock()
+		})
+		s.runDone = append(s.runDone, func(k RunKey, snk *obs.Sink, st *stats.Sim) {
+			mu.Lock()
+			col := collectors[k]
+			delete(collectors, k)
+			mu.Unlock()
+			cfg := s.configFor(k)
+			var p *profile.Profile
+			if col != nil {
+				m := profile.Meta{Bench: k.Bench, Prefetcher: k.Prefetch, Scheduler: string(cfg.Scheduler), SMs: cfg.NumSMs}
+				built, err := col.Build(m, st)
+				if err != nil && onErr != nil {
+					onErr(k, err)
+				}
+				p = built
+			}
+			if _, _, err := store.Put(runstore.NewRecord(cfg, k.Bench, k.Prefetch, st, p)); err != nil && onErr != nil {
+				onErr(k, err)
+			}
+		})
 	}
 }
 
@@ -97,6 +187,7 @@ func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
 		cfg:         cfg,
 		parallelism: runtime.GOMAXPROCS(0),
 		cache:       make(map[RunKey]*stats.Sim),
+		failures:    make(map[RunKey]error),
 	}
 	for _, o := range opts {
 		o(s)
@@ -115,7 +206,9 @@ func (s *Suite) configFor(k RunKey) config.GPUConfig {
 	})
 }
 
-// Run executes (or returns the memoized result of) one simulation.
+// Run executes (or returns the memoized result of) one simulation. Errors
+// are additionally recorded in the suite's failure set (see Failures) so
+// drivers can continue past a broken configuration and summarize at exit.
 func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
 	s.mu.Lock()
 	if st, ok := s.cache[k]; ok {
@@ -124,6 +217,20 @@ func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
 	}
 	s.mu.Unlock()
 
+	st, err := s.runOnce(k)
+	if err != nil {
+		s.mu.Lock()
+		s.failures[k] = err
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[k] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 	kernel, err := kernels.ByAbbr(k.Bench)
 	if err != nil {
 		return nil, err
@@ -131,6 +238,14 @@ func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
 	var snk *obs.Sink
 	if s.newSink != nil {
 		snk = s.newSink(k)
+	}
+	if snk == nil && len(s.attach) > 0 {
+		// Attach-only observability (telemetry, run store): a plain
+		// metrics sink, no trace buffer.
+		snk = sim.NewSink(s.configFor(k), false, 0)
+	}
+	for _, hook := range s.attach {
+		hook(k, snk)
 	}
 	g, err := sim.New(s.configFor(k), kernel, sim.Options{Prefetcher: k.Prefetch, Obs: snk})
 	if err != nil {
@@ -140,13 +255,37 @@ func (s *Suite) Run(k RunKey) (*stats.Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
 	}
-	if s.runDone != nil && snk != nil {
-		s.runDone(k, snk, st)
+	if snk != nil {
+		for _, hook := range s.runDone {
+			hook(k, snk, st)
+		}
 	}
-	s.mu.Lock()
-	s.cache[k] = st
-	s.mu.Unlock()
 	return st, nil
+}
+
+// RunFailure pairs a failed run with its error.
+type RunFailure struct {
+	Key RunKey
+	Err error
+}
+
+// Failures returns every run that has failed so far, sorted by run name —
+// the partial-failure summary drivers print before exiting non-zero.
+func (s *Suite) Failures() []RunFailure {
+	s.mu.Lock()
+	keys := make([]RunKey, 0, len(s.failures))
+	for k := range s.failures { //simcheck:allow detlint — collected then sorted below
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Name() < keys[j].Name() })
+	out := make([]RunFailure, len(keys))
+	s.mu.Lock()
+	for i, k := range keys {
+		out[i] = RunFailure{Key: k, Err: s.failures[k]}
+	}
+	s.mu.Unlock()
+	return out
 }
 
 // Warm runs all keys in parallel, stopping at the first error.

@@ -177,38 +177,74 @@ func (r *Registry) Histogram(name string, bucketWidth int64, n int, labels ...La
 	return h
 }
 
+// SampleKind identifies what a snapshot sample was expanded from, so text
+// renderers (Prometheus exposition, dashboards) can group families and emit
+// the right # TYPE line without re-parsing metric names.
+type SampleKind uint8
+
+// Sample kinds.
+const (
+	SampleCounter SampleKind = iota
+	SampleGauge
+	SampleBucket    // one cumulative histogram bucket (carries an le label)
+	SampleHistSum   // histogram _sum
+	SampleHistCount // histogram _count
+)
+
 // Sample is one metric value in a snapshot.
 type Sample struct {
-	Name   string // metric family name
-	Labels string // rendered label set, "" when unlabeled
-	Value  int64
+	Name     string  // metric family name (with _bucket/_sum/_count suffix for histograms)
+	Labels   string  // rendered label set, "" when unlabeled
+	LabelSet []Label // structured labels (le included for buckets)
+	Kind     SampleKind
+	Value    int64
 }
 
 // FullName returns name+labels.
 func (s Sample) FullName() string { return s.Name + s.Labels }
 
-// Snapshot returns a point-in-time copy of every metric, sorted by full
-// name. Histograms expand into per-bucket samples (le="<upper>" plus
-// le="+Inf" for overflow) and _sum/_count samples, Prometheus style.
+// Family returns the metric family the sample belongs to: the name itself
+// for counters and gauges, the name with its _bucket/_sum/_count suffix
+// stripped for histogram expansions.
+func (s Sample) Family() string {
+	switch s.Kind {
+	case SampleBucket:
+		return strings.TrimSuffix(s.Name, "_bucket")
+	case SampleHistSum:
+		return strings.TrimSuffix(s.Name, "_sum")
+	case SampleHistCount:
+		return strings.TrimSuffix(s.Name, "_count")
+	default:
+		return s.Name
+	}
+}
+
+// Snapshot returns a point-in-time copy of every metric, in deterministic
+// order: sorted by name, then by rendered label set, regardless of
+// registration order. Histograms expand into per-bucket samples
+// (le="<upper>" plus le="+Inf" for overflow) and _sum/_count samples,
+// Prometheus style. Scrapes and golden tests rely on the ordering being
+// stable across runs.
 func (r *Registry) Snapshot() []Sample {
 	var out []Sample
 	for _, c := range r.counters {
-		out = append(out, Sample{Name: c.name, Labels: labelString(c.labels), Value: c.v})
+		out = append(out, Sample{Name: c.name, Labels: labelString(c.labels), LabelSet: c.labels, Kind: SampleCounter, Value: c.v})
 	}
 	for _, g := range r.gauges {
-		out = append(out, Sample{Name: g.name, Labels: labelString(g.labels), Value: g.v})
+		out = append(out, Sample{Name: g.name, Labels: labelString(g.labels), LabelSet: g.labels, Kind: SampleGauge, Value: g.v})
 	}
 	for _, h := range r.hists {
 		cum := int64(0)
 		for i, c := range h.counts {
 			cum += c
 			le := Label{Key: "le", Value: fmt.Sprintf("%d", int64(i+1)*h.bucketWidth)}
-			out = append(out, Sample{Name: h.name + "_bucket", Labels: labelString(append(append([]Label(nil), h.labels...), le)), Value: cum})
+			ls := append(append([]Label(nil), h.labels...), le)
+			out = append(out, Sample{Name: h.name + "_bucket", Labels: labelString(ls), LabelSet: ls, Kind: SampleBucket, Value: cum})
 		}
-		inf := Label{Key: "le", Value: "+Inf"}
-		out = append(out, Sample{Name: h.name + "_bucket", Labels: labelString(append(append([]Label(nil), h.labels...), inf)), Value: cum + h.overflow})
-		out = append(out, Sample{Name: h.name + "_sum", Labels: labelString(h.labels), Value: h.sum})
-		out = append(out, Sample{Name: h.name + "_count", Labels: labelString(h.labels), Value: h.total})
+		inf := append(append([]Label(nil), h.labels...), Label{Key: "le", Value: "+Inf"})
+		out = append(out, Sample{Name: h.name + "_bucket", Labels: labelString(inf), LabelSet: inf, Kind: SampleBucket, Value: cum + h.overflow})
+		out = append(out, Sample{Name: h.name + "_sum", Labels: labelString(h.labels), LabelSet: h.labels, Kind: SampleHistSum, Value: h.sum})
+		out = append(out, Sample{Name: h.name + "_count", Labels: labelString(h.labels), LabelSet: h.labels, Kind: SampleHistCount, Value: h.total})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {

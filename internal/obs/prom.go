@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one "# TYPE" line per metric family followed by
+// that family's samples, label values escaped per the format's rules
+// (backslash, double quote and newline). Histogram families emit their
+// _bucket series in ascending numeric le order ending at le="+Inf",
+// followed by _sum and _count, matching client library conventions.
+//
+// The input is grouped by Sample.Family in first-appearance order, so a
+// Registry.Snapshot() — sorted by name — always yields families in sorted
+// order with every sample adjacent to its TYPE line, as the format
+// requires.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	fams := make(map[string][]Sample)
+	var order []string
+	for _, s := range samples {
+		f := s.Family()
+		if _, ok := fams[f]; !ok {
+			order = append(order, f)
+		}
+		fams[f] = append(fams[f], s)
+	}
+	var b strings.Builder
+	for _, fam := range order {
+		group := fams[fam]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, familyType(group))
+		sortFamily(group)
+		for _, s := range group {
+			b.WriteString(s.Name)
+			writePromLabels(&b, s.LabelSet)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(s.Value, 10))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// familyType maps a family's sample kinds onto the exposition type name.
+func familyType(group []Sample) string {
+	switch group[0].Kind {
+	case SampleCounter:
+		return "counter"
+	case SampleGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// sortFamily orders one family's samples for emission: non-bucket samples
+// keep their (already name-sorted) relative order, buckets sort by their
+// non-le labels and then numeric le with +Inf last.
+func sortFamily(group []Sample) {
+	sort.SliceStable(group, func(i, j int) bool {
+		a, bb := group[i], group[j]
+		if a.Name != bb.Name {
+			return a.Name < bb.Name
+		}
+		if a.Kind != SampleBucket || bb.Kind != SampleBucket {
+			return a.Labels < bb.Labels
+		}
+		ap, ale := splitLE(a.LabelSet)
+		bp, ble := splitLE(bb.LabelSet)
+		if ap != bp {
+			return ap < bp
+		}
+		return leLess(ale, ble)
+	})
+}
+
+// splitLE renders a bucket's labels without le (the grouping key) and
+// returns the le value separately.
+func splitLE(labels []Label) (rest, le string) {
+	var others []Label
+	for _, l := range labels {
+		if l.Key == "le" {
+			le = l.Value
+			continue
+		}
+		others = append(others, l)
+	}
+	return labelString(others), le
+}
+
+// leLess orders bucket upper bounds numerically with +Inf greatest.
+func leLess(a, b string) bool {
+	if a == "+Inf" {
+		return false
+	}
+	if b == "+Inf" {
+		return true
+	}
+	av, aerr := strconv.ParseFloat(a, 64)
+	bv, berr := strconv.ParseFloat(b, 64)
+	if aerr != nil || berr != nil {
+		return a < b
+	}
+	return av < bv
+}
+
+// writePromLabels renders {k="v",...} with exposition-format escaping.
+func writePromLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabelValue applies the text format's label escaping: backslash,
+// double quote and line feed.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSnapshotDeterministicOrder registers metrics in a deliberately
+// scrambled order and requires Snapshot to come back sorted by (name,
+// labels) — the property live /metrics scrapes and golden tests depend on.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []int) []Sample {
+		r := NewRegistry()
+		reg := []func(){
+			func() { r.Counter("zz_total", Label{Key: "sm", Value: "1"}) },
+			func() { r.Counter("aa_total") },
+			func() { r.Gauge("mm_gauge") },
+			func() { r.Counter("zz_total", Label{Key: "sm", Value: "0"}) },
+			func() { r.Histogram("hh_cycles", 10, 3) },
+		}
+		for _, i := range order {
+			reg[i]()
+		}
+		return r.Snapshot()
+	}
+	a := build([]int{0, 1, 2, 3, 4})
+	b := build([]int{4, 3, 2, 1, 0})
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].FullName() != b[i].FullName() || a[i].Kind != b[i].Kind {
+			t.Fatalf("sample %d differs across registration orders: %q vs %q", i, a[i].FullName(), b[i].FullName())
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		prev, cur := a[i-1], a[i]
+		if cur.Name < prev.Name || (cur.Name == prev.Name && cur.Labels < prev.Labels) {
+			t.Fatalf("snapshot not sorted at %d: %q after %q", i, cur.FullName(), prev.FullName())
+		}
+	}
+}
+
+// TestSampleFamily covers the suffix stripping renderers group by.
+func TestSampleFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	h := r.Histogram("lat_cycles", 100, 2)
+	h.Observe(50)
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case SampleBucket, SampleHistSum, SampleHistCount:
+			if s.Family() != "lat_cycles" {
+				t.Errorf("sample %s: family %q, want lat_cycles", s.Name, s.Family())
+			}
+		default:
+			if s.Family() != s.Name {
+				t.Errorf("sample %s: family %q, want the name itself", s.Name, s.Family())
+			}
+		}
+	}
+}
+
+// TestWritePrometheusBasics checks TYPE lines, label rendering, escaping
+// and the +Inf bucket on a handcrafted registry.
+func TestWritePrometheusBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", Label{Key: "path", Value: "a\"b\\c\nd"})
+	c.Add(7)
+	g := r.Gauge("depth")
+	g.Set(-3)
+	h := r.Histogram("lat_cycles", 100, 2)
+	h.Observe(50)
+	h.Observe(250) // overflow → +Inf only
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE req_total counter\n",
+		"# TYPE depth gauge\n",
+		"# TYPE lat_cycles histogram\n",
+		`req_total{path="a\"b\\c\nd"} 7` + "\n",
+		"depth -3\n",
+		`lat_cycles_bucket{le="100"} 1` + "\n",
+		`lat_cycles_bucket{le="200"} 1` + "\n",
+		`lat_cycles_bucket{le="+Inf"} 2` + "\n",
+		"lat_cycles_count 2\n",
+		"lat_cycles_sum 300\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Buckets must appear in ascending le order with +Inf last.
+	i100 := strings.Index(out, `le="100"`)
+	i200 := strings.Index(out, `le="200"`)
+	iInf := strings.Index(out, `le="+Inf"`)
+	if !(i100 < i200 && i200 < iInf) {
+		t.Errorf("bucket order wrong: le=100@%d le=200@%d +Inf@%d", i100, i200, iInf)
+	}
+	// Exactly one TYPE line per family.
+	if n := strings.Count(out, "# TYPE lat_cycles "); n != 1 {
+		t.Errorf("lat_cycles TYPE emitted %d times", n)
+	}
+}

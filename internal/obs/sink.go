@@ -226,6 +226,23 @@ func (s *Sink) RunDone(cycle int64) {
 	s.cyclesG.Set(cycle)
 }
 
+// Progress records an in-flight liveness beat: the simulator calls it every
+// few thousand cycles so live scrapers see the cycle gauge advance and
+// streaming consumers (telemetry progress publishers) learn the current
+// instruction count without touching run state. Stream-only — the bounded
+// trace buffer never sees it — and a no-op beyond the gauge store when no
+// consumer is attached, so enabling a sink without telemetry changes
+// nothing observable at end of run.
+func (s *Sink) Progress(cycle, instructions int64) {
+	if s == nil {
+		return
+	}
+	s.cyclesG.Set(cycle)
+	if len(s.consumers) > 0 {
+		s.emitStream(Event{Cycle: cycle, Kind: EvProgress, Dom: DomSM, Track: -1, Warp: -1, CTA: -1, Val: instructions})
+	}
+}
+
 // ---------------------------------------------------- warp/CTA lifecycle ----
 
 // CTALaunch records a CTA being placed on an SM.

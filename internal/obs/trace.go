@@ -63,6 +63,7 @@ const (
 	EvRowHit
 	EvRowMiss
 	EvCycleClass
+	EvProgress
 
 	numKinds // sentinel
 )
@@ -96,6 +97,7 @@ var kindNames = [numKinds]string{
 	EvRowHit:         "dram.row_hit",
 	EvRowMiss:        "dram.row_miss",
 	EvCycleClass:     "sm.cycle_class",
+	EvProgress:       "run.progress",
 }
 
 // String implements fmt.Stringer.
@@ -120,8 +122,10 @@ func (k Kind) category() string {
 		return "mem"
 	case k <= EvRowMiss:
 		return "dram"
-	default:
+	case k == EvCycleClass:
 		return "cycle"
+	default:
+		return "run"
 	}
 }
 

@@ -1,0 +1,76 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// GitRevision resolves the working tree's HEAD commit without shelling out
+// to git: it walks up from the current directory to the first .git, follows
+// a symbolic-ref HEAD into refs/heads/, and falls back to packed-refs. The
+// short (12-hex) form is returned; "" when the tree is not a git checkout
+// or the ref cannot be resolved (a store must work in exported tarballs
+// too).
+func GitRevision() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	return gitRevisionFrom(dir)
+}
+
+func gitRevisionFrom(dir string) string {
+	for {
+		gitDir := filepath.Join(dir, ".git")
+		if fi, err := os.Stat(gitDir); err == nil && fi.IsDir() {
+			return resolveHead(gitDir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+func resolveHead(gitDir string) string {
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return ""
+	}
+	line := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(line, "ref: ") {
+		return shortHash(line) // detached HEAD
+	}
+	ref := strings.TrimSpace(strings.TrimPrefix(line, "ref: "))
+	if data, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return shortHash(strings.TrimSpace(string(data)))
+	}
+	// Ref not loose — look in packed-refs.
+	packed, err := os.ReadFile(filepath.Join(gitDir, "packed-refs"))
+	if err != nil {
+		return ""
+	}
+	for _, l := range strings.Split(string(packed), "\n") {
+		fields := strings.Fields(l)
+		if len(fields) == 2 && fields[1] == ref {
+			return shortHash(fields[0])
+		}
+	}
+	return ""
+}
+
+// shortHash validates and truncates a 40/64-hex object name.
+func shortHash(h string) string {
+	if len(h) < 12 {
+		return ""
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return ""
+		}
+	}
+	return h[:12]
+}

@@ -1,0 +1,116 @@
+// Package runstore is the durable half of the observability stack: a
+// content-addressed, append-only store of completed simulation runs under
+// .caps/runs/. Every record carries the run's identity (config hash, git
+// revision, benchmark, prefetcher, scheduler), its full stats.Sim counters
+// and — when profiling was on — its capsprof profile, so any two runs from
+// the history can be compared with profile.Diff long after the processes
+// that produced them exited.
+//
+// Storage layout:
+//
+//	<dir>/runs.jsonl   one JSON record per line, append-only
+//	<dir>/index.json   derived index (headline fields + offsets); a cache,
+//	                   rebuilt from the log whenever it is missing or stale
+//
+// Records are addressed by the SHA-256 of their content (timestamp
+// excluded), and deduplicated on (config hash, bench): re-running an
+// identical configuration appends nothing, while a changed tree or config
+// appends a new record that supersedes the old one in queries. The log
+// itself never loses history until GC compacts it.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"caps/internal/config"
+	"caps/internal/profile"
+	"caps/internal/stats"
+)
+
+// Record is one completed run.
+type Record struct {
+	ID         string `json:"id"`          // content address (sha256, truncated)
+	ConfigHash string `json:"config_hash"` // hash of the derived GPUConfig + prefetcher
+	GitRev     string `json:"git_rev,omitempty"`
+	CreatedAt  int64  `json:"created_at"` // unix seconds; excluded from ID
+
+	Bench      string `json:"bench"`
+	Prefetcher string `json:"prefetcher"`
+	Scheduler  string `json:"scheduler"`
+	MaxInsts   int64  `json:"max_insts,omitempty"`
+
+	// Headline metrics, duplicated out of Stats so index rows and run
+	// tables never need the full record.
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+	Coverage     float64 `json:"coverage"`
+	Accuracy     float64 `json:"accuracy"`
+
+	Stats   *stats.Sim       `json:"stats,omitempty"`
+	Profile *profile.Profile `json:"profile,omitempty"`
+}
+
+// NewRecord builds a record from a finished run. profile may be nil (no
+// collector attached); the git revision is discovered from the working
+// tree.
+func NewRecord(cfg config.GPUConfig, bench, prefetcher string, st *stats.Sim, p *profile.Profile) *Record {
+	r := &Record{
+		ConfigHash: ConfigHash(cfg, prefetcher),
+		GitRev:     GitRevision(),
+		Bench:      bench,
+		Prefetcher: prefetcher,
+		Scheduler:  string(cfg.Scheduler),
+		MaxInsts:   cfg.MaxInsts,
+		Stats:      st,
+		Profile:    p,
+	}
+	if st != nil {
+		r.Cycles = st.Cycles
+		r.Instructions = st.Instructions
+		r.IPC = st.IPC()
+		r.Coverage = st.Coverage()
+		r.Accuracy = st.Accuracy()
+	}
+	r.ID = r.contentID()
+	return r
+}
+
+// contentID hashes the record with its mutable fields (ID, CreatedAt)
+// zeroed, so identical reruns of an identical tree produce identical
+// addresses.
+func (r *Record) contentID() string {
+	clone := *r
+	clone.ID = ""
+	clone.CreatedAt = 0
+	data, err := json.Marshal(&clone)
+	if err != nil {
+		// Record is a tree of marshalable values; unreachable, but an
+		// address must still come out deterministic.
+		data = []byte(fmt.Sprintf("%+v", clone))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:16]
+}
+
+// DedupKey is the identity under which newer records supersede older ones.
+func (r *Record) DedupKey() string { return r.ConfigHash + "|" + r.Bench }
+
+// ConfigHash addresses a run configuration: the fully derived GPUConfig
+// plus the prefetcher name (the one run parameter living outside the
+// config struct). JSON field order is fixed by the struct definition, so
+// the digest is deterministic.
+func ConfigHash(cfg config.GPUConfig, prefetcher string) string {
+	data, err := json.Marshal(struct {
+		Cfg        config.GPUConfig
+		Prefetcher string
+	}{cfg, prefetcher})
+	if err != nil {
+		data = []byte(fmt.Sprintf("%+v|%s", cfg, prefetcher))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:12]
+}

@@ -1,0 +1,269 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"caps/internal/config"
+	"caps/internal/profile"
+	"caps/internal/stats"
+)
+
+func testRecord(bench string, cycles int64) *Record {
+	cfg := config.Default()
+	st := &stats.Sim{Cycles: cycles, Instructions: cycles * 2}
+	return NewRecord(cfg, bench, "caps", st, nil)
+}
+
+func mustPut(t *testing.T, s *Store, r *Record) string {
+	t.Helper()
+	id, _, err := s.Put(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("MM", 1000)
+	rec.Profile = &profile.Profile{Meta: profile.Meta{Bench: "MM"}}
+	rec.ID = "" // Put must recompute
+	id := mustPut(t, s, rec)
+	if len(id) != 16 {
+		t.Fatalf("id %q, want 16 hex chars", id)
+	}
+
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != "MM" || got.Cycles != 1000 || got.Instructions != 2000 {
+		t.Errorf("round-trip mangled record: %+v", got)
+	}
+	if got.Stats == nil || got.Stats.Cycles != 1000 {
+		t.Errorf("stats not preserved: %+v", got.Stats)
+	}
+	if got.Profile == nil || got.Profile.Meta.Bench != "MM" {
+		t.Errorf("profile not preserved: %+v", got.Profile)
+	}
+	if got.CreatedAt == 0 {
+		t.Error("CreatedAt not stamped")
+	}
+
+	// Prefix lookup.
+	if _, err := s.Get(id[:6]); err != nil {
+		t.Errorf("prefix lookup failed: %v", err)
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("Get of unknown id succeeded")
+	}
+}
+
+func TestContentIDDeterministic(t *testing.T) {
+	a, b := testRecord("MM", 1000), testRecord("MM", 1000)
+	b.CreatedAt = 12345 // timestamp must not affect the address
+	if a.ID != b.ID {
+		t.Errorf("identical runs got different ids: %s vs %s", a.ID, b.ID)
+	}
+	c := testRecord("MM", 1001)
+	if c.ID == a.ID {
+		t.Error("different cycles, same id")
+	}
+	d := testRecord("SP", 1000)
+	if d.ID == a.ID {
+		t.Error("different bench, same id")
+	}
+	if a.DedupKey() == d.DedupKey() {
+		t.Error("dedup key ignores bench")
+	}
+}
+
+func TestDedupAndSupersede(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := mustPut(t, s, testRecord("MM", 1000))
+	_, dup, err := s.Put(testRecord("MM", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup {
+		t.Error("identical rerun was not deduplicated")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+
+	// Changed result for the same identity supersedes.
+	id2 := mustPut(t, s, testRecord("MM", 1100))
+	if id2 == id1 {
+		t.Fatal("different result, same id")
+	}
+	live := s.List(Query{})
+	if len(live) != 1 || live[0].ID != id2 {
+		t.Errorf("List should show only the superseding record: %+v", live)
+	}
+	all := s.List(Query{All: true})
+	if len(all) != 2 {
+		t.Errorf("List(All) = %d entries, want 2", len(all))
+	}
+	// The old record remains readable until GC.
+	if _, err := s.Get(id1); err != nil {
+		t.Errorf("superseded record unreadable: %v", err)
+	}
+}
+
+func TestListFiltersAndOrder(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, testRecord("SP", 500))
+	mustPut(t, s, testRecord("MM", 1000))
+	bfs := testRecord("BFS", 700)
+	bfs.Prefetcher = "none"
+	mustPut(t, s, bfs)
+
+	got := s.List(Query{})
+	var benches []string
+	for _, e := range got {
+		benches = append(benches, e.Bench)
+	}
+	if strings.Join(benches, ",") != "BFS,MM,SP" {
+		t.Errorf("List order %v, want bench-sorted", benches)
+	}
+	if got := s.List(Query{Bench: "MM"}); len(got) != 1 || got[0].Bench != "MM" {
+		t.Errorf("bench filter: %+v", got)
+	}
+	if got := s.List(Query{Prefetcher: "none"}); len(got) != 1 || got[0].Bench != "BFS" {
+		t.Errorf("prefetcher filter: %+v", got)
+	}
+}
+
+func TestReopenUsesIndexAndSurvivesStaleIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustPut(t, s, testRecord("MM", 1000))
+
+	// Clean reopen: index matches the log.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(id); err != nil {
+		t.Errorf("reopen lost record: %v", err)
+	}
+
+	// Stale index (log grew behind its back) must trigger a rescan.
+	id2 := mustPut(t, s2, testRecord("SP", 700))
+	if err := os.WriteFile(filepath.Join(dir, indexName), []byte(`{"log_size":1,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Get(id); err != nil {
+		t.Errorf("rescan lost first record: %v", err)
+	}
+	if _, err := s3.Get(id2); err != nil {
+		t.Errorf("rescan lost second record: %v", err)
+	}
+
+	// A torn trailing line (crashed append) is dropped, earlier records kept.
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	os.Remove(filepath.Join(dir, indexName))
+	s4, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if s4.Len() != 2 {
+		t.Errorf("Len after torn tail = %d, want 2", s4.Len())
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, testRecord("MM", 1000))
+	id2 := mustPut(t, s, testRecord("MM", 1100)) // supersedes
+	id3 := mustPut(t, s, testRecord("SP", 500))
+
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("GC removed %d, want 1", removed)
+	}
+	for _, id := range []string{id2, id3} {
+		if _, err := s.Get(id); err != nil {
+			t.Errorf("GC dropped live record %s: %v", id, err)
+		}
+	}
+	// Idempotent.
+	if removed, err := s.GC(); err != nil || removed != 0 {
+		t.Errorf("second GC: removed=%d err=%v", removed, err)
+	}
+	// Compacted store reopens clean.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("post-GC reopen Len = %d, want 2", s2.Len())
+	}
+}
+
+func TestGitRevisionFrom(t *testing.T) {
+	dir := t.TempDir()
+	git := filepath.Join(dir, ".git")
+	if err := os.MkdirAll(filepath.Join(git, "refs", "heads"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	hash := "0123456789abcdef0123456789abcdef01234567"
+	os.WriteFile(filepath.Join(git, "HEAD"), []byte("ref: refs/heads/main\n"), 0o644)
+	os.WriteFile(filepath.Join(git, "refs", "heads", "main"), []byte(hash+"\n"), 0o644)
+	if got := gitRevisionFrom(filepath.Join(dir, "sub", "dir")); got != hash[:12] {
+		t.Errorf("loose ref: got %q", got)
+	}
+
+	// Packed-refs fallback.
+	os.Remove(filepath.Join(git, "refs", "heads", "main"))
+	packed := "# pack-refs with: peeled fully-peeled sorted\n" + hash + " refs/heads/main\n"
+	os.WriteFile(filepath.Join(git, "packed-refs"), []byte(packed), 0o644)
+	if got := gitRevisionFrom(dir); got != hash[:12] {
+		t.Errorf("packed ref: got %q", got)
+	}
+
+	// Detached HEAD.
+	os.WriteFile(filepath.Join(git, "HEAD"), []byte(hash+"\n"), 0o644)
+	if got := gitRevisionFrom(dir); got != hash[:12] {
+		t.Errorf("detached: got %q", got)
+	}
+
+	// Not a repo.
+	if got := gitRevisionFrom(t.TempDir()); got != "" {
+		t.Errorf("non-repo: got %q", got)
+	}
+}

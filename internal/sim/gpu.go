@@ -241,6 +241,10 @@ func (g *GPU) allPartsIdle() bool {
 // the collected statistics; an error signals a hang (no forward progress).
 func (g *GPU) Run() (*stats.Sim, error) {
 	const progressWindow = 2_000_000
+	// beatInterval paces the observability liveness beat (obs.EvProgress):
+	// frequent enough that a live /metrics scrape or SSE stream tracks the
+	// run, rare enough to be free (one nil-safe call per 8K cycles).
+	const beatInterval = 1 << 13
 	lastInsts := int64(-1)
 	lastProgress := int64(0)
 	for !g.Done() {
@@ -252,6 +256,9 @@ func (g *GPU) Run() (*stats.Sim, error) {
 		}
 		if err := g.Step(); err != nil {
 			return g.st, err
+		}
+		if g.snk != nil && g.cycle&(beatInterval-1) == 0 {
+			g.snk.Progress(g.cycle, g.st.Instructions)
 		}
 		if g.st.Instructions != lastInsts {
 			lastInsts = g.st.Instructions

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one series value read back from a Prometheus text
+// exposition.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s ParsedSample) Label(key string) string { return s.Labels[key] }
+
+// ParsedMetrics is a decoded exposition document: the declared family types
+// and every sample line.
+type ParsedMetrics struct {
+	Types   map[string]string // family name → counter|gauge|histogram|...
+	Samples []ParsedSample
+}
+
+// Find returns the samples of one metric name.
+func (m *ParsedMetrics) Find(name string) []ParsedSample {
+	var out []ParsedSample
+	for _, s := range m.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ParseMetrics is a minimal, strict parser for the Prometheus text
+// exposition format (version 0.0.4): enough to validate the simulator's
+// own /metrics output in conformance tests and the serve-smoke gate —
+// metric-name syntax, label escaping round-trip (\\, \", \n), float values
+// including +Inf, and # TYPE declarations. Anything it cannot understand is
+// an error, not a skip: the point is to fail CI on malformed exposition.
+func ParseMetrics(r io.Reader) (*ParsedMetrics, error) {
+	out := &ParsedMetrics{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				if !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("line %d: invalid family name %q", lineNo, fields[2])
+				}
+				if _, dup := out.Types[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, fields[2])
+				}
+				out.Types[fields[2]] = fields[3]
+			}
+			continue // HELP and other comments
+		}
+		s, err := parseSeries(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSeries decodes `name{k="v",...} value [timestamp]`.
+func parseSeries(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: make(map[string]string)}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after %q, got %q", s.Name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes the body after '{' into dst, returning the remainder
+// after the closing '}'.
+func parseLabels(in string, dst map[string]string) (string, error) {
+	for {
+		in = strings.TrimLeft(in, " \t")
+		if strings.HasPrefix(in, "}") {
+			return in[1:], nil
+		}
+		j := 0
+		for j < len(in) && isNameChar(in[j], j == 0) {
+			j++
+		}
+		if j == 0 {
+			return "", fmt.Errorf("missing label name at %q", in)
+		}
+		key := in[:j]
+		in = in[j:]
+		if !strings.HasPrefix(in, `="`) {
+			return "", fmt.Errorf("label %q: expected =\"", key)
+		}
+		in = in[2:]
+		var val strings.Builder
+		for {
+			if len(in) == 0 {
+				return "", fmt.Errorf("label %q: unterminated value", key)
+			}
+			c := in[0]
+			if c == '"' {
+				in = in[1:]
+				break
+			}
+			if c == '\\' {
+				if len(in) < 2 {
+					return "", fmt.Errorf("label %q: dangling escape", key)
+				}
+				switch in[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %q: unknown escape \\%c", key, in[1])
+				}
+				in = in[2:]
+				continue
+			}
+			val.WriteByte(c)
+			in = in[1:]
+		}
+		if _, dup := dst[key]; dup {
+			return "", fmt.Errorf("duplicate label %q", key)
+		}
+		dst[key] = val.String()
+		in = strings.TrimLeft(in, " \t")
+		if strings.HasPrefix(in, ",") {
+			in = in[1:]
+			continue
+		}
+		if strings.HasPrefix(in, "}") {
+			return in[1:], nil
+		}
+		return "", fmt.Errorf("expected , or } after label %q", key)
+	}
+}
+
+// isNameChar follows the metric/label name grammar [a-zA-Z_:][a-zA-Z0-9_:]*
+// (label names disallow ':' in Prometheus itself, but our writer never
+// emits them, so one grammar serves both).
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}
+
+// validMetricName checks the full-name grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import "caps/internal/obs"
+
+// RunProgress is the periodic obs.Consumer feeding the hub: it ignores
+// every event except the simulator's liveness beat (obs.EvProgress, one per
+// ~8K cycles), on which it snapshots the run's registry — safely, since
+// Consume executes on the simulation goroutine that owns the registry — and
+// publishes position plus metrics to the hub. Attach one per run before the
+// first simulated cycle.
+type RunProgress struct {
+	hub  *Hub
+	meta RunMeta
+	reg  *obs.Registry
+}
+
+// NewRunProgress builds the consumer for one run. reg may be nil (progress
+// only, no metric snapshots).
+func NewRunProgress(hub *Hub, meta RunMeta, reg *obs.Registry) *RunProgress {
+	return &RunProgress{hub: hub, meta: meta, reg: reg}
+}
+
+var _ obs.Consumer = (*RunProgress)(nil)
+
+// Consume implements obs.Consumer.
+func (p *RunProgress) Consume(e obs.Event) {
+	if e.Kind != obs.EvProgress || p.hub == nil {
+		return
+	}
+	var samples []obs.Sample
+	if p.reg != nil {
+		samples = p.reg.Snapshot()
+	}
+	p.hub.Publish(p.meta, e.Cycle, e.Val, samples)
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"caps/internal/obs"
+)
+
+// Server serves the live telemetry endpoints for one process:
+//
+//	/metrics      Prometheus text exposition, aggregated over all runs
+//	/events       Server-Sent-Events stream of per-run progress
+//	/debug/pprof  the standard Go profiling endpoints
+//	/             plain-text run status summary
+//
+// Embed it behind a -serve flag: NewServer, Start (returns the bound
+// address, so ":0" works in tests), publish through Hub(), Shutdown on
+// exit.
+type Server struct {
+	hub  *Hub
+	addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// NewServer builds an unstarted server for addr (host:port; ":0" picks an
+// ephemeral port).
+func NewServer(addr string) *Server {
+	return &Server{hub: NewHub(), addr: addr}
+}
+
+// Hub exposes the publish side.
+func (s *Server) Hub() *Hub { return s.hub }
+
+// Handler returns the route table (also used directly by httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.status)
+	return mux
+}
+
+// Start binds the listener and serves in a background goroutine, returning
+// the bound address.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", s.addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops the server, unblocking open SSE streams.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// metrics renders the aggregated Prometheus exposition.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.hub.MergedSamples()); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// events streams per-run progress as Server-Sent Events: a replay of every
+// known run's latest state on connect, then live updates until the client
+// disconnects or the server shuts down.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, replay, cancel := s.hub.Subscribe()
+	defer cancel()
+	for _, msg := range replay {
+		if _, err := fmt.Fprint(w, msg); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case msg := <-ch:
+			if _, err := fmt.Fprint(w, msg); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// status is a minimal plain-text overview of the suite's runs.
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	runs := s.hub.Runs()
+	fmt.Fprintf(w, "capsd telemetry — %d run(s)\n", len(runs))
+	fmt.Fprintf(w, "endpoints: /metrics /events /debug/pprof\n\n")
+	for _, p := range runs {
+		state := "running"
+		if p.Done {
+			state = "done"
+		}
+		fmt.Fprintf(w, "%-24s %-8s cycles=%-10d insts=%-10d ipc=%.4f\n",
+			p.Run, state, p.Cycles, p.Instructions, p.IPC)
+	}
+}

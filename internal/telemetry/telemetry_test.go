@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"caps/internal/obs"
+)
+
+// TestPrometheusConformance is the exposition round-trip gate: a registry
+// with hostile label values and histograms is rendered by
+// obs.WritePrometheus and read back through the strict text parser. It
+// checks label-value escaping (\n, ", \\), the _bucket/_sum/_count family
+// naming, and that the +Inf bucket equals the sample count.
+func TestPrometheusConformance(t *testing.T) {
+	hostile := "a\"quote\\back\nline"
+	r := obs.NewRegistry()
+	c := r.Counter("req_total", obs.Label{Key: "path", Value: hostile})
+	c.Add(41)
+	r.Gauge("depth_now").Set(17)
+	h := r.Histogram("lat_cycles", 100, 3, obs.Label{Key: "sm", Value: "0"})
+	for _, v := range []int64{10, 150, 99999} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `path="a\"quote\\back\nline"`) {
+		t.Fatalf("label value not escaped per exposition rules:\n%s", text)
+	}
+
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("our own exposition does not parse: %v\n%s", err, text)
+	}
+	if got := m.Types["req_total"]; got != "counter" {
+		t.Errorf("req_total TYPE = %q, want counter", got)
+	}
+	if got := m.Types["depth_now"]; got != "gauge" {
+		t.Errorf("depth_now TYPE = %q, want gauge", got)
+	}
+	if got := m.Types["lat_cycles"]; got != "histogram" {
+		t.Errorf("lat_cycles TYPE = %q, want histogram", got)
+	}
+
+	reqs := m.Find("req_total")
+	if len(reqs) != 1 || reqs[0].Value != 41 {
+		t.Fatalf("req_total parsed as %+v", reqs)
+	}
+	if got := reqs[0].Label("path"); got != hostile {
+		t.Errorf("hostile label did not round-trip: got %q want %q", got, hostile)
+	}
+
+	buckets := m.Find("lat_cycles_bucket")
+	wantLE := map[string]float64{"100": 1, "200": 2, "300": 2, "+Inf": 3}
+	if len(buckets) != len(wantLE) {
+		t.Fatalf("got %d buckets, want %d: %+v", len(buckets), len(wantLE), buckets)
+	}
+	var inf float64
+	for _, s := range buckets {
+		le := s.Label("le")
+		if want, ok := wantLE[le]; !ok || s.Value != want {
+			t.Errorf("bucket le=%q value %v, want %v", le, s.Value, want)
+		}
+		if s.Label("sm") != "0" {
+			t.Errorf("bucket lost its sm label: %+v", s)
+		}
+		if le == "+Inf" {
+			inf = s.Value
+		}
+	}
+	counts := m.Find("lat_cycles_count")
+	if len(counts) != 1 {
+		t.Fatalf("lat_cycles_count: %+v", counts)
+	}
+	if inf != counts[0].Value {
+		t.Errorf("+Inf bucket (%v) must equal _count (%v)", inf, counts[0].Value)
+	}
+	sums := m.Find("lat_cycles_sum")
+	if len(sums) != 1 || sums[0].Value != 10+150+99999 {
+		t.Errorf("lat_cycles_sum: %+v", sums)
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`1leading_digit 3`,
+		`name{l="unterminated} 3`,
+		`name{l="bad\q"} 3`,
+		`name{l="v"} notanumber`,
+		`name{l="v"}`,
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics accepted %q", bad)
+		}
+	}
+	// +Inf and timestamps are part of the grammar.
+	ok := "x_bucket{le=\"+Inf\"} +Inf 1700000000\n"
+	if _, err := ParseMetrics(strings.NewReader(ok)); err != nil {
+		t.Errorf("ParseMetrics rejected %q: %v", ok, err)
+	}
+}
+
+func testMeta(id string) RunMeta {
+	return RunMeta{ID: id, Bench: "MM", Prefetcher: "caps", Scheduler: "pas", MaxInsts: 1000}
+}
+
+func sampleSet(name string, v int64) []obs.Sample {
+	return []obs.Sample{{Name: name, Kind: obs.SampleCounter, Value: v}}
+}
+
+func TestHubMergeAndReplay(t *testing.T) {
+	h := NewHub()
+	h.Publish(testMeta("a"), 100, 50, sampleSet("x_total", 5))
+	h.Publish(testMeta("b"), 200, 100, sampleSet("x_total", 7))
+
+	merged := h.MergedSamples()
+	var xTotal, runCycles int64
+	runSeries := 0
+	for _, s := range merged {
+		switch s.Name {
+		case "x_total":
+			xTotal = s.Value
+		case "caps_run_cycles":
+			runSeries++
+			runCycles += s.Value
+		}
+	}
+	if xTotal != 12 {
+		t.Errorf("x_total aggregated to %d, want 12", xTotal)
+	}
+	if runSeries != 2 || runCycles != 300 {
+		t.Errorf("caps_run_cycles: %d series summing to %d, want 2 / 300", runSeries, runCycles)
+	}
+
+	// A late subscriber must get both runs replayed.
+	_, replay, cancel := h.Subscribe()
+	defer cancel()
+	if len(replay) != 2 {
+		t.Fatalf("replay has %d events, want 2", len(replay))
+	}
+	if !strings.Contains(replay[0], `"run":"a"`) || !strings.Contains(replay[1], `"run":"b"`) {
+		t.Errorf("replay order/content wrong: %q", replay)
+	}
+
+	// Live updates reach the subscriber; done flips the event kind.
+	ch, _, cancel2 := h.Subscribe()
+	defer cancel2()
+	h.RunDone(testMeta("a"), 400, 1000, 2.5, nil)
+	select {
+	case msg := <-ch:
+		if !strings.HasPrefix(msg, "event: done\n") || !strings.Contains(msg, `"eta_cycles":0`) {
+			t.Errorf("done event malformed: %q", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestETA(t *testing.T) {
+	if got := etaCycles(1000, 200, 100, false); got != 1800 {
+		t.Errorf("eta = %d, want 1800", got) // 900 insts left at 0.5 IPC
+	}
+	if got := etaCycles(0, 200, 100, false); got != -1 {
+		t.Errorf("uncapped eta = %d, want -1", got)
+	}
+	if got := etaCycles(1000, 0, 0, false); got != -1 {
+		t.Errorf("cold-start eta = %d, want -1", got)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv := NewServer("127.0.0.1:0")
+	srv.Hub().Publish(testMeta("MM-caps-pas"), 8192, 4000, sampleSet("cta_launch_total", 3))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMetrics(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if len(m.Find("caps_run_cycles")) != 1 || len(m.Find("cta_launch_total")) != 1 {
+		t.Errorf("/metrics missing expected series: %+v", m.Samples)
+	}
+
+	// SSE: the replayed event must arrive on connect.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	eresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if ct := eresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("/events content type %q", ct)
+	}
+	sc := bufio.NewScanner(eresp.Body)
+	var ev, data string
+	for sc.Scan() && data == "" {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			ev = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if ev != "progress" || !strings.Contains(data, `"run":"MM-caps-pas"`) {
+		t.Errorf("SSE replay wrong: event=%q data=%q", ev, data)
+	}
+
+	sresp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	if _, err := fmt.Fprint(&body, readAll(t, sresp)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "MM-caps-pas") {
+		t.Errorf("status page missing run: %q", body.String())
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestRunProgressConsumer(t *testing.T) {
+	h := NewHub()
+	reg := obs.NewRegistry()
+	reg.Counter("y_total").Add(9)
+	p := NewRunProgress(h, testMeta("r1"), reg)
+	// Non-progress events are ignored.
+	p.Consume(obs.Event{Kind: obs.EvCTALaunch, Cycle: 5})
+	if len(h.Runs()) != 0 {
+		t.Fatal("consumer published on a non-progress event")
+	}
+	p.Consume(obs.Event{Kind: obs.EvProgress, Cycle: 8192, Val: 4096})
+	runs := h.Runs()
+	if len(runs) != 1 || runs[0].Cycles != 8192 || runs[0].Instructions != 4096 || runs[0].IPC != 0.5 {
+		t.Fatalf("progress not published: %+v", runs)
+	}
+	found := false
+	for _, s := range h.MergedSamples() {
+		if s.Name == "y_total" && s.Value == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registry snapshot not published alongside progress")
+	}
+}
