@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race determinism trace-smoke profile-smoke serve-smoke bench-json check bench
+.PHONY: build lint test race determinism trace-smoke profile-smoke serve-smoke flight-smoke bench-json check bench
 
 build:
 	$(GO) build ./...
@@ -47,13 +47,20 @@ profile-smoke:
 serve-smoke:
 	$(GO) run ./cmd/capsd smoke
 
+# End-to-end flight-recorder smoke test, run fully in-process by capscope:
+# a synthetic invariant violation must abort the run, produce a black-box
+# dump, survive a JSONL round-trip, and re-render as a Chrome trace the
+# validator accepts (stall pairs repaired).
+flight-smoke:
+	$(GO) run ./cmd/capscope smoke
+
 # Regenerates BENCH_caps.json: headline IPC + prefetch metrics for every
 # benchmark under the CAPS configuration. capsprof diff accepts the file as
 # a baseline, turning the committed numbers into a regression gate.
 bench-json:
 	$(GO) run ./cmd/capsweep -insts 200000 -bench-json BENCH_caps.json
 
-check: build lint test determinism trace-smoke profile-smoke serve-smoke
+check: build lint test determinism trace-smoke profile-smoke serve-smoke flight-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -11,6 +11,8 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/experiments"
+	"caps/internal/kernels"
+	"caps/internal/sim"
 )
 
 // benchConfig is the reduced-scale machine used by the benchmarks.
@@ -142,6 +144,37 @@ func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.TableIV(); len(tab.Rows) != 16 {
 			b.Fatal("table IV incomplete")
+		}
+	}
+}
+
+// BenchmarkFlightRecorder measures the marginal cost of an always-on
+// flight recorder against BenchmarkNoFlightRecorder: the same run, same
+// metrics sink, with and without the black box attached. The recorder
+// budget is <2% — its hot path is one ring store per event, no
+// allocation, and it opts out of the per-SM-per-cycle EvCycleClass
+// stream (obs.StreamFilter).
+func BenchmarkFlightRecorder(b *testing.B)   { benchFlightRun(b, true) }
+func BenchmarkNoFlightRecorder(b *testing.B) { benchFlightRun(b, false) }
+
+func benchFlightRun(b *testing.B, record bool) {
+	cfg := benchConfig()
+	k, err := kernels.ByAbbr("CNV")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := sim.Options{Prefetcher: "caps", Obs: sim.NewSink(cfg, false, 0)}
+		if record {
+			opt.Flight = sim.NewFlightRecorder(cfg)
+		}
+		g, err := sim.New(cfg, k, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Run(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

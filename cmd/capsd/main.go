@@ -125,9 +125,13 @@ func cmdLs(args []string) error {
 		if rev == "" {
 			rev = "-"
 		}
-		fmt.Printf("%-16s %-5s %-8s %-5s %12d %8.4f %8.4f %8.4f %-12s %s\n",
+		mark := ""
+		if e.Aborted {
+			mark = "  ABORTED"
+		}
+		fmt.Printf("%-16s %-5s %-8s %-5s %12d %8.4f %8.4f %8.4f %-12s %s%s\n",
 			e.ID, e.Bench, e.Prefetcher, e.Scheduler, e.Cycles, e.IPC, e.Coverage, e.Accuracy,
-			rev, time.Unix(e.CreatedAt, 0).UTC().Format("2006-01-02 15:04"))
+			rev, time.Unix(e.CreatedAt, 0).UTC().Format("2006-01-02 15:04"), mark)
 	}
 	return nil
 }
@@ -162,6 +166,12 @@ func cmdShow(args []string) error {
 		time.Unix(rec.CreatedAt, 0).UTC().Format(time.RFC3339))
 	fmt.Printf("cycles    %d\ninsts     %d\nipc       %.4f\ncoverage  %.4f\naccuracy  %.4f\n",
 		rec.Cycles, rec.Instructions, rec.IPC, rec.Coverage, rec.Accuracy)
+	if rec.Aborted {
+		fmt.Printf("aborted   %s\n", orDash(rec.AbortReason))
+		if rec.FlightDump != "" {
+			fmt.Printf("flight    %s  (decode with: capscope decode %s)\n", rec.FlightDump, rec.FlightDump)
+		}
+	}
 	if rec.Profile == nil {
 		fmt.Println("profile   (none)")
 	} else {

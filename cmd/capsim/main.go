@@ -12,16 +12,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"caps/internal/config"
 	"caps/internal/energy"
+	"caps/internal/flight"
 	"caps/internal/kernels"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
@@ -40,22 +44,25 @@ func main() {
 // stop/flush) execute before the process exits.
 func run() int {
 	var (
-		bench    = flag.String("bench", "CNV", "benchmark abbreviation (see -list)")
-		pf       = flag.String("prefetch", "none", "prefetcher (see -list)")
-		schedFlg = flag.String("sched", "", "scheduler: "+strings.Join(sched.Names(), ", ")+" (default: tlv; pas for caps)")
-		ctas     = flag.Int("ctas", 0, "override max concurrent CTAs per SM")
-		insts    = flag.Int64("insts", 0, "override instruction cap (0 = config default)")
-		noWake   = flag.Bool("nowakeup", false, "disable PAS eager warp wake-up")
-		list     = flag.Bool("list", false, "list benchmarks, prefetchers and schedulers")
-		showCfg  = flag.Bool("config", false, "print the GPU configuration and exit")
-		eEnergy  = flag.Bool("energy", false, "print the energy breakdown")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
-		metOut   = flag.String("metrics", "", "write the metrics snapshot as CSV to this file")
-		profOut  = flag.String("profile", "", "write a capsprof profile JSON (stall stacks + per-PC ledger) to this file")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile of the simulator itself to this file")
-		serveAdr = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the run executes")
-		storeDir = flag.String("store", "", "record the completed run (stats + profile) into this run store directory (see capsd)")
+		bench     = flag.String("bench", "CNV", "benchmark abbreviation (see -list)")
+		pf        = flag.String("prefetch", "none", "prefetcher (see -list)")
+		schedFlg  = flag.String("sched", "", "scheduler: "+strings.Join(sched.Names(), ", ")+" (default: tlv; pas for caps)")
+		ctas      = flag.Int("ctas", 0, "override max concurrent CTAs per SM")
+		insts     = flag.Int64("insts", 0, "override instruction cap (0 = config default)")
+		noWake    = flag.Bool("nowakeup", false, "disable PAS eager warp wake-up")
+		list      = flag.Bool("list", false, "list benchmarks, prefetchers and schedulers")
+		showCfg   = flag.Bool("config", false, "print the GPU configuration and exit")
+		eEnergy   = flag.Bool("energy", false, "print the energy breakdown")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto) to this file")
+		metOut    = flag.String("metrics", "", "write the metrics snapshot as CSV to this file")
+		profOut   = flag.String("profile", "", "write a capsprof profile JSON (stall stacks + per-PC ledger) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile of the simulator itself to this file")
+		serveAdr  = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the run executes")
+		storeDir  = flag.String("store", "", "record the completed run (stats + profile) into this run store directory (see capsd)")
+		flightOut = flag.String("flight", "", "attach a flight recorder and write its black box (JSONL, see capscope) to this file when the run dies or SIGQUIT arrives")
+		watchdog  = flag.Int64("watchdog", 0, "abort when no instruction retires for this many cycles (0 = default, negative = off)")
+		beat      = flag.Int64("beat", 0, "progress-beat / watchdog-poll period in cycles, rounded to a power of two (0 = default 8192)")
 	)
 	flag.Parse()
 
@@ -140,20 +147,69 @@ func run() int {
 			Scheduler: string(cfg.Scheduler), MaxInsts: cfg.MaxInsts}
 		snk.Attach(telemetry.NewRunProgress(srv.Hub(), meta, snk.Registry()))
 	}
-	g, err := sim.New(cfg, k, sim.Options{Prefetcher: *pf, Obs: snk})
+	opt := sim.Options{Prefetcher: *pf, Obs: snk,
+		ProgressEvery: *beat, WatchdogCycles: *watchdog}
+	var dumpPath string
+	if *flightOut != "" {
+		opt.Flight = sim.NewFlightRecorder(cfg)
+		opt.OnDump = func(d *flight.Dump) {
+			if err := d.WriteFile(*flightOut); err != nil {
+				fmt.Fprintln(os.Stderr, "capsim: flight:", err)
+				return
+			}
+			dumpPath = *flightOut
+			fmt.Fprintf(os.Stderr, "capsim: flight dump (%s) written to %s\n", d.Header.Reason, *flightOut)
+		}
+	}
+	g, err := sim.New(cfg, k, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		return 1
 	}
+
+	// Graceful signals: first SIGINT asks the run to stop at the next beat
+	// (partial stats flushed, store closed cleanly); a second one kills the
+	// process. SIGQUIT requests a flight dump without stopping.
+	sigCh := make(chan os.Signal, 4)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGQUIT)
+	defer signal.Stop(sigCh)
+	go func() {
+		interrupted := false
+		for s := range sigCh {
+			switch {
+			case s == syscall.SIGQUIT:
+				g.RequestDump()
+			case interrupted:
+				os.Exit(130)
+			default:
+				interrupted = true
+				g.RequestStop()
+				fmt.Fprintln(os.Stderr, "capsim: interrupt — stopping at next beat (^C again to kill)")
+			}
+		}
+	}()
+
 	st, err := g.Run()
-	if err != nil {
+	aborted := err != nil
+	abortReason := ""
+	exitCode := 0
+	if aborted {
+		abortReason = err.Error()
+		exitCode = 1
+		if errors.Is(err, sim.ErrInterrupted) {
+			abortReason = "interrupted"
+			exitCode = 130
+		}
 		fmt.Fprintln(os.Stderr, "capsim:", err)
-		return 1
 	}
 	if srv != nil {
 		meta := telemetry.RunMeta{ID: runID, Bench: k.Abbr, Prefetcher: *pf,
 			Scheduler: string(cfg.Scheduler), MaxInsts: cfg.MaxInsts}
-		srv.Hub().RunDone(meta, st.Cycles, st.Instructions, st.IPC(), snk.Snapshot())
+		if aborted {
+			srv.Hub().RunAborted(meta, st.Cycles, st.Instructions, abortReason, dumpPath, snk.Snapshot())
+		} else {
+			srv.Hub().RunDone(meta, st.Cycles, st.Instructions, st.IPC(), snk.Snapshot())
+		}
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
@@ -187,7 +243,9 @@ func run() int {
 		}
 	}
 	var prof *profile.Profile
-	if col != nil {
+	if col != nil && !aborted {
+		// An aborted run's stall stacks are mid-cycle partial; the profile
+		// validator would reject them, so only completed runs build one.
 		meta := profile.Meta{Bench: k.Abbr, Prefetcher: *pf, Scheduler: string(cfg.Scheduler), SMs: cfg.NumSMs}
 		prof, err = col.Build(meta, st)
 		if err != nil {
@@ -207,7 +265,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "capsim: store:", err)
 			return 1
 		}
-		id, dup, err := store.Put(runstore.NewRecord(cfg, k.Abbr, *pf, st, prof))
+		rec := runstore.NewRecord(cfg, k.Abbr, *pf, st, prof)
+		if aborted {
+			rec.MarkAborted(abortReason, dumpPath)
+		}
+		id, dup, err := store.Put(rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "capsim: store:", err)
 			return 1
@@ -227,7 +289,7 @@ func run() int {
 			return 1
 		}
 	}
-	return 0
+	return exitCode
 }
 
 func contains(names []string, s string) bool {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -44,6 +45,7 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "run the CAPS suite and write BENCH_caps.json-style metrics to this file, then exit")
 		serveAddr  = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the sweep runs")
 		storeDir   = flag.String("store", "", "record every completed run (stats + profile) into this run store directory (see capsd)")
+		flightDir  = flag.String("flight-dir", "", "attach a flight recorder to every run; a run that dies leaves <dir>/<run>.flight.jsonl (see capscope)")
 	)
 	flag.Parse()
 
@@ -128,7 +130,30 @@ func main() {
 			exitCode = 1
 		}))
 	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, experiments.WithFlight(*flightDir, func(k experiments.RunKey, err error) {
+			fmt.Fprintf(os.Stderr, "capsweep: flight %s: %v\n", k.Name(), err)
+		}))
+	}
 	suite := experiments.NewSuite(cfg, opts...)
+
+	// Graceful SIGINT: the first ^C asks every in-flight simulation to stop
+	// at its next progress beat, so partial results flush and interrupted
+	// runs land in the failure summary (non-zero exit). A second ^C kills
+	// the process outright.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "capsweep: interrupt: stopping in-flight runs (press ^C again to kill)")
+		suite.Interrupt()
+		<-sigCh
+		os.Exit(130)
+	}()
 
 	if *benchJSON != "" {
 		rep, err := suite.BuildBenchReport()

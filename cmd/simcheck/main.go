@@ -5,11 +5,13 @@
 //	    (detlint, cyclelint, statlint — see internal/analysis). Exits 1
 //	    if any diagnostic survives //simcheck:allow suppression.
 //
-//	simcheck -mode=determinism [-benches STE,BFS,MM] [-insts N]
+//	simcheck -mode=determinism [-benches STE,BFS,MM] [-insts N] [-every K]
 //	    Run each benchmark twice with the invariant sanitizer enabled
 //	    (internal/invariant) and compare FNV-1a hashes of the final
-//	    statistics + memory-system state. Exits 1 on a sanitizer
-//	    violation or a hash divergence.
+//	    statistics + memory-system state. With -every K the comparison
+//	    covers a periodic checkpoint series (one state hash every K
+//	    cycles), catching transient divergences that cancel out by the
+//	    end. Exits 1 on a sanitizer violation or a hash divergence.
 //
 //	simcheck -mode=tracecheck file.json [more.json ...]
 //	    Validate Chrome trace-event files produced by `capsim -trace` or
@@ -38,13 +40,14 @@ func main() {
 	mode := flag.String("mode", "lint", "lint, determinism or tracecheck")
 	benches := flag.String("benches", "STE,BFS,MM,CP", "determinism mode: comma-separated benchmark abbreviations")
 	insts := flag.Int64("insts", 60_000, "determinism mode: per-run instruction cap (0 = full run)")
+	every := flag.Int64("every", 0, "determinism mode: also compare periodic state-hash checkpoints every N cycles (0 = final hash only)")
 	flag.Parse()
 
 	switch *mode {
 	case "lint":
 		os.Exit(lint())
 	case "determinism":
-		os.Exit(checkDeterminism(strings.Split(*benches, ","), *insts))
+		os.Exit(checkDeterminism(strings.Split(*benches, ","), *insts, *every))
 	case "tracecheck":
 		os.Exit(checkTraces(flag.Args()))
 	default:
@@ -86,7 +89,10 @@ func lint() int {
 // checkDeterminism replays each benchmark twice under the sanitizer. CAPS
 // benchmarks run on the prefetch-aware scheduler, mirroring the paper's
 // evaluation pairing; a no-prefetch baseline rides along for contrast.
-func checkDeterminism(benches []string, insts int64) int {
+// With every > 0 the whole periodic checkpoint series is compared, not
+// just the final hash, so a transient divergence that happens to cancel
+// out by the end still fails the gate.
+func checkDeterminism(benches []string, insts, every int64) int {
 	cfg := config.Default()
 	cfg.NumSMs = 4
 	cfg.MaxInsts = insts
@@ -99,6 +105,16 @@ func checkDeterminism(benches []string, insts int64) int {
 		}
 		for _, pf := range []string{"caps", "none"} {
 			opt := sim.Options{Prefetcher: pf, Scheduler: determinism.SchedulerFor(pf)}
+			if every > 0 {
+				n, h, err := determinism.CheckSeries(cfg, b, opt, every)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "simcheck: %s/%s: %v\n", b, pf, err)
+					failed = true
+					continue
+				}
+				fmt.Printf("%-6s %-5s reproducible (%d checkpoints, state hash %#016x)\n", b, pf, n, h)
+				continue
+			}
 			h, err := determinism.Check(cfg, b, opt)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "simcheck: %s/%s: %v\n", b, pf, err)

@@ -7,6 +7,9 @@
 package core
 
 import (
+	"encoding/binary"
+	"hash"
+
 	"caps/internal/config"
 	"caps/internal/invariant"
 	obslib "caps/internal/obs"
@@ -356,6 +359,70 @@ func (c *CAPS) generateMasked(now int64, pe *perCTAEntry, de *distEntry, allow u
 		}
 	}
 	return out
+}
+
+// HashState folds the CAP tables — every DIST row and every PerCTA row,
+// including base vectors and the seen/issued masks — into h for the
+// determinism harness. Before this the state hash covered caches and
+// counters only, so two runs whose CAP tables diverged mid-run but
+// converged on memory traffic hashed identical; periodic checkpoints need
+// the table state to localize that kind of divergence.
+func (c *CAPS) HashState(h hash.Hash64) {
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	flag := func(b bool) {
+		if b {
+			word(1)
+		} else {
+			word(0)
+		}
+	}
+	for i := range c.dist {
+		e := &c.dist[i]
+		word(uint64(e.pc))
+		flag(e.valid)
+		word(uint64(e.stride))
+		flag(e.hasStride)
+		word(uint64(e.mispredict))
+		flag(e.disabled)
+		word(uint64(e.lastUse))
+	}
+	for _, tbl := range c.perCTA {
+		for i := range tbl {
+			e := &tbl[i]
+			word(uint64(e.pc))
+			flag(e.valid)
+			word(uint64(e.leadWarp))
+			word(uint64(len(e.base)))
+			for _, b := range e.base {
+				word(b)
+			}
+			word(uint64(e.iter))
+			word(e.seen)
+			word(e.issued)
+			word(uint64(e.ctaID))
+			word(uint64(e.warpBase))
+			word(uint64(e.warpCount))
+			word(uint64(e.lastUse))
+		}
+	}
+}
+
+// ForceDistStride overwrites the stride of the PC's DIST entry, allocating
+// the entry if needed. It exists only so determinism tests can mutate CAP
+// table state without touching any other machine state; the simulator never
+// calls it.
+func (c *CAPS) ForceDistStride(pc uint32, stride int64) {
+	de := c.lookupOrAllocDist(0, pc)
+	if de == nil {
+		de = &c.dist[0]
+		*de = distEntry{pc: pc, valid: true}
+	}
+	de.stride = stride
+	de.hasStride = true
 }
 
 // strideBetween derives the per-warp stride from two base vectors dw warps

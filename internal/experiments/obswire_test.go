@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"caps/internal/config"
 	"caps/internal/runstore"
+	"caps/internal/sim"
 	"caps/internal/telemetry"
 )
 
@@ -103,6 +107,63 @@ func TestWithRunStore(t *testing.T) {
 	}
 	if rec.Stats == nil || rec.Stats.IPC() != rec.IPC {
 		t.Errorf("stored stats inconsistent")
+	}
+}
+
+// TestAbortedRunLeavesInspectableTrail drives the whole post-mortem chain
+// through the suite: an injected invariant violation kills the run, the
+// flight recorder dumps its black box, the run store keeps an ABORTED
+// record pointing at the dump, and telemetry publishes the abort.
+func TestAbortedRunLeavesInspectableTrail(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxInsts = 60_000
+	flightDir := t.TempDir()
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub()
+	s := NewSuite(cfg, WithBenches([]string{"MM"}),
+		WithRunStore(store, func(k RunKey, err error) { t.Errorf("store hook %s: %v", k.Name(), err) }),
+		WithTelemetry(hub),
+		WithFlight(flightDir, func(k RunKey, err error) { t.Errorf("flight hook %s: %v", k.Name(), err) }),
+		WithSimOptions(func(_ RunKey, o *sim.Options) { o.InjectViolation = 2000 }),
+	)
+	k := PrefetcherKey("MM", "caps")
+	if _, err := s.Run(k); err == nil {
+		t.Fatal("injected violation did not fail the run")
+	}
+
+	wantDump := filepath.Join(flightDir, k.Name()+".flight.jsonl")
+	if _, err := os.Stat(wantDump); err != nil {
+		t.Fatalf("no flight dump written: %v", err)
+	}
+
+	entries := store.List(runstore.Query{})
+	if len(entries) != 1 {
+		t.Fatalf("store has %d entries, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if !e.Aborted {
+		t.Errorf("stored record not marked aborted: %+v", e)
+	}
+	rec, err := store.Get(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.AbortReason, "violation") {
+		t.Errorf("abort reason %q does not name the violation", rec.AbortReason)
+	}
+	if rec.FlightDump != wantDump {
+		t.Errorf("stored flight dump %q, want %q", rec.FlightDump, wantDump)
+	}
+	if rec.Profile != nil {
+		t.Errorf("aborted record carries a profile; cycle accounting is only valid for completed runs")
+	}
+
+	runs := hub.Runs()
+	if len(runs) != 1 || !runs[0].Aborted || runs[0].FlightDump != wantDump {
+		t.Errorf("telemetry missing the abort: %+v", runs)
 	}
 }
 

@@ -6,11 +6,13 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 
 	"caps/internal/config"
+	"caps/internal/flight"
 	"caps/internal/kernels"
 	"caps/internal/obs"
 	"caps/internal/profile"
@@ -70,11 +72,29 @@ type Suite struct {
 	// Observability plumbing: newSink (WithObs) builds a per-run sink
 	// before the simulation; attach hooks (WithTelemetry, WithRunStore)
 	// decorate that sink with consumers; runDone hooks receive the sink
-	// afterwards together with the run's statistics. When only attach
-	// hooks are present a plain metrics sink is created automatically.
+	// afterwards together with the run's statistics. runFail hooks fire
+	// instead of runDone when a started run dies (interrupt, invariant
+	// violation, watchdog), with the partial stats, the error, and the
+	// flight-dump path if a black box was written. When only attach hooks
+	// are present a plain metrics sink is created automatically.
 	newSink func(RunKey) *obs.Sink
 	attach  []func(RunKey, *obs.Sink)
 	runDone []func(RunKey, *obs.Sink, *stats.Sim)
+	runFail []func(RunKey, *obs.Sink, *stats.Sim, error, string)
+
+	// flightDir, when set (WithFlight), attaches a flight recorder to
+	// every run and writes "<dir>/<name>.flight.jsonl" if the run dies.
+	flightDir string
+	flightErr func(RunKey, error)
+
+	// simOpt decorators (WithSimOptions) tune each run's sim.Options after
+	// the suite has filled in the prefetcher, sink, and flight recorder.
+	simOpt []func(RunKey, *sim.Options)
+
+	// stopped flips when Interrupt is called; running tracks in-flight
+	// GPUs so the interrupt can reach them.
+	stopped bool
+	running map[RunKey]*sim.GPU
 
 	mu       sync.Mutex
 	cache    map[RunKey]*stats.Sim
@@ -137,6 +157,9 @@ func WithTelemetry(hub *telemetry.Hub) Option {
 		s.runDone = append(s.runDone, func(k RunKey, snk *obs.Sink, st *stats.Sim) {
 			hub.RunDone(meta(k), st.Cycles, st.Instructions, st.IPC(), snk.Snapshot())
 		})
+		s.runFail = append(s.runFail, func(k RunKey, snk *obs.Sink, st *stats.Sim, runErr error, dump string) {
+			hub.RunAborted(meta(k), st.Cycles, st.Instructions, runErr.Error(), dump, snk.Snapshot())
+		})
 	}
 }
 
@@ -178,7 +201,43 @@ func WithRunStore(store *runstore.Store, onErr func(RunKey, error)) Option {
 				onErr(k, err)
 			}
 		})
+		// Aborted runs are stored too — marked, under a separate dedup key,
+		// with the flight-dump path when one was written — so a crashed
+		// sweep leaves an inspectable trail (`capsd ls` shows ABORTED, show
+		// points at the black box). No profile: the collector's cycle
+		// accounting only reconciles for completed runs.
+		s.runFail = append(s.runFail, func(k RunKey, snk *obs.Sink, st *stats.Sim, runErr error, dump string) {
+			mu.Lock()
+			delete(collectors, k)
+			mu.Unlock()
+			cfg := s.configFor(k)
+			rec := runstore.NewRecord(cfg, k.Bench, k.Prefetch, st, nil).MarkAborted(runErr.Error(), dump)
+			if _, _, err := store.Put(rec); err != nil && onErr != nil {
+				onErr(k, err)
+			}
+		})
 	}
+}
+
+// WithFlight attaches a flight recorder to every run; a run that dies
+// (invariant violation, watchdog, panic) leaves its black box at
+// "<dir>/<run-name>.flight.jsonl" for capscope decode. onErr (may be nil)
+// reports dump write failures; they never fail the simulation itself.
+func WithFlight(dir string, onErr func(RunKey, error)) Option {
+	return func(s *Suite) {
+		s.flightDir = dir
+		s.flightErr = onErr
+	}
+}
+
+// WithSimOptions registers a decorator applied to every run's sim.Options
+// just before the simulator is constructed — after the suite has set the
+// prefetcher, sink, and flight recorder. It is the escape hatch for
+// per-run tuning the suite has no dedicated option for: the watchdog
+// window, the progress beat, or fault injection in tests. Overwriting
+// Obs or Flight here bypasses the suite's own plumbing; don't.
+func WithSimOptions(fn func(RunKey, *sim.Options)) Option {
+	return func(s *Suite) { s.simOpt = append(s.simOpt, fn) }
 }
 
 // NewSuite creates a suite over the given base configuration.
@@ -188,11 +247,25 @@ func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
 		parallelism: runtime.GOMAXPROCS(0),
 		cache:       make(map[RunKey]*stats.Sim),
 		failures:    make(map[RunKey]error),
+		running:     make(map[RunKey]*sim.GPU),
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
+}
+
+// Interrupt asks every in-flight run to stop at its next beat and makes
+// all future runs fail fast with sim.ErrInterrupted. Safe to call from a
+// signal-handling goroutine; interrupted runs land in Failures, so drivers
+// that already summarize failures exit non-zero for free.
+func (s *Suite) Interrupt() {
+	s.mu.Lock()
+	s.stopped = true
+	for _, g := range s.running { //simcheck:allow detlint — stop order is irrelevant
+		g.RequestStop()
+	}
+	s.mu.Unlock()
 }
 
 // Config returns the suite's base configuration.
@@ -247,13 +320,51 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 	for _, hook := range s.attach {
 		hook(k, snk)
 	}
-	g, err := sim.New(s.configFor(k), kernel, sim.Options{Prefetcher: k.Prefetch, Obs: snk})
+	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk}
+	var dumpPath string // set by OnDump (same goroutine, inside g.Run)
+	if s.flightDir != "" {
+		opt.Flight = sim.NewFlightRecorder(s.configFor(k))
+		opt.OnDump = func(d *flight.Dump) {
+			path := filepath.Join(s.flightDir, k.Name()+".flight.jsonl")
+			if werr := d.WriteFile(path); werr != nil {
+				if s.flightErr != nil {
+					s.flightErr(k, werr)
+				}
+				return
+			}
+			dumpPath = path
+		}
+	}
+	for _, fn := range s.simOpt {
+		fn(k, &opt)
+	}
+	g, err := sim.New(s.configFor(k), kernel, opt)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
 	}
+
+	// Register for Interrupt; a stop requested before registration must
+	// still reach this run, so re-check under the same lock.
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, sim.ErrInterrupted)
+	}
+	s.running[k] = g
+	s.mu.Unlock()
 	st, err := g.Run()
+	s.mu.Lock()
+	delete(s.running, k)
+	s.mu.Unlock()
+
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
+		err = fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
+		if snk != nil {
+			for _, hook := range s.runFail {
+				hook(k, snk, g.Stats(), err, dumpPath)
+			}
+		}
+		return nil, err
 	}
 	if snk != nil {
 		for _, hook := range s.runDone {

@@ -20,8 +20,11 @@ import (
 	"caps/internal/stats"
 )
 
-// StateHash folds the run's final statistics, the architectural state of
-// every L1 and L2 slice, and the finishing cycle into one FNV-1a hash.
+// StateHash folds the run's statistics, the architectural state of every
+// SM (warp contexts, queues, scheduler queues, CAP PerCTA/DIST tables),
+// every L1 and L2 slice, and the current cycle into one FNV-1a hash. It is
+// valid mid-run, not just at completion — the checkpoint harness
+// (CheckSeries, Bisect) calls it every K cycles.
 func StateHash(g *sim.GPU, st *stats.Sim) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -32,6 +35,7 @@ func StateHash(g *sim.GPU, st *stats.Sim) uint64 {
 	put(st.Hash64())
 	for _, sm := range g.SMs() {
 		sm.L1().HashState(h)
+		sm.HashState(h)
 	}
 	for _, p := range g.Partitions() {
 		p.L2().HashState(h)

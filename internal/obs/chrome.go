@@ -39,6 +39,15 @@ func WriteChromeTrace(w io.Writer, s *Sink) error {
 	if s == nil || s.trace == nil {
 		return errors.New("obs: no trace to export (sink nil or tracing disabled)")
 	}
+	return WriteChromeTraceEvents(w, s.cfg, s.trace.Events(), s.trace.Dropped())
+}
+
+// WriteChromeTraceEvents renders an explicit event slice as Chrome trace
+// JSON. It backs both WriteChromeTrace (a live sink's full buffer) and the
+// flight recorder's dump decoder, which replays a ring-buffer window long
+// after the originating sink is gone. cfg sizes the track metadata;
+// dropped lands in the trailer's droppedEvents counter.
+func WriteChromeTraceEvents(w io.Writer, cfg Config, events []Event, dropped int64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
 		return err
@@ -70,9 +79,9 @@ func WriteChromeTrace(w io.Writer, s *Sink) error {
 		label string
 	}
 	doms := []domInfo{
-		{DomSM, "SMs", s.cfg.SMs, "SM"},
-		{DomPart, "Memory partitions", s.cfg.Partitions, "Partition"},
-		{DomDRAM, "DRAM channels", s.cfg.Channels, "DRAM chan"},
+		{DomSM, "SMs", cfg.SMs, "SM"},
+		{DomPart, "Memory partitions", cfg.Partitions, "Partition"},
+		{DomDRAM, "DRAM channels", cfg.Channels, "DRAM chan"},
 	}
 	for _, d := range doms {
 		if d.units == 0 {
@@ -90,7 +99,7 @@ func WriteChromeTrace(w io.Writer, s *Sink) error {
 		}
 	}
 
-	for _, ev := range s.trace.Events() {
+	for _, ev := range events {
 		ce := chromeEvent{
 			Name: ev.Kind.String(),
 			Cat:  ev.Kind.category(),
@@ -120,7 +129,7 @@ func WriteChromeTrace(w io.Writer, s *Sink) error {
 		}
 	}
 	if _, err := fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}}\n",
-		s.trace.Dropped()); err != nil {
+		dropped); err != nil {
 		return err
 	}
 	return bw.Flush()

@@ -52,8 +52,11 @@ type Sink struct {
 
 	// consumers receive every emitted event in emission order (streaming
 	// profilers; see internal/profile). They hold bounded state of their
-	// own — the sink never buffers on their behalf.
-	consumers []Consumer
+	// own — the sink never buffers on their behalf. cycleStream is the
+	// subset that wants EvCycleClass (see StreamFilter): the per-SM-per-cycle
+	// firehose is only constructed when someone will fold it.
+	consumers   []Consumer
+	cycleStream []Consumer
 
 	cyclesG   *Gauge
 	prefDist  *Histogram
@@ -71,6 +74,15 @@ type Sink struct {
 // events that bypass the trace buffer (EvCycleClass) still reach consumers.
 type Consumer interface {
 	Consume(e Event)
+}
+
+// StreamFilter is an optional Consumer refinement: a consumer that would
+// discard EvCycleClass anyway (the flight recorder, by default) returns
+// false and the sink skips constructing the per-SM-per-cycle event for it
+// entirely. Consumers that don't implement the interface receive
+// everything.
+type StreamFilter interface {
+	WantsCycleClass() bool
 }
 
 // New builds a sink, registering the full per-unit metric set up front so
@@ -193,6 +205,9 @@ func (s *Sink) Attach(c Consumer) {
 		return
 	}
 	s.consumers = append(s.consumers, c)
+	if f, ok := c.(StreamFilter); !ok || f.WantsCycleClass() {
+		s.cycleStream = append(s.cycleStream, c)
+	}
 }
 
 func (s *Sink) emit(e Event) {
@@ -303,8 +318,11 @@ func (s *Sink) CycleClass(cycle int64, sm int, class CycleClass) {
 		return
 	}
 	s.sm[sm].cycleClass[class].Inc()
-	if len(s.consumers) > 0 {
-		s.emitStream(Event{Cycle: cycle, Kind: EvCycleClass, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Arg: uint8(class)})
+	if len(s.cycleStream) > 0 {
+		e := Event{Cycle: cycle, Kind: EvCycleClass, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Arg: uint8(class)}
+		for _, c := range s.cycleStream {
+			c.Consume(e)
+		}
 	}
 }
 

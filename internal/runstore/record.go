@@ -50,6 +50,14 @@ type Record struct {
 	Coverage     float64 `json:"coverage"`
 	Accuracy     float64 `json:"accuracy"`
 
+	// Aborted marks a run that did not complete (interrupt, invariant
+	// violation, watchdog); its stats are partial. AbortReason says why and
+	// FlightDump, when a black box was written, points at the dump file so
+	// capsd show can surface it.
+	Aborted     bool   `json:"aborted,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
+	FlightDump  string `json:"flight_dump,omitempty"`
+
 	Stats   *stats.Sim       `json:"stats,omitempty"`
 	Profile *profile.Profile `json:"profile,omitempty"`
 }
@@ -96,8 +104,26 @@ func (r *Record) contentID() string {
 	return hex.EncodeToString(sum[:])[:16]
 }
 
+// MarkAborted flags the record as an incomplete run and re-addresses it.
+// dumpPath may be empty (no flight recorder attached).
+func (r *Record) MarkAborted(reason, dumpPath string) *Record {
+	r.Aborted = true
+	r.AbortReason = reason
+	r.FlightDump = dumpPath
+	r.ID = r.contentID()
+	return r
+}
+
 // DedupKey is the identity under which newer records supersede older ones.
-func (r *Record) DedupKey() string { return r.ConfigHash + "|" + r.Bench }
+// Aborted runs dedup under a separate key so a crash record never
+// supersedes (or is superseded by) a healthy run of the same config.
+func (r *Record) DedupKey() string {
+	key := r.ConfigHash + "|" + r.Bench
+	if r.Aborted {
+		key += "|aborted"
+	}
+	return key
+}
 
 // ConfigHash addresses a run configuration: the fully derived GPUConfig
 // plus the prefetcher name (the one run parameter living outside the

@@ -37,11 +37,21 @@ type Entry struct {
 	Coverage   float64 `json:"coverage"`
 	Accuracy   float64 `json:"accuracy"`
 	HasProfile bool    `json:"has_profile"`
+	Aborted    bool    `json:"aborted,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
+	FlightDump string  `json:"flight_dump,omitempty"`
 	Offset     int64   `json:"offset"`
 	Length     int64   `json:"length"`
 }
 
-func (e *Entry) dedupKey() string { return e.ConfigHash + "|" + e.Bench }
+// dedupKey mirrors Record.DedupKey (aborted runs live under their own key).
+func (e *Entry) dedupKey() string {
+	key := e.ConfigHash + "|" + e.Bench
+	if e.Aborted {
+		key += "|aborted"
+	}
+	return key
+}
 
 // indexFile is the on-disk shape of the derived index.
 type indexFile struct {
@@ -152,7 +162,9 @@ func entryFor(r *Record, off, length int64) *Entry {
 		Bench: r.Bench, Prefetcher: r.Prefetcher, Scheduler: r.Scheduler, MaxInsts: r.MaxInsts,
 		Cycles: r.Cycles, Instructions: r.Instructions,
 		IPC: r.IPC, Coverage: r.Coverage, Accuracy: r.Accuracy,
-		HasProfile: r.Profile != nil, Offset: off, Length: length,
+		HasProfile: r.Profile != nil,
+		Aborted:    r.Aborted, AbortReason: r.AbortReason, FlightDump: r.FlightDump,
+		Offset: off, Length: length,
 	}
 }
 

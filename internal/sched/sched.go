@@ -10,6 +10,10 @@
 package sched
 
 import (
+	"encoding/binary"
+	"hash"
+	"sort"
+
 	"caps/internal/invariant"
 	"caps/internal/obs"
 )
@@ -379,6 +383,48 @@ func (s *TwoLevel) OnWake(slot int) bool {
 	}
 	s.ready = append(s.ready, slot)
 	return true
+}
+
+// HashState folds the scheduler's architectural state — queue contents and
+// order, the round-robin cursor, and the leading/base-done marks — into h
+// for the determinism harness's periodic checkpoints. Map iteration is made
+// order-independent by folding slots in index order.
+func (s *TwoLevel) HashState(h hash.Hash64) {
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(len(s.ready)))
+	for _, slot := range s.ready {
+		word(uint64(slot))
+	}
+	word(uint64(len(s.pending)))
+	for _, slot := range s.pending {
+		word(uint64(slot))
+	}
+	word(uint64(s.rr))
+	keys := make([]int, 0, len(s.leading)+len(s.baseDone))
+	for slot := range s.leading { //simcheck:allow detlint — collected then sorted below
+		keys = append(keys, slot)
+	}
+	sort.Ints(keys)
+	for _, slot := range keys {
+		word(uint64(slot))
+		if s.leading[slot] {
+			word(1)
+		} else {
+			word(0)
+		}
+	}
+	keys = keys[:0]
+	for slot := range s.baseDone { //simcheck:allow detlint — collected then sorted below
+		keys = append(keys, slot)
+	}
+	sort.Ints(keys)
+	for _, slot := range keys {
+		word(uint64(slot))
+	}
 }
 
 // ReadySlots returns a copy of the ready queue (test hook).

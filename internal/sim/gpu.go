@@ -1,11 +1,15 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"caps/internal/config"
 	// Register the CAPS prefetcher alongside the baselines.
 	_ "caps/internal/core"
+	"caps/internal/flight"
+	"caps/internal/invariant"
 	"caps/internal/kernels"
 	"caps/internal/mem"
 	"caps/internal/obs"
@@ -13,6 +17,22 @@ import (
 	"caps/internal/sched"
 	"caps/internal/stats"
 )
+
+// DefaultProgressEvery is the EvProgress beat period when Options leaves it
+// zero: frequent enough that a live /metrics scrape or SSE stream tracks
+// the run, rare enough to be free. The same clock paces the stop/dump
+// request polls and is the base the determinism harness's checkpoint
+// interval rounds to.
+const DefaultProgressEvery int64 = 1 << 13
+
+// DefaultWatchdogCycles is how long the forward-progress watchdog waits
+// for an instruction to retire before declaring the run hung.
+const DefaultWatchdogCycles int64 = 2_000_000
+
+// ErrInterrupted reports a run stopped early by RequestStop (SIGINT): the
+// machine is consistent and partial statistics are valid, but the workload
+// did not finish.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // GPU is the full simulated machine for one kernel run.
 type GPU struct {
@@ -33,6 +53,19 @@ type GPU struct {
 
 	// snk is the run's observability sink (nil when disabled).
 	snk *obs.Sink
+
+	// Flight-recorder wiring (nil/zero when not requested).
+	flight   *flight.Recorder
+	onDump   func(*flight.Dump)
+	beatMask int64 // ProgressEvery-1 (power of two minus one)
+	watchdog int64 // forward-progress window in cycles; <=0 disables
+	injectAt int64 // one-shot synthetic violation cycle (flight smoke)
+	prefName string
+
+	// stopReq/dumpReq are the only GPU state touched from other
+	// goroutines (signal handlers); Run polls them on the beat.
+	stopReq atomic.Bool
+	dumpReq atomic.Bool
 }
 
 // Options selects the prefetcher and scheduler for a run.
@@ -46,6 +79,30 @@ type Options struct {
 	// tracing) cycle-stamped events from every simulator layer. A nil sink
 	// costs one branch per event site.
 	Obs *obs.Sink
+	// Flight attaches a black-box recorder (see internal/flight): the last
+	// N events per unit, dumped with a machine-state snapshot when the run
+	// dies. When Obs is nil a metrics-only sink is created to carry the
+	// event stream. Use NewFlightRecorder to size one for the config.
+	Flight *flight.Recorder
+	// OnDump receives the black box whenever one is written (violation,
+	// panic, watchdog, dump request, or an explicit DumpNow).
+	OnDump func(*flight.Dump)
+	// ProgressEvery paces the EvProgress beat, the stop/dump-request polls
+	// and the watchdog check, in cycles; rounded up to a power of two.
+	// Zero selects DefaultProgressEvery.
+	ProgressEvery int64
+	// WatchdogCycles aborts the run when no instruction retires for this
+	// many cycles. Zero selects DefaultWatchdogCycles; negative disables
+	// the watchdog.
+	WatchdogCycles int64
+	// InjectViolation, when positive, raises a synthetic invariant
+	// violation once the GPU reaches that cycle — the flight-smoke hook.
+	InjectViolation int64
+	// PerturbPrefetchAt, when positive, arms a one-shot perturbation on
+	// SM 0: the first prefetch candidate enqueued at or after that cycle
+	// has its line address shifted by one line. Divergence-localizer
+	// tests use it to plant a known first-divergent cycle.
+	PerturbPrefetchAt int64
 }
 
 // NewSink builds an observability sink sized for the configuration (one
@@ -78,13 +135,31 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 	if opt.Prefetcher == "" {
 		opt.Prefetcher = "none"
 	}
+	// The flight recorder rides the observability event stream; a run that
+	// asked for one without a sink gets a metrics-only sink to carry it.
+	if opt.Flight != nil {
+		if opt.Obs == nil {
+			opt.Obs = NewSink(cfg, false, 0)
+		}
+		opt.Obs.Attach(opt.Flight)
+	}
 	// ORCH is LAP paired with the prefetch-aware grouped scheduler
 	// (Jog ISCA'13); selecting it swaps the two-level scheduler for the
 	// group-interleaved variant.
 	interleaved := opt.Prefetcher == "orch" && cfg.Scheduler == config.SchedTwoLevel
 
 	st := &stats.Sim{}
-	g := &GPU{cfg: cfg, kernel: k, st: st, snk: opt.Obs}
+	g := &GPU{cfg: cfg, kernel: k, st: st, snk: opt.Obs,
+		flight:   opt.Flight,
+		onDump:   opt.OnDump,
+		beatMask: ceilPow2(opt.ProgressEvery, DefaultProgressEvery) - 1,
+		watchdog: opt.WatchdogCycles,
+		injectAt: opt.InjectViolation,
+		prefName: opt.Prefetcher,
+	}
+	if g.watchdog == 0 {
+		g.watchdog = DefaultWatchdogCycles
+	}
 	g.icnt = mem.NewInterconnect(cfg.NumSMs, cfg.NumPartitions, cfg.ICNTQueue, cfg.ICNTLatency, cfg.ICNTWidth)
 
 	g.drams = make([]*mem.DRAMChannel, cfg.DRAM.Channels)
@@ -112,9 +187,25 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 		g.sms[i].Tracer = opt.Tracer
 		g.sms[i].AttachObs(opt.Obs)
 	}
+	if opt.PerturbPrefetchAt > 0 {
+		g.sms[0].perturbAt = opt.PerturbPrefetchAt
+	}
 
 	g.initialDispatch()
 	return g, nil
+}
+
+// ceilPow2 rounds v up to a power of two so Run's beat check stays a mask
+// test; def replaces a non-positive v.
+func ceilPow2(v, def int64) int64 {
+	if v <= 0 {
+		v = def
+	}
+	p := int64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
 }
 
 // newScheduler resolves cfg.Scheduler through the sched registry. ORCH's
@@ -176,6 +267,10 @@ func (g *GPU) Partitions() []*mem.Partition { return g.parts }
 // internal/invariant); a violating run's statistics are meaningless, so
 // Run aborts on it.
 func (g *GPU) Step() error {
+	if g.injectAt > 0 && g.cycle >= g.injectAt {
+		g.injectAt = 0
+		return invariant.Errorf("inject", g.cycle, "synthetic violation (Options.InjectViolation)")
+	}
 	now := g.cycle
 	for _, ch := range g.drams {
 		for _, r := range ch.Tick(now) {
@@ -237,14 +332,35 @@ func (g *GPU) allPartsIdle() bool {
 	return true
 }
 
+// RequestStop asks Run to return ErrInterrupted at the next beat. Safe to
+// call from another goroutine (signal handlers); partial statistics remain
+// valid.
+func (g *GPU) RequestStop() { g.stopReq.Store(true) }
+
+// RequestDump asks Run to write a flight dump at the next beat without
+// stopping (SIGQUIT semantics). Safe to call from another goroutine.
+func (g *GPU) RequestDump() { g.dumpReq.Store(true) }
+
 // Run executes until the workload drains or a cap is reached. It returns
-// the collected statistics; an error signals a hang (no forward progress).
+// the collected statistics; an error signals an invariant violation, a
+// hang (forward-progress watchdog) or an interrupt (ErrInterrupted). When
+// a flight recorder is attached, violations, hangs, panics and dump
+// requests each produce a black box through Options.OnDump.
 func (g *GPU) Run() (*stats.Sim, error) {
-	const progressWindow = 2_000_000
-	// beatInterval paces the observability liveness beat (obs.EvProgress):
-	// frequent enough that a live /metrics scrape or SSE stream tracks the
-	// run, rare enough to be free (one nil-safe call per 8K cycles).
-	const beatInterval = 1 << 13
+	if g.flight != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				// The machine state that caused the panic may break the
+				// snapshot too; a failing dump must not mask the original
+				// panic, so it gets its own recover.
+				func() {
+					defer func() { _ = recover() }()
+					g.emitDump(flight.ReasonPanic, fmt.Sprintf("panic at cycle %d: %v", g.cycle, r))
+				}()
+				panic(r)
+			}
+		}()
+	}
 	lastInsts := int64(-1)
 	lastProgress := int64(0)
 	for !g.Done() {
@@ -255,17 +371,30 @@ func (g *GPU) Run() (*stats.Sim, error) {
 			break
 		}
 		if err := g.Step(); err != nil {
+			g.emitDump(flight.ReasonViolation, err.Error())
 			return g.st, err
 		}
-		if g.snk != nil && g.cycle&(beatInterval-1) == 0 {
-			g.snk.Progress(g.cycle, g.st.Instructions)
+		// The beat: liveness Progress event plus the cross-goroutine
+		// stop/dump request polls (one mask test per cycle otherwise).
+		if g.cycle&g.beatMask == 0 {
+			if g.snk != nil {
+				g.snk.Progress(g.cycle, g.st.Instructions)
+			}
+			if g.stopReq.Load() {
+				return g.st, ErrInterrupted
+			}
+			if g.dumpReq.Swap(false) {
+				g.emitDump(flight.ReasonSignal, "dump requested")
+			}
 		}
 		if g.st.Instructions != lastInsts {
 			lastInsts = g.st.Instructions
 			lastProgress = g.cycle
-		} else if g.cycle-lastProgress > progressWindow {
-			return g.st, fmt.Errorf("sim: no forward progress for %d cycles at cycle %d (%s)",
-				progressWindow, g.cycle, g.kernel.Abbr)
+		} else if g.watchdog > 0 && g.cycle-lastProgress > g.watchdog {
+			err := fmt.Errorf("sim: no forward progress for %d cycles at cycle %d (%s)",
+				g.watchdog, g.cycle, g.kernel.Abbr)
+			g.emitDump(flight.ReasonWatchdog, err.Error())
+			return g.st, err
 		}
 	}
 	g.finalAccounting()

@@ -86,6 +86,13 @@ type SM struct {
 	sanSlots []int
 	sanNext  int64
 
+	// perturbAt arms the one-shot divergence-test perturbation
+	// (sim.Options.PerturbPrefetchAt): the first prefetch candidate that
+	// can actually enqueue at or after that cycle is shifted by one line.
+	// perturbedAt records the cycle it fired.
+	perturbAt   int64
+	perturbedAt int64
+
 	nowCache int64
 	addrBuf  []uint64
 }
@@ -215,6 +222,10 @@ func (sm *SM) ActiveCTAs() int { return sm.activeCTAs }
 
 // L1 exposes the data cache for end-of-run accounting and tests.
 func (sm *SM) L1() *mem.Cache { return sm.l1 }
+
+// Prefetcher exposes the SM's prefetch engine (determinism tests reach
+// through it to mutate CAP table state).
+func (sm *SM) Prefetcher() prefetch.Prefetcher { return sm.pref }
 
 // Tick advances the SM one cycle. It returns the number of instructions
 // issued (the GPU uses it for the instruction cap) and the first invariant
@@ -646,6 +657,17 @@ func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 	c.Addr = mem.LineAddrOf(c.Addr, sm.cfg.L1.LineBytes)
 	if c.GenCycle == 0 {
 		c.GenCycle = now
+	}
+	if sm.perturbAt > 0 && now >= sm.perturbAt {
+		// Only consume the perturbation when the altered address is
+		// guaranteed to enqueue; otherwise both runs would drop the
+		// candidate identically and no state would diverge this cycle.
+		altered := c.Addr + uint64(sm.cfg.L1.LineBytes)
+		if !sm.prefIn[altered] && len(sm.prefQ) < prefQueueCap {
+			c.Addr = altered
+			sm.perturbAt = 0
+			sm.perturbedAt = now
+		}
 	}
 	sm.snk.PrefCandidate(now, sm.id, c.TargetWarpSlot, c.TargetCTAID, c.PC, c.Addr)
 	if sm.prefIn[c.Addr] {

@@ -41,6 +41,13 @@ type Progress struct {
 	IPC          float64 `json:"ipc"`
 	ETACycles    int64   `json:"eta_cycles"`
 	Done         bool    `json:"done"`
+
+	// Aborted marks a run that ended without completing (interrupt,
+	// invariant violation, watchdog). AbortReason says why; FlightDump,
+	// when a black box was written, names the dump file.
+	Aborted     bool   `json:"aborted,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
+	FlightDump  string `json:"flight_dump,omitempty"`
 }
 
 // runState is one run's latest progress and metric snapshot.
@@ -74,16 +81,30 @@ func (h *Hub) Publish(meta RunMeta, cycles, instructions int64, samples []obs.Sa
 	if cycles > 0 {
 		ipc = float64(instructions) / float64(cycles)
 	}
-	h.publish(meta, cycles, instructions, ipc, false, samples)
+	h.publish(meta, cycles, instructions, ipc, false, "", "", samples)
 }
 
 // RunDone records a run's final state (authoritative IPC from the run's
 // statistics) and notifies subscribers with a "done" event.
 func (h *Hub) RunDone(meta RunMeta, cycles, instructions int64, ipc float64, samples []obs.Sample) {
-	h.publish(meta, cycles, instructions, ipc, true, samples)
+	h.publish(meta, cycles, instructions, ipc, true, "", "", samples)
 }
 
-func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, done bool, samples []obs.Sample) {
+// RunAborted records a run that ended without completing and notifies
+// subscribers with an "aborted" event. dump may be empty (no flight
+// recorder attached).
+func (h *Hub) RunAborted(meta RunMeta, cycles, instructions int64, reason, dump string, samples []obs.Sample) {
+	ipc := 0.0
+	if cycles > 0 {
+		ipc = float64(instructions) / float64(cycles)
+	}
+	if reason == "" {
+		reason = "aborted"
+	}
+	h.publish(meta, cycles, instructions, ipc, true, reason, dump, samples)
+}
+
+func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, done bool, abortReason, dump string, samples []obs.Sample) {
 	p := Progress{
 		Run:          meta.ID,
 		Bench:        meta.Bench,
@@ -95,6 +116,9 @@ func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, don
 		IPC:          ipc,
 		ETACycles:    etaCycles(meta.MaxInsts, cycles, instructions, done),
 		Done:         done,
+		Aborted:      abortReason != "",
+		AbortReason:  abortReason,
+		FlightDump:   dump,
 	}
 	msg := sseMessage(p)
 
@@ -137,7 +161,10 @@ func etaCycles(maxInsts, cycles, instructions int64, done bool) int64 {
 // sseMessage frames one progress update as a Server-Sent Event.
 func sseMessage(p Progress) string {
 	kind := "progress"
-	if p.Done {
+	switch {
+	case p.Aborted:
+		kind = "aborted"
+	case p.Done:
 		kind = "done"
 	}
 	data, err := json.Marshal(p)
