@@ -60,10 +60,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding, positioned in the source.
+// Diagnostic is one finding, positioned in the source. Module analyzers
+// (hotlint, isolint) additionally record the containing function and a
+// finding category; the pair keys the ratchet baseline, which must survive
+// line-number drift that a position key would not.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Func     string // full name of the containing function ("" for per-package analyzers)
+	Category string // finding class, e.g. "make", "box", "global-write" ("" for per-package analyzers)
 	Message  string
 }
 
@@ -77,11 +82,17 @@ func All() []*Analyzer {
 }
 
 // scopeOf builds a Scope matching caps/internal/<name> (and subpackages)
-// for each listed name.
+// for each listed name. A name beginning with "cmd" addresses the command
+// tree instead: "cmd" covers every binary under caps/cmd, "cmd/capsim"
+// just the one.
 func scopeOf(names ...string) func(string) bool {
 	prefixes := make([]string, len(names))
 	for i, n := range names {
-		prefixes[i] = "caps/internal/" + n
+		if n == "cmd" || strings.HasPrefix(n, "cmd/") {
+			prefixes[i] = "caps/" + n
+		} else {
+			prefixes[i] = "caps/internal/" + n
+		}
 	}
 	return func(pkgPath string) bool {
 		for _, p := range prefixes {

@@ -42,11 +42,37 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	compare(t, a.Name, pkg, diags, dir)
+}
+
+// RunModule loads dir as a fixture package and applies a module analyzer
+// (hotlint/isolint) to it as a one-package module, comparing diagnostics
+// with the fixture's want annotations. The fixture's //caps: annotations
+// are collected exactly as they would be on the real module, so fixtures
+// exercise roots, suppressions and shared marks end to end.
+func RunModule(t *testing.T, a *analysis.ModuleAnalyzer, dir string) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadFixture(root, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.CheckModule([]*analysis.Package{pkg}, []*analysis.ModuleAnalyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, a.Name, pkg, diags, dir)
+}
+
+func compare(t *testing.T, name string, pkg *analysis.Package, diags []analysis.Diagnostic, dir string) {
+	t.Helper()
 	wants := collectWants(t, pkg)
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want annotations; a fixture must assert at least one true positive", dir)
 	}
-
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
@@ -61,7 +87,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re)
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, name, w.re)
 		}
 	}
 }

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SiteKind classifies how a call site resolves to callees.
+type SiteKind int
+
+const (
+	// SiteStatic is a direct call to a known function or concrete method.
+	SiteStatic SiteKind = iota
+	// SiteIface is an interface method call; Callees holds every module
+	// implementation found by class-hierarchy analysis.
+	SiteIface
+	// SiteDynamic is a call through a func value (variable, field,
+	// parameter, return value). The target is unknowable statically, so
+	// analyzers treat these as unprovable and require an annotation.
+	SiteDynamic
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case SiteStatic:
+		return "static"
+	case SiteIface:
+		return "interface"
+	default:
+		return "dynamic"
+	}
+}
+
+// CallSite is one resolved call expression inside a function body.
+type CallSite struct {
+	Pos     token.Pos
+	Kind    SiteKind
+	Callees []*types.Func // resolved targets; empty for dynamic sites
+	Expr    *ast.CallExpr
+}
+
+// FuncNode is one function with a body in the module.
+type FuncNode struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Sites []CallSite
+}
+
+// CallGraph maps every function declared in the module to its resolved
+// call sites. Interface calls are resolved by class-hierarchy analysis
+// over every named type declared in the module: an interface method call
+// conservatively targets the corresponding method of every module type
+// that implements the interface.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+
+	namedTypes []*types.Named
+	chaCache   map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph indexes every FuncDecl of the package set and resolves
+// the call expressions in each body. FuncLit bodies are attributed to
+// their enclosing declaration: a call made inside a closure is a call the
+// enclosing function can make.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:    make(map[*types.Func]*FuncNode),
+		chaCache: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.namedTypes = append(g.namedTypes, named)
+				}
+			}
+		}
+	}
+	sort.Slice(g.namedTypes, func(i, j int) bool {
+		return typeFullName(g.namedTypes[i]) < typeFullName(g.namedTypes[j])
+	})
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg}
+				g.Nodes[obj] = node
+			}
+		}
+	}
+	// Resolve sites in a second pass so CHA sees every declared method.
+	for _, node := range g.Nodes {
+		n := node
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if site, ok := g.resolveCall(n.Pkg, call); ok {
+				n.Sites = append(n.Sites, site)
+			}
+			return true
+		})
+		sort.Slice(n.Sites, func(i, j int) bool { return n.Sites[i].Pos < n.Sites[j].Pos })
+	}
+	return g
+}
+
+func typeFullName(n *types.Named) string {
+	tn := n.Obj()
+	if tn.Pkg() != nil {
+		return tn.Pkg().Path() + "." + tn.Name()
+	}
+	return tn.Name()
+}
+
+// resolveCall classifies one call expression. Conversions and builtins
+// return ok=false — they are not call-graph edges (hotlint inspects them
+// directly at the syntax level).
+func (g *CallGraph) resolveCall(pkg *Package, call *ast.CallExpr) (CallSite, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap generic instantiation: f[T](x) / m[T1, T2](x). A map or
+	// slice index that yields a func value unwraps to its container and
+	// falls through to the dynamic classification below, which is right.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return CallSite{}, false // conversion, not a call
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Builtin:
+			return CallSite{}, false
+		case *types.Func:
+			return CallSite{Pos: call.Pos(), Kind: SiteStatic, Callees: []*types.Func{obj}, Expr: call}, true
+		default:
+			return CallSite{Pos: call.Pos(), Kind: SiteDynamic, Expr: call}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				m, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return CallSite{Pos: call.Pos(), Kind: SiteDynamic, Expr: call}, true
+				}
+				if types.IsInterface(sel.Recv()) {
+					return CallSite{Pos: call.Pos(), Kind: SiteIface, Callees: g.implementations(sel.Recv(), m), Expr: call}, true
+				}
+				return CallSite{Pos: call.Pos(), Kind: SiteStatic, Callees: []*types.Func{m}, Expr: call}, true
+			default:
+				// Call through a struct field or method value of func
+				// type: target unknown.
+				return CallSite{Pos: call.Pos(), Kind: SiteDynamic, Expr: call}, true
+			}
+		}
+		// Qualified identifier: pkg.Fn or pkg.Var.
+		switch obj := pkg.Info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return CallSite{Pos: call.Pos(), Kind: SiteStatic, Callees: []*types.Func{obj}, Expr: call}, true
+		default:
+			return CallSite{Pos: call.Pos(), Kind: SiteDynamic, Expr: call}, true
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is already scanned as part
+		// of the enclosing declaration, so there is no edge to add.
+		return CallSite{}, false
+	default:
+		return CallSite{Pos: call.Pos(), Kind: SiteDynamic, Expr: call}, true
+	}
+}
+
+// implementations resolves an interface method to the matching method of
+// every module-declared type that implements the interface (class-hierarchy
+// analysis). Only methods with bodies in the module are returned — external
+// implementations have no node to walk anyway. Results are memoized per
+// interface method object.
+func (g *CallGraph) implementations(recv types.Type, m *types.Func) []*types.Func {
+	if cached, ok := g.chaCache[m]; ok {
+		return cached
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		g.chaCache[m] = nil
+		return nil
+	}
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, named := range g.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		var impl types.Type
+		if types.Implements(named, iface) {
+			impl = named
+		} else if p := types.NewPointer(named); types.Implements(p, iface) {
+			impl = p
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok || seen[fn] {
+			continue
+		}
+		if _, inModule := g.Nodes[fn]; !inModule {
+			continue
+		}
+		seen[fn] = true
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	g.chaCache[m] = out
+	return out
+}
+
+// Reachable walks the call graph breadth-first from the roots and returns
+// every module function reached, mapped to the root it was first reached
+// from. skip, if non-nil, prunes individual edges: a true return means the
+// edge at that site is not followed (hotlint uses this to cordon off
+// subtrees behind //caps:alloc-ok call sites).
+func (g *CallGraph) Reachable(roots []*types.Func, skip func(caller *FuncNode, site CallSite) bool) map[*types.Func]*types.Func {
+	reached := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := g.Nodes[r]; !ok {
+			continue
+		}
+		if _, ok := reached[r]; ok {
+			continue
+		}
+		reached[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[fn]
+		root := reached[fn]
+		for _, site := range node.Sites {
+			if skip != nil && skip(node, site) {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if _, ok := g.Nodes[callee]; !ok {
+					continue
+				}
+				if _, ok := reached[callee]; ok {
+					continue
+				}
+				reached[callee] = root
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return reached
+}
+
+// SortedFuncs returns the reachable set's functions sorted by full name,
+// for deterministic per-function walks.
+func SortedFuncs(set map[*types.Func]*types.Func) []*types.Func {
+	out := make([]*types.Func, 0, len(set))
+	for fn := range set { //simcheck:allow detlint sorted immediately below
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}

@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotlint flags heap-allocating constructs in every function reachable
+// from a //caps:hotpath root. The finding categories:
+//
+//	new       new(T)
+//	make      make(...) of any kind
+//	append    append(...) — growth cannot be ruled out statically
+//	composite &T{...}, or a slice/map composite literal
+//	closure   func literal (captures escape with the closure)
+//	box       concrete non-pointer value converted to an interface
+//	string    non-constant string concatenation or string<->[]byte/[]rune
+//	maprange  range over a map (hidden iterator + nondeterminism)
+//	gostmt    go statement (goroutine + closure allocation)
+//	dynamic   call through a func value or an interface with no known
+//	          module implementation — allocation behavior unprovable
+//	extcall   call into a non-allowlisted external package
+//	alloc-ok  a //caps:alloc-ok annotation with no reason text
+//
+// A site annotated //caps:alloc-ok <reason> is accepted; on a call site
+// the annotation also prunes the walk into the callee, cordoning off cold
+// or amortized subtrees (sanitizer audits, refill paths) at their entry.
+// Findings that survive annotation review are ratcheted by the committed
+// baseline (see baseline.go) — the count per (function, category) may go
+// down, never up.
+var Hotlint = &ModuleAnalyzer{
+	Name: "hotlint",
+	Doc:  "flag heap-allocating constructs reachable from //caps:hotpath roots",
+	Run:  runHotlint,
+}
+
+// extAllowlist holds external packages whose functions are known not to
+// allocate on any path the simulator uses.
+var extAllowlist = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+	"unsafe":      true,
+}
+
+func runHotlint(pass *ModulePass) error {
+	roots := pass.Ann.FuncsWith("hotpath")
+	reached := pass.Graph.Reachable(roots, func(caller *FuncNode, site CallSite) bool {
+		_, ok := pass.Ann.At(pass.Fset.Position(site.Pos), "alloc-ok")
+		return ok
+	})
+	for _, fn := range SortedFuncs(reached) {
+		node := pass.Graph.Nodes[fn]
+		w := &hotWalker{
+			pass: pass,
+			node: node,
+			root: reached[fn].FullName(),
+		}
+		w.run()
+	}
+	return nil
+}
+
+type hotWalker struct {
+	pass *ModulePass
+	node *FuncNode
+	root string
+
+	funcLits []*ast.FuncLit // collected for enclosing-signature lookup
+}
+
+// report records a finding unless the site carries //caps:alloc-ok. An
+// annotation with an empty reason is itself a finding: an allow without a
+// justification defeats the audit trail.
+func (w *hotWalker) report(pos token.Pos, category, format string, args ...any) {
+	p := w.pass.Fset.Position(pos)
+	if d, ok := w.pass.Ann.At(p, "alloc-ok"); ok {
+		if d.Arg == "" {
+			w.pass.Reportf(pos, w.node.Obj.FullName(), "alloc-ok",
+				"//caps:alloc-ok needs a reason")
+		}
+		return
+	}
+	msg := "hot path from " + w.root + ": " + format
+	w.pass.Reportf(pos, w.node.Obj.FullName(), category, msg, args...)
+}
+
+func (w *hotWalker) run() {
+	body := w.node.Decl.Body
+	info := w.node.Pkg.Info
+	ast.Inspect(body, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok {
+			w.funcLits = append(w.funcLits, fl)
+		}
+		return true
+	})
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			w.checkCall(info, x)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					w.report(x.Pos(), "composite", "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					w.report(x.Pos(), "composite", "slice literal allocates")
+				case *types.Map:
+					w.report(x.Pos(), "composite", "map literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			w.report(x.Pos(), "closure", "func literal allocates a closure")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := info.Types[x]; ok && tv.Value == nil && isString(tv.Type) {
+					w.report(x.Pos(), "string", "string concatenation allocates")
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					w.report(x.Pos(), "maprange", "map iteration on the hot path")
+				}
+			}
+		case *ast.GoStmt:
+			w.report(x.Pos(), "gostmt", "go statement allocates a goroutine")
+		case *ast.AssignStmt:
+			if x.Tok == token.ASSIGN && len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if tv, ok := info.Types[lhs]; ok {
+						w.checkBox(info, tv.Type, x.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				if tv, ok := info.Types[x.Type]; ok {
+					for _, v := range x.Values {
+						w.checkBox(info, tv.Type, v)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			w.checkReturn(info, x)
+		}
+		return true
+	})
+	w.checkSites()
+}
+
+// checkCall classifies one call expression: builtin allocators,
+// conversions (boxing, string<->bytes), and boxing of arguments into
+// interface parameters.
+func (w *hotWalker) checkCall(info *types.Info, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	// Conversion T(x).
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		w.checkConversion(info, tv.Type, call)
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				w.report(call.Pos(), "new", "new(T) allocates")
+			case "make":
+				w.report(call.Pos(), "make", "make allocates")
+			case "append":
+				w.report(call.Pos(), "append", "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// Boxing of arguments into interface parameters.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			w.checkBox(info, pt, arg)
+		}
+	}
+}
+
+func (w *hotWalker) checkConversion(info *types.Info, dst types.Type, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	w.checkBox(info, dst, arg)
+	at, ok := info.Types[arg]
+	if !ok || at.Type == nil {
+		return
+	}
+	if at.Value != nil {
+		return // constant conversion, folded at compile time
+	}
+	if isString(dst) && isByteOrRuneSlice(at.Type) {
+		w.report(call.Pos(), "string", "[]byte/[]rune to string conversion allocates")
+	}
+	if isByteOrRuneSlice(dst) && isString(at.Type) {
+		w.report(call.Pos(), "string", "string to []byte/[]rune conversion allocates")
+	}
+}
+
+// checkBox flags a concrete, non-pointer-shaped value crossing into an
+// interface. Pointer-shaped values (pointers, chans, maps, funcs) are
+// stored directly in the interface word and do not allocate.
+func (w *hotWalker) checkBox(info *types.Info, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := info.Types[ast.Unparen(src)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return // interface-to-interface carries the existing box
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if isPointerShaped(st) {
+		return
+	}
+	w.report(src.Pos(), "box", "%s boxed into %s allocates", st, dst)
+}
+
+// checkReturn boxes returned values against the enclosing function's
+// result types. The enclosing signature is the innermost func literal
+// containing the return, or the declaration itself.
+func (w *hotWalker) checkReturn(info *types.Info, ret *ast.ReturnStmt) {
+	sig := w.enclosingSig(info, ret.Pos())
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	if res.Len() != len(ret.Results) {
+		return // bare return or tuple-forwarding call
+	}
+	for i, r := range ret.Results {
+		w.checkBox(info, res.At(i).Type(), r)
+	}
+}
+
+func (w *hotWalker) enclosingSig(info *types.Info, pos token.Pos) *types.Signature {
+	var innermost *ast.FuncLit
+	for _, fl := range w.funcLits {
+		if fl.Body.Pos() <= pos && pos < fl.Body.End() {
+			if innermost == nil || fl.Body.Pos() > innermost.Body.Pos() {
+				innermost = fl
+			}
+		}
+	}
+	if innermost != nil {
+		if tv, ok := info.Types[innermost]; ok && tv.Type != nil {
+			if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+				return sig
+			}
+		}
+		return nil
+	}
+	return w.node.Obj.Type().(*types.Signature)
+}
+
+// checkSites flags the call-graph edges the walk could not follow:
+// dynamic calls, interface calls with no module implementation, and
+// static calls into external packages off the allowlist.
+func (w *hotWalker) checkSites() {
+	for _, site := range w.node.Sites {
+		switch site.Kind {
+		case SiteDynamic:
+			w.report(site.Pos, "dynamic", "dynamic call: allocation behavior unprovable")
+		case SiteIface:
+			if len(site.Callees) == 0 {
+				w.report(site.Pos, "dynamic", "interface call with no module implementation")
+			}
+		case SiteStatic:
+			for _, callee := range site.Callees {
+				if _, inModule := w.pass.Graph.Nodes[callee]; inModule {
+					continue
+				}
+				pkg := callee.Pkg()
+				if pkg == nil || extAllowlist[pkg.Path()] {
+					continue
+				}
+				w.report(site.Pos, "extcall", "call into %s.%s: external allocation behavior unknown",
+					pkg.Path(), callee.Name())
+			}
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Uint8 || e.Kind() == types.Rune || e.Kind() == types.Int32)
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	default:
+		return false
+	}
+}

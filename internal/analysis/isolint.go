@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Isolint proves per-SM isolation for everything reachable from a
+// //caps:isolated root (seed: SM.Tick). The future parallel core ticks all
+// SMs concurrently between deterministic barriers, so any state a tick can
+// write that is not owned by that SM must be either eliminated or
+// explicitly serialized. Finding categories:
+//
+//	global-write  write to a package-level variable
+//	shared-write  write through a //caps:shared-marked type or field
+//	              (GPU-shared structures: stats, interconnect queues,
+//	              observability sinks)
+//	dynamic       call through a func value or an interface with no known
+//	              module implementation — isolation unprovable
+//	gostmt        go statement inside the tick
+//	chansend      channel send inside the tick
+//	shared-sync   a //caps:shared-sync annotation with no barrier phase
+//
+// A site annotated //caps:shared-sync <phase> is accepted and recorded in
+// the sync-point inventory: the machine-checked list of cross-SM touch
+// points the parallel-tick barrier must serialize, printed by
+// `simcheck -mode=isolint -inventory`. A function whose doc comment
+// carries //caps:shared-sync <phase> accepts every write through
+// //caps:shared-marked state in its body under that phase (used for
+// stats-heavy helpers); package-level writes, dynamic calls, goroutines
+// and channel sends always need a site-level mark. On a call
+// site the annotation also prunes the walk into the callee — the whole
+// call is one serialized touch point.
+var Isolint = &ModuleAnalyzer{
+	Name: "isolint",
+	Doc:  "prove per-SM isolation of everything reachable from //caps:isolated roots",
+	Run:  runIsolint,
+}
+
+// SyncPoint is one accepted cross-SM touch point: a write or call that
+// the parallel tick must serialize at the named barrier phase.
+type SyncPoint struct {
+	Phase string
+	Func  string // full name of the containing function
+	Pos   token.Position
+	Desc  string // what is touched
+}
+
+func runIsolint(pass *ModulePass) error {
+	isolintCore(pass, nil)
+	return nil
+}
+
+// SharedInventory builds the sync-point inventory for a package set: every
+// //caps:shared-sync-accepted touch point reachable from the //caps:isolated
+// roots, sorted by phase then position. Diagnostics are not collected.
+func SharedInventory(pkgs []*Package) []SyncPoint {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	pass := &ModulePass{
+		Analyzer: Isolint,
+		Fset:     pkgs[0].Fset,
+		Pkgs:     pkgs,
+		Graph:    BuildCallGraph(pkgs),
+		Ann:      CollectAnnotations(pkgs),
+	}
+	var inv []SyncPoint
+	isolintCore(pass, &inv)
+	sort.Slice(inv, func(i, j int) bool {
+		a, b := inv[i], inv[j]
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return inv
+}
+
+// isolintCore runs the isolation walk. When inv is non-nil, accepted
+// sync points are appended to it; diagnostics always go to the pass.
+func isolintCore(pass *ModulePass, inv *[]SyncPoint) {
+	roots := pass.Ann.FuncsWith("isolated")
+	reached := pass.Graph.Reachable(roots, func(caller *FuncNode, site CallSite) bool {
+		d, ok := pass.Ann.At(pass.Fset.Position(site.Pos), "shared-sync")
+		if ok && inv != nil {
+			*inv = append(*inv, SyncPoint{
+				Phase: d.Arg,
+				Func:  caller.Obj.FullName(),
+				Pos:   pass.Fset.Position(site.Pos),
+				Desc:  "call serialized as one touch point",
+			})
+		}
+		return ok
+	})
+	for _, fn := range SortedFuncs(reached) {
+		node := pass.Graph.Nodes[fn]
+		w := &isoWalker{
+			pass: pass,
+			node: node,
+			root: reached[fn].FullName(),
+			inv:  inv,
+		}
+		if d, ok := pass.Ann.OnFunc(fn, "shared-sync"); ok {
+			w.fnPhase, w.fnPhaseSet = d.Arg, true
+		}
+		w.run()
+	}
+}
+
+type isoWalker struct {
+	pass *ModulePass
+	node *FuncNode
+	root string
+	inv  *[]SyncPoint
+
+	fnPhase    string // function-level //caps:shared-sync phase
+	fnPhaseSet bool
+}
+
+// report accepts or flags one touch point. Site-level //caps:shared-sync
+// accepts any category on that line; a function-level phase accepts only
+// writes through //caps:shared-marked state (the annotation names the
+// barrier phase those writes serialize at). Package-level writes, dynamic
+// calls, goroutines and channel sends still need a site-level mark — a
+// phase on the whole function cannot vouch for state it does not name.
+func (w *isoWalker) report(pos token.Pos, category, desc string) {
+	p := w.pass.Fset.Position(pos)
+	if d, ok := w.pass.Ann.At(p, "shared-sync"); ok {
+		w.accept(d.Arg, pos, desc)
+		return
+	}
+	if w.fnPhaseSet && category == "shared-write" {
+		w.accept(w.fnPhase, pos, desc)
+		return
+	}
+	w.pass.Reportf(pos, w.node.Obj.FullName(), category,
+		"tick isolation (from %s): %s; annotate //caps:shared-sync <phase> or remove", w.root, desc)
+}
+
+func (w *isoWalker) accept(phase string, pos token.Pos, desc string) {
+	if phase == "" {
+		w.pass.Reportf(pos, w.node.Obj.FullName(), "shared-sync",
+			"//caps:shared-sync needs a barrier phase")
+		return
+	}
+	if w.inv != nil {
+		*w.inv = append(*w.inv, SyncPoint{
+			Phase: phase,
+			Func:  w.node.Obj.FullName(),
+			Pos:   w.pass.Fset.Position(pos),
+			Desc:  desc,
+		})
+	}
+}
+
+func (w *isoWalker) run() {
+	info := w.node.Pkg.Info
+	ast.Inspect(w.node.Decl.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				w.checkWrite(info, lhs)
+			}
+		case *ast.IncDecStmt:
+			w.checkWrite(info, x.X)
+		case *ast.GoStmt:
+			w.report(x.Pos(), "gostmt", "goroutine launched inside the tick")
+		case *ast.SendStmt:
+			w.report(x.Pos(), "chansend", "channel send inside the tick")
+		}
+		return true
+	})
+	for _, site := range w.node.Sites {
+		switch site.Kind {
+		case SiteDynamic:
+			w.report(site.Pos, "dynamic", "dynamic call: isolation unprovable")
+		case SiteIface:
+			if len(site.Callees) == 0 {
+				w.report(site.Pos, "dynamic", "interface call with no module implementation: isolation unprovable")
+			}
+		}
+	}
+}
+
+// checkWrite inspects one write destination. The selector/index/deref
+// chain is walked outside-in: a write lands on shared state if any field
+// along the chain carries //caps:shared, any intermediate value has a
+// //caps:shared-marked type, or the chain roots at a package-level var.
+func (w *isoWalker) checkWrite(info *types.Info, lhs ast.Expr) {
+	e := ast.Unparen(lhs)
+	for {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if label, ok := w.pass.Ann.SharedType(tv.Type); ok {
+				w.report(lhs.Pos(), "shared-write",
+					fmt.Sprintf("write through GPU-shared %s (%q)", tv.Type, label))
+				return
+			}
+		}
+		switch t := e.(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				return
+			}
+			obj := info.Uses[t]
+			if obj == nil {
+				obj = info.Defs[t]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				w.report(lhs.Pos(), "global-write",
+					fmt.Sprintf("write to package-level var %s.%s", v.Pkg().Path(), v.Name()))
+			}
+			return
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[t]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if label, ok := w.pass.Ann.SharedField(v); ok {
+						w.report(lhs.Pos(), "shared-write",
+							fmt.Sprintf("write through GPU-shared field %s (%q)", v.Name(), label))
+						return
+					}
+				}
+			}
+			e = ast.Unparen(t.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(t.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(t.X)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Fixture for hotlint: heap-allocating constructs reachable from a
+// //caps:hotpath root. The call graph matters: lookup/emit/grow are
+// reachable from Tick and fully checked, audit sits behind an
+// //caps:alloc-ok call edge and is never walked, reset is unreachable.
+package fixture
+
+import "fmt"
+
+type entry struct{ addr uint64 }
+
+type logger interface{ Log(v int64) }
+
+type ringLog struct{ n int64 }
+
+func (r *ringLog) Log(v int64) { r.n += v }
+
+type counter struct{ n int64 }
+
+func (c counter) Log(v int64) {}
+
+type table struct {
+	entries []uint64
+	sink    logger
+	hook    func(uint64)
+}
+
+// Tick is the fixture's hot root.
+//
+//caps:hotpath
+func (t *table) Tick(now int64) {
+	t.lookup(uint64(now))
+	t.emit(now)
+	t.audit() //caps:alloc-ok sanitizer audit is cold
+
+	t.grow()
+	go noop() // want `go statement allocates a goroutine`
+}
+
+func (t *table) lookup(addr uint64) {
+	e := &entry{addr: addr} // want `&composite literal escapes to the heap`
+	_ = e
+	buf := make([]uint64, 4) // want `make allocates`
+	_ = buf
+	t.entries = append(t.entries, addr) // want `append may grow its backing array`
+	p := new(entry)                     // want `new\(T\) allocates`
+	_ = p
+	local := entry{addr: addr} // value-typed struct literal: not flagged
+	_ = local
+	t.entries = append(t.entries, addr) //caps:alloc-ok bounded: capacity fixed at init
+
+	_ = make([]int, 8) /*caps:alloc-ok*/ // want `//caps:alloc-ok needs a reason`
+}
+
+func (t *table) emit(now int64) {
+	t.sink.Log(now) // interface call with module implementations: walked, not flagged
+	var v logger = counter{n: now} // want `boxed into`
+	_ = v
+	t.sink = counter{n: now} // want `boxed into`
+	takeIface(counter{})     // want `boxed into`
+	_ = asIface()
+	_ = describe("a", "b")
+	_ = roundTrip("zz")
+	_ = fmt.Sprintln(&t.entries) // want `call into fmt`
+}
+
+func takeIface(l logger) {}
+
+func asIface() logger {
+	return counter{} // want `boxed into`
+}
+
+func describe(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+func roundTrip(s string) string {
+	b := []byte(s)   // want `string to \[\]byte/\[\]rune conversion allocates`
+	return string(b) // want `\[\]byte/\[\]rune to string conversion allocates`
+}
+
+func (t *table) grow() {
+	m := map[uint64]int{} // want `map literal allocates`
+	for k := range m {    // want `map iteration on the hot path`
+		_ = k
+	}
+	pair := []uint64{1, 2} // want `slice literal allocates`
+	_ = pair
+	t.hook = func(u uint64) {} // want `func literal allocates a closure`
+	t.hook(7)                  // want `dynamic call: allocation behavior unprovable`
+}
+
+func noop() {}
+
+// audit is the sanitizer: reachable only through an //caps:alloc-ok call
+// edge, so the walk never enters it and nothing below is flagged.
+func (t *table) audit() {
+	msgs := make([]string, 0, 4)
+	msgs = append(msgs, fmt.Sprintf("entries=%d", len(t.entries)))
+	_ = msgs
+}
+
+// reset is not reachable from Tick at all: unchecked.
+func (t *table) reset() {
+	t.entries = make([]uint64, 0, 128)
+	_ = fmt.Sprintf("reset %d", len(t.entries))
+}

@@ -1,0 +1,73 @@
+// Fixture for isolint: cross-SM state touched from a //caps:isolated
+// root. Writes to package-level vars, //caps:shared-marked types and
+// fields, dynamic calls, goroutines and channel sends are flagged unless
+// a //caps:shared-sync barrier phase accepts them.
+package fixture
+
+// stats is the run-wide counter block, one instance shared by every SM.
+//
+//caps:shared run-stats
+type stats struct {
+	hits int64
+}
+
+type icnt struct{ depth int }
+
+var totalTicks int64
+
+type sm struct {
+	id    int
+	st    *stats
+	net   *icnt //caps:shared interconnect
+	local []int
+	hook  func()
+	ch    chan int
+}
+
+// Tick is the fixture's isolation root.
+//
+//caps:isolated
+func (s *sm) Tick(now int64) {
+	totalTicks++                        // want `write to package-level var`
+	s.st.hits++                         // want `write through GPU-shared`
+	s.net.depth++                       // want `write through GPU-shared field`
+	s.local = append(s.local, int(now)) // own state: not isolint's business
+	s.id = int(now)                     // own state through the receiver: fine
+	s.bump()
+	s.syncSite(now)
+	s.flush() //caps:shared-sync drain-phase
+
+	s.hook() // want `dynamic call: isolation unprovable`
+	go s.bump() // want `goroutine launched inside the tick`
+	s.ch <- 1   // want `channel send inside the tick`
+}
+
+// bump aggregates into the shared stats block; every shared write in the
+// body is serialized at the stats-reduce barrier of the parallel tick.
+// The function-level phase vouches only for //caps:shared-marked state —
+// a package-level write still needs its own site mark.
+//
+//caps:shared-sync stats-reduce
+func (s *sm) bump() {
+	s.st.hits++  // accepted by the function-level phase
+	totalTicks++ // want `write to package-level var`
+}
+
+func (s *sm) syncSite(now int64) {
+	s.st.hits = now //caps:shared-sync stats-reduce
+
+	totalTicks = now /*caps:shared-sync*/ // want `//caps:shared-sync needs a barrier phase`
+}
+
+// flush is reachable only through a //caps:shared-sync call edge: the
+// whole call is one serialized touch point and the body is not walked.
+func (s *sm) flush() {
+	totalTicks = 0
+	s.st.hits = 0
+}
+
+// reset is not reachable from Tick at all: unchecked.
+func (s *sm) reset() {
+	totalTicks = 0
+	s.net.depth = 0
+}

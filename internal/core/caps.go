@@ -61,6 +61,11 @@ type CAPS struct {
 	// the owning SM's trace track.
 	sink *obslib.Sink
 	smID int
+
+	// scratch is the candidate buffer OnLoad returns; the SM consumes it
+	// synchronously (candidates are copied into the prefetch queue by
+	// value), so one reused slice serves every call.
+	scratch []prefetch.Candidate
 }
 
 // New builds a CAPS engine for one SM.
@@ -142,7 +147,8 @@ func (c *CAPS) Name() string { return "caps" }
 // so its PerCTA table starts empty.
 func (c *CAPS) OnCTALaunch(ctaSlot int) {
 	for i := range c.perCTA[ctaSlot] {
-		c.perCTA[ctaSlot][i] = perCTAEntry{}
+		e := &c.perCTA[ctaSlot][i]
+		*e = perCTAEntry{base: e.base[:0]} // keep the base vector's capacity
 	}
 }
 
@@ -203,11 +209,12 @@ func (c *CAPS) insertPerCTA(now int64, obs *prefetch.Observation) *perCTAEntry {
 			victim = i
 		}
 	}
+	base := append(tbl[victim].base[:0], obs.Addrs...) //caps:alloc-ok base capacity is retained by the table row and bounded by PrefetchMaxAccesses
 	tbl[victim] = perCTAEntry{
 		pc:        obs.PC,
 		valid:     true,
 		leadWarp:  obs.WarpInCTA,
-		base:      append([]uint64(nil), obs.Addrs...),
+		base:      base,
 		iter:      obs.Iter,
 		seen:      1 << uint(obs.WarpInCTA),
 		ctaID:     obs.CTAID,
@@ -221,21 +228,30 @@ func (c *CAPS) insertPerCTA(now int64, obs *prefetch.Observation) *perCTAEntry {
 
 // OnLoad implements prefetch.Prefetcher: the full CAP algorithm of
 // Section V-B, covering both generation scenarios of Section V-C.
+// Every executed load passes through here (CAP/DIST table access).
+//
+//caps:hotpath
 func (c *CAPS) OnLoad(obs *prefetch.Observation) []prefetch.Candidate {
+	c.scratch = c.onLoad(obs, c.scratch[:0])
+	return c.scratch
+}
+
+// onLoad is OnLoad with the candidate buffer threaded through: out must
+// arrive empty and is returned (possibly regrown) so its capacity is kept.
+//caps:shared-sync stats-reduce
+func (c *CAPS) onLoad(obs *prefetch.Observation, out []prefetch.Candidate) []prefetch.Candidate {
 	// Indirect accesses are detected by register-origin tracing and
 	// excluded; loads with too many coalesced accesses are not targets.
 	if obs.Indirect || len(obs.Addrs) == 0 || len(obs.Addrs) > c.cfg.PrefetchMaxAccesses {
-		return nil
+		return out
 	}
 	c.st.PrefTableLookup++
 
 	de := c.lookupOrAllocDist(obs.Now, obs.PC)
 	if de == nil {
-		return nil // not one of the targeted loads
+		return out // not one of the targeted loads
 	}
 	pe := c.lookupPerCTA(obs.CTASlot, obs.PC)
-
-	var out []prefetch.Candidate
 
 	switch {
 	case pe == nil:
@@ -261,7 +277,7 @@ func (c *CAPS) OnLoad(obs *prefetch.Observation) []prefetch.Candidate {
 		// one — warps further behind would receive data long before they
 		// can consume it (it would be evicted or stale by then).
 		looping := pe.seen
-		pe.base = append(pe.base[:0], obs.Addrs...)
+		pe.base = append(pe.base[:0], obs.Addrs...) //caps:alloc-ok base capacity is retained by the table row and bounded by PrefetchMaxAccesses
 		pe.iter = obs.Iter
 		pe.seen = 1 << uint(obs.WarpInCTA)
 		pe.issued = 0
@@ -349,6 +365,7 @@ func (c *CAPS) generateMasked(now int64, pe *perCTAEntry, de *distEntry, allow u
 		pe.issued |= bit
 		dw := int64(w - pe.leadWarp)
 		for _, b := range pe.base {
+			//caps:alloc-ok scratch capacity converges to warps-per-CTA × coalesced width and is retained across calls
 			out = append(out, prefetch.Candidate{
 				Addr:           uint64(int64(b) + dw*de.stride),
 				PC:             pe.pc,

@@ -102,6 +102,13 @@ type Cache struct {
 	mshrs map[uint64]*mshrEntry
 	missQ []*Request
 
+	// entryFree recycles MSHR entries (with their waiter-slice capacity)
+	// freed by Fill, so steady-state misses allocate nothing. A recycled
+	// entry's waiters backing array is only reused by a later Access,
+	// after the FillResult that exposed it has been consumed — both tick
+	// loops drain Waiters before presenting new accesses.
+	entryFree []*mshrEntry
+
 	// protectPrefetched shields prefetched-but-unconsumed lines from
 	// eviction. Only the L1 (where the prefetcher fills and the consumer
 	// reads) uses this; at lower levels a prefetched line may never see
@@ -334,6 +341,7 @@ func NewCacheWithPrefetchPool(cfg config.CacheConfig, protectPrefetched bool, pr
 		prefetchPool:      prefetchPool,
 		sets:              make([][]cacheLine, sets),
 		mshrs:             make(map[uint64]*mshrEntry, cfg.MSHREntries),
+		missQ:             make([]*Request, 0, cfg.MissQueue),
 	}
 	for i := range c.sets {
 		c.sets[i] = make([]cacheLine, cfg.Ways)
@@ -359,6 +367,8 @@ func (c *Cache) setIndex(lineAddr uint64) int {
 func (c *Cache) Config() config.CacheConfig { return c.cfg }
 
 // Probe reports whether the line is present without touching LRU state.
+//
+//caps:hotpath
 func (c *Cache) Probe(lineAddr uint64) bool {
 	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
@@ -384,9 +394,12 @@ func (c *Cache) MissQueueLen() int { return len(c.missQ) }
 // Access presents one request to the cache. On MissNew the request is
 // appended to the miss queue (drain it with PopMiss). On MissMerged the
 // request is parked on the in-flight MSHR and will be returned by Fill.
+//
+//caps:hotpath
 func (c *Cache) Access(now int64, req *Request) AccessResult {
 	if c.sanitize {
-		defer c.audit(now)
+		defer c.audit(now) //caps:alloc-ok sanitizer cordon: auditing runs only under CheckInvariants
+
 	}
 	set := c.sets[c.setIndex(req.LineAddr)]
 	for i := range set {
@@ -405,7 +418,7 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 	}
 	// Miss: merge into an in-flight MSHR if present.
 	if e, ok := c.mshrs[req.LineAddr]; ok {
-		e.waiters = append(e.waiters, req)
+		e.waiters = append(e.waiters, req) //caps:alloc-ok waiter capacity is retained across entry recycling and converges to the peak merge depth
 		res := AccessResult{Outcome: MissMerged}
 		c.sink.MSHRMerge(now, c.sinkDom, c.sinkID, req.LineAddr)
 		if req.Kind == Demand && e.prefetchOnly {
@@ -442,7 +455,8 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 		return AccessResult{Outcome: ResFailQueue}
 	}
 	c.sink.MSHRAlloc(now, c.sinkDom, c.sinkID, req.LineAddr, usePool)
-	e := &mshrEntry{lineAddr: req.LineAddr, waiters: []*Request{req}}
+	e := c.newEntry(req.LineAddr)
+	e.waiters = append(e.waiters, req) //caps:alloc-ok waiter capacity is retained across entry recycling and converges to the peak merge depth
 	if usePool {
 		e.prefetchOnly = true
 		c.prefetchOnly++
@@ -451,8 +465,19 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 		e.prefIssueCycle = req.IssueCycle
 	}
 	c.mshrs[req.LineAddr] = e
-	c.missQ = append(c.missQ, req)
+	c.missQ = append(c.missQ, req) //caps:alloc-ok missQ is preallocated to cfg.MissQueue; the bound check above holds it there
 	return AccessResult{Outcome: MissNew}
+}
+
+// newEntry returns a recycled (or new) MSHR entry with empty waiters.
+func (c *Cache) newEntry(lineAddr uint64) *mshrEntry {
+	if n := len(c.entryFree); n > 0 {
+		e := c.entryFree[n-1]
+		c.entryFree = c.entryFree[:n-1]
+		*e = mshrEntry{lineAddr: lineAddr, waiters: e.waiters[:0]}
+		return e
+	}
+	return &mshrEntry{lineAddr: lineAddr} //caps:alloc-ok free-list warm-up; steady state recycles entries freed by Fill
 }
 
 // PopMiss removes and returns the oldest queued miss, or nil.
@@ -464,7 +489,8 @@ func (c *Cache) PopMiss() *Request {
 	copy(c.missQ, c.missQ[1:])
 	c.missQ = c.missQ[:len(c.missQ)-1]
 	if c.sanitize {
-		c.audit(c.sanitizeLast)
+		c.audit(c.sanitizeLast) //caps:alloc-ok sanitizer cordon: auditing runs only under CheckInvariants
+
 	}
 	return r
 }
@@ -485,14 +511,16 @@ func (c *Cache) PeekMiss() *Request {
 // response was duplicated, misrouted or replayed); it is reported as an
 // invariant.Violation naming the cache level, line address and cycle so the
 // tick loop can abort the run with context instead of panicking.
+//
+//caps:hotpath
 func (c *Cache) Fill(now int64, lineAddr uint64) (FillResult, error) {
 	if c.sanitize {
-		defer c.audit(now)
+		defer c.audit(now) //caps:alloc-ok sanitizer cordon: auditing runs only under CheckInvariants
+
 	}
 	e, ok := c.mshrs[lineAddr]
 	if !ok {
-		return FillResult{}, invariant.Errorf(c.Label(), now,
-			"fill for line %#x without an outstanding MSHR", lineAddr)
+		return FillResult{}, invariant.Errorf(c.Label(), now, "fill for line %#x without an outstanding MSHR", lineAddr) //caps:alloc-ok run-aborting error path: a fill without an MSHR ends the simulation
 	}
 	if e.prefetchOnly {
 		c.prefetchOnly--
@@ -541,6 +569,7 @@ func (c *Cache) Fill(now int64, lineAddr uint64) (FillResult, error) {
 		v.prefIssueCycle = e.prefIssueCycle
 		c.sink.PrefFill(now, c.sinkID, e.prefWarp, e.prefPC, lineAddr)
 	}
+	c.entryFree = append(c.entryFree, e) //caps:alloc-ok free-list capacity converges to the MSHR population
 	return res, nil
 }
 

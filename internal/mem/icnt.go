@@ -12,6 +12,8 @@ type icntPkt struct {
 }
 
 // fifo is a bounded FIFO with latency and per-cycle pop budget.
+//
+//caps:shared interconnect
 type fifo struct {
 	items   []icntPkt
 	cap     int
@@ -23,20 +25,24 @@ type fifo struct {
 }
 
 func newFifo(capacity, latency, width int) *fifo {
-	return &fifo{cap: capacity, latency: int64(latency), width: width}
+	return &fifo{items: make([]icntPkt, 0, capacity), cap: capacity, latency: int64(latency), width: width}
 }
 
 // push enqueues a request; it reports false when the queue is full.
+//
+//caps:shared-sync icnt-queues
 func (f *fifo) push(now int64, r *Request) bool {
 	if len(f.items) >= f.cap {
 		return false
 	}
-	f.items = append(f.items, icntPkt{readyAt: now + f.latency, req: r})
+	f.items = append(f.items, icntPkt{readyAt: now + f.latency, req: r}) //caps:alloc-ok queue is preallocated to its hardware capacity; the full check above bounds it
 	return true
 }
 
 // pop dequeues the oldest request whose latency has elapsed, respecting the
 // per-cycle bandwidth; nil when nothing is deliverable this cycle.
+//
+//caps:shared-sync icnt-queues
 func (f *fifo) pop(now int64) *Request {
 	if len(f.items) == 0 {
 		return nil
@@ -62,6 +68,8 @@ func (f *fifo) len() int { return len(f.items) }
 
 // Interconnect is the full crossbar: one request queue per partition and
 // one response queue per SM.
+//
+//caps:shared interconnect
 type Interconnect struct {
 	toPart []*fifo
 	toSM   []*fifo

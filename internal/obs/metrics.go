@@ -53,6 +53,8 @@ func labelString(labels []Label) string {
 // single-goroutine per run). Like stats.Sim counters, obs counters
 // accumulate monotonically at the collection site; corrections belong in
 // this package behind a documented accessor, never at a hook site.
+//
+//caps:shared observability
 type Counter struct {
 	name   string
 	labels []Label
@@ -60,9 +62,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//caps:shared-sync obs-metrics
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n (n must be non-negative to preserve monotonicity).
+//
+//caps:shared-sync obs-metrics
 func (c *Counter) Add(n int64) { c.v += n }
 
 // Value returns the current count.
@@ -72,6 +78,8 @@ func (c *Counter) Value() int64 { return c.v }
 func (c *Counter) Name() string { return c.name }
 
 // Gauge is a point-in-time value (e.g. final cycle count, queue depth).
+//
+//caps:shared observability
 type Gauge struct {
 	name   string
 	labels []Label
@@ -79,6 +87,8 @@ type Gauge struct {
 }
 
 // Set overwrites the gauge.
+//
+//caps:shared-sync obs-metrics
 func (g *Gauge) Set(v int64) { g.v = v }
 
 // Value returns the current value.
@@ -86,6 +96,8 @@ func (g *Gauge) Value() int64 { return g.v }
 
 // Histogram is a fixed-geometry linear-bucket histogram. Observe is
 // allocation-free: the bucket slice is sized at registration.
+//
+//caps:shared observability
 type Histogram struct {
 	name        string
 	labels      []Label
@@ -97,6 +109,8 @@ type Histogram struct {
 }
 
 // Observe records one sample; negatives clamp to bucket zero.
+//
+//caps:shared-sync obs-metrics
 func (h *Histogram) Observe(v int64) {
 	h.total++
 	h.sum += v

@@ -45,6 +45,8 @@ type chanMetrics struct {
 // Every method is safe on a nil *Sink and returns immediately, which is
 // how disabled observability stays within its <=2% budget: hook sites pay
 // one nil check and nothing else.
+//
+//caps:shared observability
 type Sink struct {
 	cfg   Config
 	reg   *Registry
@@ -210,12 +212,17 @@ func (s *Sink) Attach(c Consumer) {
 	}
 }
 
+// emit is on the hot path: every observability hook funnels through it
+// (or emitStream) once per event, including the per-cycle CycleClass.
+//
+//caps:hotpath
 func (s *Sink) emit(e Event) {
 	if s.trace != nil {
 		s.trace.Append(e)
 	}
 	for _, c := range s.consumers {
-		c.Consume(e)
+		c.Consume(e) //caps:alloc-ok consumers fold events into their own bounded state (profilers, telemetry) //caps:shared-sync obs-consumers
+
 	}
 }
 
@@ -223,9 +230,12 @@ func (s *Sink) emit(e Event) {
 // events (EvCycleClass fires once per SM per cycle) would displace the
 // whole lifecycle history from a bounded trace; profilers fold them
 // instead.
+//
+//caps:hotpath
 func (s *Sink) emitStream(e Event) {
 	for _, c := range s.consumers {
-		c.Consume(e)
+		c.Consume(e) //caps:alloc-ok consumers fold events into their own bounded state (profilers, telemetry) //caps:shared-sync obs-consumers
+
 	}
 }
 
@@ -321,7 +331,8 @@ func (s *Sink) CycleClass(cycle int64, sm int, class CycleClass) {
 	if len(s.cycleStream) > 0 {
 		e := Event{Cycle: cycle, Kind: EvCycleClass, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Arg: uint8(class)}
 		for _, c := range s.cycleStream {
-			c.Consume(e)
+			c.Consume(e) //caps:alloc-ok consumers fold events into their own bounded state (profilers, telemetry) //caps:shared-sync obs-consumers
+
 		}
 	}
 }

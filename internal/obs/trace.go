@@ -228,6 +228,8 @@ type Event struct {
 // Trace is a bounded, append-only event buffer. When the cap is reached,
 // further events are counted but not stored (silent truncation would read
 // as "nothing happened after cycle N"; the exporter surfaces the count).
+//
+//caps:shared observability
 type Trace struct {
 	events  []Event
 	cap     int
@@ -249,12 +251,14 @@ func NewTrace(capEvents int) *Trace {
 }
 
 // Append records one event, or counts it as dropped once the buffer is full.
+//
+//caps:shared-sync obs-trace
 func (t *Trace) Append(e Event) {
 	if len(t.events) >= t.cap {
 		t.dropped++
 		return
 	}
-	t.events = append(t.events, e)
+	t.events = append(t.events, e) //caps:alloc-ok bounded event ring: grows once toward the trace cap, then drops
 }
 
 // Events returns the recorded events in emission order (cycle-ordered: the

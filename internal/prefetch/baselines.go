@@ -25,6 +25,9 @@ type intraEntry struct {
 type Intra struct {
 	table  map[uint64]*intraEntry
 	degree int
+	// scratch is the candidate buffer OnLoad returns; the SM copies
+	// candidates out by value before the next call, so it is reused.
+	scratch []Candidate
 }
 
 // NewIntra builds the INTRA baseline.
@@ -45,7 +48,7 @@ func (p *Intra) OnLoad(obs *Observation) []Candidate {
 	addr := obs.Addrs[0]
 	e, ok := p.table[key]
 	if !ok {
-		p.table[key] = &intraEntry{lastAddr: addr}
+		p.table[key] = &intraEntry{lastAddr: addr} //caps:alloc-ok one entry per (warp slot, PC); the table converges after warm-up
 		return nil
 	}
 	stride := int64(addr) - int64(e.lastAddr)
@@ -60,8 +63,9 @@ func (p *Intra) OnLoad(obs *Observation) []Candidate {
 		return nil
 	}
 	e.hits++
-	var out []Candidate
+	out := p.scratch[:0]
 	for d := 1; d <= p.degree; d++ {
+		//caps:alloc-ok scratch capacity converges to the prefetch degree and is retained across calls
 		out = append(out, Candidate{
 			Addr:           uint64(int64(addr) + int64(d)*stride),
 			PC:             obs.PC,
@@ -70,6 +74,7 @@ func (p *Intra) OnLoad(obs *Observation) []Candidate {
 			GenCycle:       obs.Now,
 		})
 	}
+	p.scratch = out
 	return out
 }
 
@@ -99,6 +104,7 @@ type interEntry struct {
 type Inter struct {
 	table    map[uint32]*interEntry
 	distance int
+	scratch  []Candidate // reused OnLoad result buffer (consumed synchronously)
 }
 
 // NewInter builds the INTER baseline with the paper's implicit prefetch
@@ -114,7 +120,7 @@ func (p *Inter) Name() string { return "inter" }
 func (p *Inter) OnLoad(obs *Observation) []Candidate {
 	e, ok := p.table[obs.PC]
 	if !ok {
-		p.table[obs.PC] = &interEntry{lastWarp: obs.WarpSlot, lastAddr: obs.Addrs[0]}
+		p.table[obs.PC] = &interEntry{lastWarp: obs.WarpSlot, lastAddr: obs.Addrs[0]} //caps:alloc-ok one entry per load PC; the table converges after warm-up
 		return nil
 	}
 	dw := obs.WarpSlot - e.lastWarp
@@ -129,8 +135,9 @@ func (p *Inter) OnLoad(obs *Observation) []Candidate {
 	if !e.valid {
 		return nil
 	}
-	out := make([]Candidate, 0, p.distance)
+	out := p.scratch[:0]
 	for d := 1; d <= p.distance; d++ {
+		//caps:alloc-ok scratch capacity converges to the prefetch distance and is retained across calls
 		out = append(out, Candidate{
 			Addr:           uint64(int64(addr) + int64(d)*e.stride),
 			PC:             obs.PC,
@@ -139,6 +146,7 @@ func (p *Inter) OnLoad(obs *Observation) []Candidate {
 			GenCycle:       obs.Now,
 		})
 	}
+	p.scratch = out
 	return out
 }
 
@@ -193,25 +201,27 @@ func (p *MTA) OnCTALaunch(int) {}
 // --------------------------------------------------------------- NLP ----
 
 // NLP is next-line prefetching (Section III-C): on each demand miss, fetch
-// the next sequential line. Pattern-agnostic; poor timeliness.
-type NLP struct{}
+// the next sequential line. Pattern-agnostic; poor timeliness. The one-slot
+// result buffer is reused: the SM copies the candidate out by value.
+type NLP struct{ out [1]Candidate }
 
 // NewNLP builds the NLP baseline.
-func NewNLP(cfg config.GPUConfig, st *stats.Sim) Prefetcher { return NLP{} }
+func NewNLP(cfg config.GPUConfig, st *stats.Sim) Prefetcher { return &NLP{} }
 
 // Name implements Prefetcher.
-func (NLP) Name() string { return "nlp" }
+func (*NLP) Name() string { return "nlp" }
 
 // OnLoad implements Prefetcher.
-func (NLP) OnLoad(*Observation) []Candidate { return nil }
+func (*NLP) OnLoad(*Observation) []Candidate { return nil }
 
 // OnMiss implements Prefetcher.
-func (NLP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
-	return []Candidate{{Addr: lineAddr + lineBytes, PC: pc, TargetWarpSlot: -1, TargetCTAID: -1, GenCycle: now}}
+func (p *NLP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
+	p.out[0] = Candidate{Addr: lineAddr + lineBytes, PC: pc, TargetWarpSlot: -1, TargetCTAID: -1, GenCycle: now}
+	return p.out[:]
 }
 
 // OnCTALaunch implements Prefetcher.
-func (NLP) OnCTALaunch(int) {}
+func (*NLP) OnCTALaunch(int) {}
 
 // --------------------------------------------------------------- LAP ----
 
@@ -233,6 +243,7 @@ type lapEntry struct {
 // the remaining lines are prefetched.
 type LAP struct {
 	entries []lapEntry
+	scratch []Candidate // reused OnMiss result buffer (consumed synchronously)
 }
 
 // NewLAP builds the LAP baseline.
@@ -260,7 +271,7 @@ func (p *LAP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
 	}
 	if e == nil {
 		if len(p.entries) < cap(p.entries) {
-			p.entries = append(p.entries, lapEntry{block: block})
+			p.entries = append(p.entries, lapEntry{block: block}) //caps:alloc-ok append stays within the preallocated lapTableSize capacity
 			e = &p.entries[len(p.entries)-1]
 		} else {
 			// Evict the least recently used entry.
@@ -280,9 +291,10 @@ func (p *LAP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
 		return nil
 	}
 	e.issued = true
-	var out []Candidate
+	out := p.scratch[:0]
 	for i := uint(0); i < macroLines; i++ {
 		if e.missMask&(1<<i) == 0 {
+			//caps:alloc-ok scratch capacity converges to macroLines and is retained across calls
 			out = append(out, Candidate{
 				Addr:           block*(macroLines*lineBytes) + uint64(i)*lineBytes,
 				PC:             pc,
@@ -292,6 +304,7 @@ func (p *LAP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
 			})
 		}
 	}
+	p.scratch = out
 	return out
 }
 

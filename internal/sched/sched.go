@@ -69,6 +69,8 @@ func (s *LRR) OnActivate(slot int, leading bool) { s.active[slot] = true }
 func (s *LRR) OnFinish(slot int) { s.active[slot] = false }
 
 // Pick implements Scheduler.
+//
+//caps:hotpath
 func (s *LRR) Pick(now int64, v View) int {
 	n := len(s.active)
 	for i := 0; i < n; i++ {
@@ -124,6 +126,8 @@ func (s *GTO) OnFinish(slot int) {
 }
 
 // Pick implements Scheduler.
+//
+//caps:hotpath
 func (s *GTO) Pick(now int64, v View) int {
 	if s.current >= 0 && s.age[s.current] >= 0 && v.Eligible(s.current) {
 		return s.current
@@ -178,6 +182,9 @@ type TwoLevel struct {
 	leading  map[int]bool
 	baseDone map[int]bool // leading warp has issued its first load
 	rr       int          // round-robin cursor within the ready queue
+	// groupCounts is the interleaved variant's per-group occupancy
+	// scratch, preallocated so refill stays off the allocator.
+	groupCounts []int
 
 	// Observability (nil-safe). lastNow is the cycle most recently pushed
 	// via ObsTick (or Pick); OnLongLatency/OnWake have no time parameter,
@@ -209,7 +216,8 @@ func NewTwoLevelInterleaved(readySize, groups int) *TwoLevel {
 		groups = 1
 	}
 	return &TwoLevel{name: "tlv-grouped", readySize: readySize, interleaved: true,
-		groups: groups, leading: map[int]bool{}, baseDone: map[int]bool{}}
+		groups: groups, groupCounts: make([]int, groups),
+		leading: map[int]bool{}, baseDone: map[int]bool{}}
 }
 
 // Name implements Scheduler.
@@ -275,7 +283,10 @@ func (s *TwoLevel) refill(v View) {
 			// Prefer the promotable warp from the least-represented fetch
 			// group (group = slot mod groups), so consecutive warps land
 			// in different scheduling groups.
-			counts := make([]int, s.groups)
+			counts := s.groupCounts
+			for i := range counts {
+				counts[i] = 0
+			}
 			for _, slot := range s.ready {
 				counts[slot%s.groups]++
 			}
@@ -305,9 +316,13 @@ func (s *TwoLevel) refill(v View) {
 		s.pending = s.pending[:len(s.pending)-1]
 		s.sink.SchedPromote(s.lastNow, s.smID, slot)
 		if s.leadingFirst && s.leading[slot] && !s.baseDone[slot] {
-			s.ready = append([]int{slot}, s.ready...)
+			// Front-insert in place: the old prepend built a fresh slice
+			// on every leading-warp promotion.
+			s.ready = append(s.ready, 0) //caps:alloc-ok ready queue capacity converges to readySize
+			copy(s.ready[1:], s.ready)
+			s.ready[0] = slot
 		} else {
-			s.ready = append(s.ready, slot)
+			s.ready = append(s.ready, slot) //caps:alloc-ok ready queue capacity converges to readySize
 		}
 	}
 }
@@ -316,6 +331,8 @@ func (s *TwoLevel) refill(v View) {
 // computed its CTA's base address is tried first (Fig. 8b); otherwise a
 // round-robin cursor spreads issue over the ready queue — the paper
 // prioritizes leading warps only "until they compute the base address".
+//
+//caps:hotpath
 func (s *TwoLevel) Pick(now int64, v View) int {
 	s.lastNow = now
 	s.refill(v)
@@ -353,7 +370,7 @@ func (s *TwoLevel) OnLongLatency(slot int) {
 		return
 	}
 	s.sink.SchedDemote(s.lastNow, s.smID, slot)
-	s.pending = append(s.pending, slot)
+	s.pending = append(s.pending, slot) //caps:alloc-ok pending queue capacity converges to the SM's warp-slot count
 }
 
 // OnWake implements Scheduler: with wake-up enabled, promote the slot from
@@ -379,9 +396,9 @@ func (s *TwoLevel) OnWake(slot int) bool {
 		copy(s.ready[victimIdx:], s.ready[victimIdx+1:])
 		s.ready = s.ready[:len(s.ready)-1]
 		s.sink.SchedDemote(s.lastNow, s.smID, victim)
-		s.pending = append(s.pending, victim)
+		s.pending = append(s.pending, victim) //caps:alloc-ok pending queue capacity converges to the SM's warp-slot count
 	}
-	s.ready = append(s.ready, slot)
+	s.ready = append(s.ready, slot) //caps:alloc-ok ready queue capacity converges to readySize
 	return true
 }
 

@@ -54,6 +54,15 @@ type SM struct {
 	prefIn map[uint64]bool // lines queued in prefQ
 	storeQ []*mem.Request
 
+	// reqFree and lsuFree recycle the SM's own request and LSU-group
+	// objects so the steady-state Tick path allocates nothing: every fill
+	// waiter returned by acceptResponses is a demand or prefetch request
+	// this SM created, and an LSU group dies when its last coalesced
+	// access retires. Store requests are the exception — they retire
+	// inside the memory partition and never come back.
+	reqFree []*mem.Request
+	lsuFree []*lsuGroup
+
 	activeCTAs int
 	liveWarps  int
 
@@ -121,7 +130,10 @@ func newSM(id int, cfg config.GPUConfig, k *kernels.Kernel, sc sched.Scheduler,
 		pref:        pf,
 		l1:          mem.NewCacheWithPrefetchPool(cfg.L1, true, cfg.PrefetchBufferEntries),
 		ic:          ic,
+		lsuQ:        make([]*lsuGroup, 0, lsuQueueCap),
+		prefQ:       make([]prefetch.Candidate, 0, prefQueueCap),
 		prefIn:      make(map[uint64]bool),
+		storeQ:      make([]*mem.Request, 0, storeQueueCap),
 		onCTADone:   onCTADone,
 	}
 	for i := range sm.warps {
@@ -232,6 +244,13 @@ func (sm *SM) Prefetcher() prefetch.Prefetcher { return sm.pref }
 // violation detected this cycle (always nil unless Config.CheckInvariants
 // is set, except for fills without an MSHR, which are structural bugs and
 // always surface).
+//
+// Tick is the per-cycle hot path (hotlint root) and the unit the future
+// parallel core runs concurrently across SMs (isolint root): everything
+// it reaches must be allocation-free and write only SM-owned state, with
+// every exception annotated and ratcheted.
+//
+//caps:hotpath //caps:isolated
 func (sm *SM) Tick(now int64) (int, error) {
 	sm.nowCache = now
 	sm.memStallEv = false
@@ -250,14 +269,52 @@ func (sm *SM) Tick(now int64) (int, error) {
 	}
 	sm.admitPrefetches(now)
 	if sm.sanitize {
-		if err := sm.checkInvariants(now); err != nil {
+		if err := sm.checkInvariants(now); err != nil { //caps:alloc-ok sanitizer cordon: the audit runs only under CheckInvariants
+
 			return issued, err
 		}
 	}
 	return issued, nil
 }
 
+// newRequest returns a zeroed request from the SM's free list, minting a
+// new one only while the list warms up.
+func (sm *SM) newRequest() *mem.Request {
+	if n := len(sm.reqFree); n > 0 {
+		r := sm.reqFree[n-1]
+		sm.reqFree = sm.reqFree[:n-1]
+		return r
+	}
+	return &mem.Request{} //caps:alloc-ok free-list warm-up; steady state recycles dead requests
+}
+
+// recycleRequest returns a dead request (no cache, queue or interconnect
+// reference left) to the free list.
+func (sm *SM) recycleRequest(r *mem.Request) {
+	sm.reqFree = append(sm.reqFree, r) //caps:alloc-ok free-list capacity converges to the peak in-flight request count
+}
+
+// newLSUGroup returns a group from the free list, keeping the address
+// buffer capacity of recycled groups.
+func (sm *SM) newLSUGroup() *lsuGroup {
+	if n := len(sm.lsuFree); n > 0 {
+		g := sm.lsuFree[n-1]
+		sm.lsuFree = sm.lsuFree[:n-1]
+		g.warp, g.idx, g.pc = nil, 0, 0
+		return g
+	}
+	return &lsuGroup{} //caps:alloc-ok free-list warm-up; steady state recycles retired groups
+}
+
+// recycleLSUGroup returns a retired group to the free list.
+func (sm *SM) recycleLSUGroup(g *lsuGroup) {
+	g.warp = nil
+	sm.lsuFree = append(sm.lsuFree, g) //caps:alloc-ok free-list capacity converges to lsuQueueCap
+}
+
 // acceptResponses drains fills returning from the interconnect.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) acceptResponses(now int64) error {
 	for i := 0; i < respPerCycle; i++ {
 		r := sm.ic.PopForSM(now, sm.id)
@@ -302,11 +359,18 @@ func (sm *SM) acceptResponses(now int64) error {
 				}
 			}
 		}
+		// Every waiter is a request this SM minted (the response r itself
+		// is the first waiter); nothing downstream references them now.
+		for _, w := range fill.Waiters {
+			sm.recycleRequest(w)
+		}
 	}
 	return nil
 }
 
 // drainStores pushes buffered stores into the interconnect.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) drainStores(now int64) {
 	for len(sm.storeQ) > 0 {
 		r := sm.storeQ[0]
@@ -320,13 +384,16 @@ func (sm *SM) drainStores(now int64) {
 }
 
 // pumpLSU presents the head load group's next coalesced access to L1.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) pumpLSU(now int64) {
 	if len(sm.lsuQ) == 0 {
 		return
 	}
 	g := sm.lsuQ[0]
 	addr := g.addrs[g.idx]
-	req := &mem.Request{
+	req := sm.newRequest()
+	*req = mem.Request{
 		LineAddr:   addr,
 		Kind:       mem.Demand,
 		SMID:       sm.id,
@@ -340,6 +407,7 @@ func (sm *SM) pumpLSU(now int64) {
 	res := sm.l1.Access(now, req)
 	switch res.Outcome {
 	case mem.Hit:
+		sm.recycleRequest(req) // hits are never parked on an MSHR
 		sm.st.DemandHits++
 		if res.FirstUseOfPrefetch {
 			sm.st.PrefUseful++
@@ -368,6 +436,7 @@ func (sm *SM) pumpLSU(now int64) {
 			sm.snk.PrefLate(now, sm.id, res.PrefPC, addr)
 		}
 	case mem.ResFailMSHR, mem.ResFailQueue:
+		sm.recycleRequest(req) // rejected outright; the access replays
 		sm.st.ReservationFails++
 		sm.st.MemStalls++
 		sm.memStallEv = true
@@ -378,10 +447,13 @@ func (sm *SM) pumpLSU(now int64) {
 	if g.idx == len(g.addrs) {
 		copy(sm.lsuQ, sm.lsuQ[1:])
 		sm.lsuQ = sm.lsuQ[:len(sm.lsuQ)-1]
+		sm.recycleLSUGroup(g)
 	}
 }
 
 // drainMisses moves L1 miss-queue entries into the interconnect.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) drainMisses(now int64) {
 	for {
 		head := sm.l1.PeekMiss()
@@ -397,6 +469,8 @@ func (sm *SM) drainMisses(now int64) {
 }
 
 // issue asks the scheduler for warps and executes their next instruction.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) issue(now int64) int {
 	issued := 0
 	for i := 0; i < sm.cfg.IssueWidth; i++ {
@@ -459,6 +533,8 @@ func (sm *SM) classifyCycle(issued int) obs.CycleClass {
 
 // execute runs one instruction of the warp; it returns false when the
 // instruction could not issue (structural stall) so the warp retries.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) execute(now int64, w *warpState) bool {
 	in := &sm.kernel.Program[w.pc]
 	switch in.Kind {
@@ -486,7 +562,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		if w.loopDepth < len(w.loopStack) {
 			w.loopStack[w.loopDepth] = loopFrame{bodyStart: w.pc + 1, remaining: in.Iters}
 		} else {
-			w.loopStack = append(w.loopStack, loopFrame{bodyStart: w.pc + 1, remaining: in.Iters})
+			w.loopStack = append(w.loopStack, loopFrame{bodyStart: w.pc + 1, remaining: in.Iters}) //caps:alloc-ok warp loop stacks retain capacity across CTAs; grows only to the peak nest depth
 		}
 		w.loopDepth++
 		w.pc++
@@ -530,8 +606,12 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		spec := &sm.kernel.Loads[in.Load]
 		iter := w.iterCount[in.Load]
 		w.iterCount[in.Load]++
-		addrs := sm.genAddrs(w, in.Load, iter)
+		g := sm.newLSUGroup()
+		g.warp, g.pc = w, pcOf(in.Load)
+		g.addrs = sm.genAddrs(g.addrs[:0], w, in.Load, iter)
+		addrs := g.addrs
 		if len(addrs) == 0 {
+			sm.recycleLSUGroup(g)
 			w.pc++
 			return true
 		}
@@ -550,13 +630,14 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 			Indirect:    spec.Indirect,
 		}
 		if sm.Tracer != nil {
-			sm.Tracer(&obs)
+			sm.Tracer(&obs) //caps:alloc-ok analysis hook, set only by the Fig.1 trace harness //caps:shared-sync trace-hook
+
 		}
 		for _, c := range sm.pref.OnLoad(&obs) {
 			sm.enqueuePrefetch(now, c)
 		}
 		w.outstanding += len(addrs)
-		sm.lsuQ = append(sm.lsuQ, &lsuGroup{warp: w, addrs: addrs, pc: pcOf(in.Load)})
+		sm.lsuQ = append(sm.lsuQ, g) //caps:alloc-ok lsuQ is preallocated to lsuQueueCap; the cap check above bounds it
 		if in.Blocking {
 			// A dependent use follows immediately: the warp stalls on the
 			// long-latency load and leaves the two-level ready queue.
@@ -568,7 +649,8 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 
 	case kernels.OpStore:
 		iter := w.iterCount[in.Load]
-		addrs := sm.genAddrs(w, in.Load, iter)
+		addrs := sm.genAddrs(sm.addrBuf[:0], w, in.Load, iter)
+		sm.addrBuf = addrs[:0]
 		if len(sm.storeQ)+len(addrs) > storeQueueCap {
 			sm.st.MemStalls++
 			sm.memStallEv = true
@@ -576,6 +658,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 		}
 		w.iterCount[in.Load]++
 		for _, a := range addrs {
+			//caps:alloc-ok store requests retire silently inside the DRAM channel and cannot be recycled per SM
 			sm.storeQ = append(sm.storeQ, &mem.Request{
 				LineAddr:   a,
 				Kind:       mem.Store,
@@ -608,10 +691,13 @@ func (sm *SM) addrCtx(w *warpState, load int, iter int64) kernels.AddrCtx {
 	}
 }
 
-// genAddrs produces deduplicated line addresses for one load execution.
-func (sm *SM) genAddrs(w *warpState, loadIdx int, iter int64) []uint64 {
-	raw := sm.kernel.Loads[loadIdx].Gen(sm.addrCtx(w, loadIdx, iter))
-	out := sm.addrBuf[:0]
+// genAddrs produces deduplicated line addresses for one load execution,
+// writing them into dst (typically a recycled LSU-group buffer) so the
+// per-issue copy the old signature forced is gone.
+func (sm *SM) genAddrs(dst []uint64, w *warpState, loadIdx int, iter int64) []uint64 {
+	raw := sm.kernel.Loads[loadIdx].Gen(sm.addrCtx(w, loadIdx, iter)) //caps:alloc-ok addrgen closures own their result buffers (kernels API) //caps:shared-sync addrgen
+
+	out := dst[:0]
 	for _, a := range raw {
 		a = mem.LineAddrOf(a, sm.cfg.L1.LineBytes)
 		dup := false
@@ -622,15 +708,16 @@ func (sm *SM) genAddrs(w *warpState, loadIdx int, iter int64) []uint64 {
 			}
 		}
 		if !dup {
-			out = append(out, a)
+			out = append(out, a) //caps:alloc-ok capacity converges to the warp's coalesced width and is retained by the group buffer
 		}
 	}
-	sm.addrBuf = out
-	return append([]uint64(nil), out...)
+	return out
 }
 
 // finishWarp retires a warp; when the whole CTA is done the GPU is told so
 // it can dispatch the next CTA to this SM (demand-driven distribution).
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) finishWarp(w *warpState) {
 	w.finished = true
 	w.active = false
@@ -646,13 +733,16 @@ func (sm *SM) finishWarp(w *warpState) {
 		sm.st.CTAsDone++
 		sm.snk.CTAFinish(sm.nowCache, sm.id, w.ctaID)
 		if sm.onCTADone != nil {
-			sm.onCTADone(sm.id)
+			sm.onCTADone(sm.id) //caps:alloc-ok CTA dispatch runs at CTA, not cycle, granularity //caps:shared-sync cta-dispatch
+
 		}
 	}
 }
 
 // enqueuePrefetch admits a candidate into the bounded prefetch queue with
 // line-level deduplication.
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 	c.Addr = mem.LineAddrOf(c.Addr, sm.cfg.L1.LineBytes)
 	if c.GenCycle == 0 {
@@ -683,7 +773,7 @@ func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 		return
 	}
 	sm.prefIn[c.Addr] = true
-	sm.prefQ = append(sm.prefQ, c)
+	sm.prefQ = append(sm.prefQ, c) //caps:alloc-ok prefQ is preallocated to prefQueueCap; the bound check above holds it there
 }
 
 // admitPrefetches lets queued prefetches access L1 at lower priority than
@@ -691,6 +781,8 @@ func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 // MSHRs, stale candidates are discarded, and a candidate whose target warp
 // slot has been re-assigned to another CTA is dead (its prediction was for
 // the departed CTA).
+//
+//caps:shared-sync stats-reduce
 func (sm *SM) admitPrefetches(now int64) {
 	admitted := 0
 	for len(sm.prefQ) > 0 && admitted < prefPerCycle {
@@ -738,7 +830,8 @@ func (sm *SM) admitPrefetches(now int64) {
 			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropSetFull)
 			continue
 		}
-		req := &mem.Request{
+		req := sm.newRequest()
+		*req = mem.Request{
 			LineAddr:   c.Addr,
 			Kind:       mem.Prefetch,
 			SMID:       sm.id,
@@ -755,8 +848,16 @@ func (sm *SM) admitPrefetches(now int64) {
 			sm.st.PrefToMemory++
 			admitted++
 			sm.snk.PrefAdmit(now, sm.id, c.TargetWarpSlot, c.TargetCTAID, c.PC, c.Addr)
+		case mem.MissMerged:
+			// Defensive: the InFlight guard above makes a merge unreachable,
+			// but a merged request is parked on the MSHR and must not be
+			// recycled here.
+			sm.st.PrefDropped++
+			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropRejected)
 		default:
-			// Present, merged or rejected: the prefetch does no work.
+			// Present or rejected: the prefetch does no work and the cache
+			// holds no reference.
+			sm.recycleRequest(req)
 			sm.st.PrefDropped++
 			sm.snk.PrefDrop(now, sm.id, c.TargetCTAID, c.PC, c.Addr, obs.DropRejected)
 		}

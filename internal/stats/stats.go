@@ -14,7 +14,11 @@ import (
 	"strings"
 )
 
-// Sim aggregates every counter for one simulation run.
+// Sim aggregates every counter for one simulation run. One instance is
+// shared by every SM and memory partition of the GPU, which makes each
+// counter bump a cross-SM write the parallel core must serialize.
+//
+//caps:shared run-stats
 type Sim struct {
 	// Progress.
 	Cycles       int64
@@ -86,6 +90,8 @@ type Sim struct {
 // leaving it counted would double-bill the replayed access. Corrections
 // live here as accessors so that counters stay monotonic at every call
 // site outside this package (simcheck's statlint pass enforces that).
+//
+//caps:shared-sync stats-reduce
 func (s *Sim) UncountDemandReplay() {
 	s.DemandAccesses--
 	s.L1Accesses--
