@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke bench-json check bench
+.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke bench-json speed-bench check bench
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Fast race-detector pass over the packages the parallel core rewrite will
-# touch: the tick path and everything the isolint inventory marks as
-# GPU-shared. Full-module race coverage stays in `make race` / CI.
+# Fast race-detector pass over the packages the parallel core touches: the
+# tick path and everything the isolint inventory marks as GPU-shared, plus
+# one end-to-end multi-worker run so the barrier itself executes under the
+# race detector. Full-module race coverage stays in `make race` / CI.
 race-smoke:
 	$(GO) test -race ./internal/sim ./internal/mem ./internal/sched \
 		./internal/core ./internal/prefetch ./internal/obs ./internal/stats
+	GOMAXPROCS=4 $(GO) run -race ./cmd/capsim -bench MM -prefetch caps \
+		-insts 50000 -workers 4 -idle-skip
 
 # Replays a benchmark subset twice with the invariant sanitizer on and
 # compares state hashes (see internal/invariant/determinism).
@@ -70,6 +73,17 @@ flight-smoke:
 # a baseline, turning the committed numbers into a regression gate.
 bench-json:
 	$(GO) run ./cmd/capsweep -insts 200000 -bench-json BENCH_caps.json
+
+# Regenerates BENCH_speed.json: serial-vs-tuned wall-clock for every
+# benchmark (the tuned side runs 8 tick workers with idle-cycle skip; both
+# sides must finish with identical cycle/instruction counts or the build
+# fails). `capsprof speed-diff` against the committed copy gates a >20%
+# speedup regression — the comparison is on speedup ratios, so it holds
+# across machines of different absolute speed.
+speed-bench:
+	$(GO) run ./cmd/capsweep -insts 200000 -workers 8 -idle-skip \
+		-speed-json /tmp/caps-speed.json
+	$(GO) run ./cmd/capsprof speed-diff BENCH_speed.json /tmp/caps-speed.json
 
 check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke
 

@@ -179,8 +179,8 @@ func cmdBisect(args []string) int {
 
 	cfg := config.Default()
 	cfg.MaxInsts = *insts
-	a := determinism.Side{Label: "baseline", Cfg: cfg, Opt: sim.Options{Prefetcher: *pf}}
-	b := determinism.Side{Label: "perturbed", Cfg: cfg, Opt: sim.Options{Prefetcher: *pf, PerturbPrefetchAt: *perturb}}
+	a := determinism.Side{Label: "baseline", Cfg: cfg, Opts: []sim.Option{sim.WithPrefetcher(*pf)}}
+	b := determinism.Side{Label: "perturbed", Cfg: cfg, Opts: []sim.Option{sim.WithPrefetcher(*pf), sim.WithPerturbPrefetchAt(*perturb)}}
 
 	d, err := determinism.Bisect(*bench, a, b, *every)
 	if err != nil {
@@ -235,13 +235,12 @@ func cmdSmoke(args []string) int {
 	}
 
 	var dump *flight.Dump
-	opt := sim.Options{
-		Prefetcher:      "caps",
-		Flight:          sim.NewFlightRecorder(cfg),
-		OnDump:          func(d *flight.Dump) { dump = d },
-		InjectViolation: 20_000,
-	}
-	g, err := sim.New(cfg, k, opt)
+	g, err := sim.New(cfg, k,
+		sim.WithPrefetcher("caps"),
+		sim.WithFlight(sim.NewFlightRecorder(cfg)),
+		sim.WithOnDump(func(d *flight.Dump) { dump = d }),
+		sim.WithInjectViolation(20_000),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capscope smoke:", err)
 		return 1

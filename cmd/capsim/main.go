@@ -25,6 +25,7 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/energy"
+	"caps/internal/experiments"
 	"caps/internal/flight"
 	"caps/internal/kernels"
 	"caps/internal/obs"
@@ -64,6 +65,7 @@ func run() int {
 		watchdog  = flag.Int64("watchdog", 0, "abort when no instruction retires for this many cycles (0 = default, negative = off)")
 		beat      = flag.Int64("beat", 0, "progress-beat / watchdog-poll period in cycles, rounded to a power of two (0 = default 8192)")
 	)
+	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := config.Default()
@@ -147,21 +149,22 @@ func run() int {
 			Scheduler: string(cfg.Scheduler), MaxInsts: cfg.MaxInsts}
 		snk.Attach(telemetry.NewRunProgress(srv.Hub(), meta, snk.Registry()))
 	}
-	opt := sim.Options{Prefetcher: *pf, Obs: snk,
-		ProgressEvery: *beat, WatchdogCycles: *watchdog}
+	opts := []sim.Option{sim.WithPrefetcher(*pf), sim.WithObs(snk),
+		sim.WithProgressEvery(*beat), sim.WithWatchdogCycles(*watchdog)}
+	opts = append(opts, sf.SimOptions()...)
 	var dumpPath string
 	if *flightOut != "" {
-		opt.Flight = sim.NewFlightRecorder(cfg)
-		opt.OnDump = func(d *flight.Dump) {
-			if err := d.WriteFile(*flightOut); err != nil {
-				fmt.Fprintln(os.Stderr, "capsim: flight:", err)
-				return
-			}
-			dumpPath = *flightOut
-			fmt.Fprintf(os.Stderr, "capsim: flight dump (%s) written to %s\n", d.Header.Reason, *flightOut)
-		}
+		opts = append(opts, sim.WithFlight(sim.NewFlightRecorder(cfg)),
+			sim.WithOnDump(func(d *flight.Dump) {
+				if err := d.WriteFile(*flightOut); err != nil {
+					fmt.Fprintln(os.Stderr, "capsim: flight:", err)
+					return
+				}
+				dumpPath = *flightOut
+				fmt.Fprintf(os.Stderr, "capsim: flight dump (%s) written to %s\n", d.Header.Reason, *flightOut)
+			}))
 	}
-	g, err := sim.New(cfg, k, opt)
+	g, err := sim.New(cfg, k, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsim:", err)
 		return 1

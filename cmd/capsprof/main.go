@@ -8,9 +8,13 @@
 //	capsprof diff base.profile.json cur.profile.json [-ipc 0.01] [-stall 0.01]
 //	capsprof diff BENCH_caps.json cur.profile.json
 //	capsprof diff BENCH_caps.json BENCH_new.json
+//	capsprof speed-diff BENCH_speed.json BENCH_speed_new.json [-tolerance 0.2]
 //
 // diff exits 1 when any metric regresses past its threshold, 0 otherwise —
 // wire it into CI after a sweep to turn perf eyeballing into a gate.
+// speed-diff does the same for simulator wall-clock speedups (capsweep
+// -speed-json): it compares base-vs-tuned speedup ratios, so the gate
+// holds even when the two reports come from machines of different speeds.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"caps/internal/experiments"
 	"caps/internal/profile"
 )
 
@@ -35,6 +40,8 @@ func run(args []string) int {
 		return report(args[1:])
 	case "diff":
 		return diff(args[1:])
+	case "speed-diff":
+		return speedDiff(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return 0
@@ -70,6 +77,11 @@ func usage() {
   capsprof diff <base> <current> [-ipc frac] [-stall frac] [-coverage abs] [-accuracy abs]
       compare two profiles (or a BENCH_caps.json baseline against a profile
       or another bench report) and exit 1 on any regression past thresholds
+
+  capsprof speed-diff <base-speed.json> <current-speed.json> [-tolerance frac]
+      compare two capsweep -speed-json reports and exit 1 when any
+      benchmark's (or the aggregate) serial-vs-tuned speedup fell more
+      than the tolerance fraction below the baseline's
 `)
 }
 
@@ -164,6 +176,36 @@ func diff(args []string) int {
 	fmt.Printf("capsprof diff: %d regression(s):\n", len(regs))
 	for _, r := range regs {
 		fmt.Println("  " + r.String())
+	}
+	return 1
+}
+
+func speedDiff(args []string) int {
+	fs := flag.NewFlagSet("speed-diff", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 0.20, "max fractional speedup drop before failing")
+	pos := parseArgs(fs, args)
+	if len(pos) != 2 {
+		fmt.Fprintln(os.Stderr, "capsprof speed-diff: need <base> and <current> BENCH_speed.json paths")
+		return 2
+	}
+	base, err := experiments.ReadSpeedReport(pos[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsprof:", err)
+		return 1
+	}
+	cur, err := experiments.ReadSpeedReport(pos[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capsprof:", err)
+		return 1
+	}
+	msgs := experiments.DiffSpeed(base, cur, *tol)
+	if len(msgs) == 0 {
+		fmt.Printf("capsprof speed-diff: no regressions (aggregate %.2fx, baseline %.2fx)\n", cur.Speedup, base.Speedup)
+		return 0
+	}
+	fmt.Printf("capsprof speed-diff: %d regression(s):\n", len(msgs))
+	for _, m := range msgs {
+		fmt.Println("  " + m)
 	}
 	return 1
 }

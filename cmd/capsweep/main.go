@@ -43,22 +43,41 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "write a Chrome trace + metrics CSV per run into this directory")
 		profileDir = flag.String("profile-dir", "", "write a capsprof profile JSON per run into this directory")
 		benchJSON  = flag.String("bench-json", "", "run the CAPS suite and write BENCH_caps.json-style metrics to this file, then exit")
+		speedJSON  = flag.String("speed-json", "", "time every benchmark serial-vs-tuned (-workers/-idle-skip), verify identical stats, write BENCH_speed.json-style timings to this file, then exit")
 		serveAddr  = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the sweep runs")
 		storeDir   = flag.String("store", "", "record every completed run (stats + profile) into this run store directory (see capsd)")
 		flightDir  = flag.String("flight-dir", "", "attach a flight recorder to every run; a run that dies leaves <dir>/<run>.flight.jsonl (see capscope)")
 	)
+	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := config.Default()
 	if *insts > 0 {
 		cfg.MaxInsts = *insts
 	}
-	var opts []experiments.Option
-	if *par > 0 {
-		opts = append(opts, experiments.WithParallelism(*par))
-	}
+	var benchList []string
 	if *benches != "" {
-		opts = append(opts, experiments.WithBenches(strings.Split(*benches, ",")))
+		benchList = strings.Split(*benches, ",")
+	}
+	if *speedJSON != "" {
+		rep, err := experiments.BuildSpeedReport(cfg, benchList, sf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteFile(*speedJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks, aggregate speedup %.2fx at workers=%d idle-skip=%v)\n",
+			*speedJSON, len(rep.Entries), rep.Speedup, rep.Workers, rep.IdleSkip)
+		return
+	}
+	// -workers/-idle-skip reach every run; suite parallelism derates to
+	// GOMAXPROCS/workers unless -par pins it explicitly.
+	opts := sf.SuiteOptions(*par)
+	if len(benchList) > 0 {
+		opts = append(opts, experiments.WithBenches(benchList))
 	}
 	if *traceDir != "" || *profileDir != "" {
 		for _, dir := range []string{*traceDir, *profileDir} {

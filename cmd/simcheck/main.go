@@ -216,9 +216,9 @@ func checkDeterminism(benches []string, insts, every int64) int {
 			continue
 		}
 		for _, pf := range []string{"caps", "none"} {
-			opt := sim.Options{Prefetcher: pf, Scheduler: determinism.SchedulerFor(pf)}
+			opt := []sim.Option{sim.WithPrefetcher(pf), sim.WithScheduler(determinism.SchedulerFor(pf))}
 			if every > 0 {
-				n, h, err := determinism.CheckSeries(cfg, b, opt, every)
+				n, h, err := determinism.CheckSeries(cfg, b, every, opt...)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "simcheck: %s/%s: %v\n", b, pf, err)
 					failed = true
@@ -227,7 +227,7 @@ func checkDeterminism(benches []string, insts, every int64) int {
 				fmt.Printf("%-6s %-5s reproducible (%d checkpoints, state hash %#016x)\n", b, pf, n, h)
 				continue
 			}
-			h, err := determinism.Check(cfg, b, opt)
+			h, err := determinism.Check(cfg, b, opt...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "simcheck: %s/%s: %v\n", b, pf, err)
 				failed = true

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"caps/internal/config"
+	"caps/internal/kernels"
+	"caps/internal/sim"
+)
+
+// SpeedEntry is one benchmark's base-vs-tuned wall-clock pairing. Cycles
+// and Instructions are recorded once because the harness REQUIRES them to
+// be identical across the pair — a tuned run that simulates a different
+// machine history is a correctness bug, not a speedup.
+type SpeedEntry struct {
+	Bench        string  `json:"bench"`
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	BaseMS       float64 `json:"base_ms"`
+	TunedMS      float64 `json:"tuned_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// SpeedReport is the committed BENCH_speed.json artifact: per-benchmark
+// wall-clock for the serial configuration (workers=1, no idle skip)
+// against the tuned one, plus the aggregate speedup. `capsprof speed-diff`
+// compares the Speedup columns of two reports, so the gate is robust to
+// the absolute machine speed of whoever regenerates the file.
+type SpeedReport struct {
+	Workers  int          `json:"workers"`
+	IdleSkip bool         `json:"idle_skip"`
+	MaxInsts int64        `json:"max_insts"`
+	BaseMS   float64      `json:"base_ms"`
+	TunedMS  float64      `json:"tuned_ms"`
+	Speedup  float64      `json:"speedup"`
+	Entries  []SpeedEntry `json:"entries"`
+}
+
+// timedRun executes one benchmark on the paper's CAPS configuration and
+// returns its final cycle/instruction counts plus the wall-clock cost.
+func timedRun(cfg config.GPUConfig, bench string, opts ...sim.Option) (cycles, insts int64, ms float64, err error) {
+	k, err := kernels.ByAbbr(bench)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	opts = append(opts[:len(opts):len(opts)], sim.WithPrefetcher("caps"))
+	g, err := sim.New(cfg, k, opts...)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("experiments: %s: %w", bench, err)
+	}
+	start := time.Now() //simcheck:allow detlint — wall time is the measurement here, it never reaches sim state
+	st, err := g.Run()
+	ms = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("experiments: %s: %w", bench, err)
+	}
+	return st.Cycles, st.Instructions, ms, nil
+}
+
+// BuildSpeedReport times every benchmark twice — once serial (workers=1,
+// no idle skip), once with the flag-selected tuning — and verifies the
+// pair finished with bit-identical cycle and instruction counts before
+// recording the speedup. benches empty means the full Table IV set.
+func BuildSpeedReport(cfg config.GPUConfig, benches []string, f *SimFlags) (*SpeedReport, error) {
+	if len(benches) == 0 {
+		for _, k := range kernels.All() {
+			benches = append(benches, k.Abbr)
+		}
+	}
+	cfg = config.Derive(cfg, config.Overrides{Scheduler: SchedulerFor("caps")})
+	rep := &SpeedReport{Workers: f.Workers, IdleSkip: f.IdleSkip, MaxInsts: cfg.MaxInsts}
+	for _, b := range benches {
+		bc, bi, bms, err := timedRun(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		tc, ti, tms, err := timedRun(cfg, b, f.SimOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		if bc != tc || bi != ti {
+			return nil, fmt.Errorf("experiments: %s: tuned run diverged from serial: cycles %d vs %d, instructions %d vs %d (workers=%d idleSkip=%v)",
+				b, bc, tc, bi, ti, f.Workers, f.IdleSkip)
+		}
+		e := SpeedEntry{Bench: b, Cycles: bc, Instructions: bi, BaseMS: bms, TunedMS: tms}
+		if tms > 0 {
+			e.Speedup = bms / tms
+		}
+		rep.Entries = append(rep.Entries, e)
+		rep.BaseMS += bms
+		rep.TunedMS += tms
+	}
+	if rep.TunedMS > 0 {
+		rep.Speedup = rep.BaseMS / rep.TunedMS
+	}
+	return rep, nil
+}
+
+// WriteFile persists the report as indented JSON (the committed artifact).
+func (r *SpeedReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSpeedReport loads a BENCH_speed.json produced by WriteFile.
+func ReadSpeedReport(path string) (*SpeedReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SpeedReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// DiffSpeed compares two speed reports and returns one message per
+// regression: a benchmark (or the aggregate) whose speedup fell more than
+// tolerance (a fraction, e.g. 0.2) below the baseline's. Speedups are
+// ratios of a same-process pair, so the comparison survives the two
+// reports having been generated on machines of different absolute speed.
+// Benchmarks present only in the baseline are also reported.
+func DiffSpeed(base, cur *SpeedReport, tolerance float64) []string {
+	var msgs []string
+	curBy := make(map[string]SpeedEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curBy[e.Bench] = e
+	}
+	for _, b := range base.Entries {
+		c, ok := curBy[b.Bench]
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("%s: present in baseline but missing from current report", b.Bench))
+			continue
+		}
+		if c.Speedup < b.Speedup*(1-tolerance) {
+			msgs = append(msgs, fmt.Sprintf("%s: speedup regressed %.2fx -> %.2fx (%.0f%% tolerance)",
+				b.Bench, b.Speedup, c.Speedup, tolerance*100))
+		}
+	}
+	if cur.Speedup < base.Speedup*(1-tolerance) {
+		msgs = append(msgs, fmt.Sprintf("aggregate: speedup regressed %.2fx -> %.2fx (%.0f%% tolerance)",
+			base.Speedup, cur.Speedup, tolerance*100))
+	}
+	return msgs
+}

@@ -88,8 +88,10 @@ type Suite struct {
 	flightErr func(RunKey, error)
 
 	// simOpt decorators (WithSimOptions) tune each run's sim.Options after
-	// the suite has filled in the prefetcher, sink, and flight recorder.
-	simOpt []func(RunKey, *sim.Options)
+	// the suite has filled in the prefetcher, sink, and flight recorder;
+	// runOpts (WithRunOptions) are functional options appended after them.
+	simOpt  []func(RunKey, *sim.Options)
+	runOpts []sim.Option
 
 	// stopped flips when Interrupt is called; running tracks in-flight
 	// GPUs so the interrupt can reach them.
@@ -240,6 +242,13 @@ func WithSimOptions(fn func(RunKey, *sim.Options)) Option {
 	return func(s *Suite) { s.simOpt = append(s.simOpt, fn) }
 }
 
+// WithRunOptions appends functional simulator options (sim.WithWorkers,
+// sim.WithIdleSkip, ...) to every run. They apply after the suite's own
+// settings and any WithSimOptions decorators, so they win conflicts.
+func WithRunOptions(opts ...sim.Option) Option {
+	return func(s *Suite) { s.runOpts = append(s.runOpts, opts...) }
+}
+
 // NewSuite creates a suite over the given base configuration.
 func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
 	s := &Suite{
@@ -338,7 +347,7 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 	for _, fn := range s.simOpt {
 		fn(k, &opt)
 	}
-	g, err := sim.New(s.configFor(k), kernel, opt)
+	g, err := sim.New(s.configFor(k), kernel, append([]sim.Option{opt}, s.runOpts...)...)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, err)
 	}

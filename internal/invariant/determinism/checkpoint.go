@@ -23,7 +23,7 @@ type Checkpoint struct {
 type Side struct {
 	Label string
 	Cfg   config.GPUConfig
-	Opt   sim.Options
+	Opts  []sim.Option
 }
 
 // Divergence is a localized first point of disagreement between two runs.
@@ -43,7 +43,7 @@ type Divergence struct {
 }
 
 // ceilPow2 rounds v up to a power of two (minimum def), mirroring how
-// sim.Options.ProgressEvery is quantized — the checkpoint clock and the
+// sim.WithProgressEvery is quantized — the checkpoint clock and the
 // progress beat share a base so one mask test serves both.
 func ceilPow2(v, def int64) int64 {
 	if v <= 0 {
@@ -63,12 +63,12 @@ type runner struct {
 	cfg config.GPUConfig
 }
 
-func newRunner(cfg config.GPUConfig, bench string, opt sim.Options) (*runner, error) {
+func newRunner(cfg config.GPUConfig, bench string, opts ...sim.Option) (*runner, error) {
 	k, err := kernels.ByAbbr(bench)
 	if err != nil {
 		return nil, err
 	}
-	g, err := sim.New(cfg, k, opt)
+	g, err := sim.New(cfg, k, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("determinism: %s: %w", bench, err)
 	}
@@ -76,7 +76,7 @@ func newRunner(cfg config.GPUConfig, bench string, opt sim.Options) (*runner, er
 }
 
 func (r *runner) done() bool {
-	if r.cfg.MaxInsts > 0 && r.g.Stats().Instructions >= r.cfg.MaxInsts {
+	if r.cfg.MaxInsts > 0 && r.g.Instructions() >= r.cfg.MaxInsts {
 		return true
 	}
 	if r.cfg.MaxCycle > 0 && r.g.Cycle() >= r.cfg.MaxCycle {
@@ -90,13 +90,14 @@ func (r *runner) hash() uint64 { return StateHash(r.g, r.g.Stats()) }
 // CheckpointRun simulates one benchmark to completion, sampling StateHash
 // every `every` cycles (rounded up to a power of two). The returned series
 // ends with one final sample at the finishing cycle.
-func CheckpointRun(cfg config.GPUConfig, bench string, opt sim.Options, every int64) ([]Checkpoint, error) {
+func CheckpointRun(cfg config.GPUConfig, bench string, every int64, opts ...sim.Option) ([]Checkpoint, error) {
 	every = ceilPow2(every, sim.DefaultProgressEvery)
-	opt.ProgressEvery = every
-	r, err := newRunner(cfg, bench, opt)
+	opts = append(opts[:len(opts):len(opts)], sim.WithProgressEvery(every))
+	r, err := newRunner(cfg, bench, opts...)
 	if err != nil {
 		return nil, err
 	}
+	defer r.g.Close()
 	var cps []Checkpoint
 	for !r.done() {
 		if err := r.g.Step(); err != nil {
@@ -114,24 +115,25 @@ func CheckpointRun(cfg config.GPUConfig, bench string, opt sim.Options, every in
 // compares the full checkpoint series, not just the final hash. It returns
 // the number of checkpoints and the final hash; the error pinpoints the
 // first mismatching checkpoint's cycle.
-func CheckSeries(cfg config.GPUConfig, bench string, opt sim.Options, every int64) (int, uint64, error) {
+func CheckSeries(cfg config.GPUConfig, bench string, every int64, opts ...sim.Option) (int, uint64, error) {
 	cfg.CheckInvariants = true
-	a, err := CheckpointRun(cfg, bench, opt, every)
+	a, err := CheckpointRun(cfg, bench, every, opts...)
 	if err != nil {
 		return 0, 0, err
 	}
-	b, err := CheckpointRun(cfg, bench, opt, every)
+	b, err := CheckpointRun(cfg, bench, every, opts...)
 	if err != nil {
 		return 0, 0, err
 	}
+	pf := sim.Build(opts...).Prefetcher
 	if len(a) != len(b) {
 		return 0, 0, fmt.Errorf("determinism: %s/%s: checkpoint counts diverged across identical runs: %d vs %d",
-			bench, opt.Prefetcher, len(a), len(b))
+			bench, pf, len(a), len(b))
 	}
 	for i := range a {
 		if a[i] != b[i] {
 			return 0, 0, fmt.Errorf("determinism: %s/%s: checkpoint at cycle %d diverged across identical runs: %#x vs %#x",
-				bench, opt.Prefetcher, a[i].Cycle, a[i].Hash, b[i].Hash)
+				bench, pf, a[i].Cycle, a[i].Hash, b[i].Hash)
 		}
 	}
 	return len(a), a[len(a)-1].Hash, nil
@@ -148,17 +150,19 @@ func CheckSeries(cfg config.GPUConfig, bench string, opt sim.Options, every int6
 // A nil Divergence with a nil error means the two sides never diverged.
 func Bisect(bench string, a, b Side, every int64) (*Divergence, error) {
 	every = ceilPow2(every, sim.DefaultProgressEvery)
-	a.Opt.ProgressEvery = every
-	b.Opt.ProgressEvery = every
+	optsA := append(a.Opts[:len(a.Opts):len(a.Opts)], sim.WithProgressEvery(every))
+	optsB := append(b.Opts[:len(b.Opts):len(b.Opts)], sim.WithProgressEvery(every))
 
-	ra, err := newRunner(a.Cfg, bench, a.Opt)
+	ra, err := newRunner(a.Cfg, bench, optsA...)
 	if err != nil {
 		return nil, err
 	}
-	rb, err := newRunner(b.Cfg, bench, b.Opt)
+	defer func() { ra.g.Close() }()
+	rb, err := newRunner(b.Cfg, bench, optsB...)
 	if err != nil {
 		return nil, err
 	}
+	defer func() { rb.g.Close() }()
 
 	// Phase one: lockstep to the first divergent checkpoint.
 	divCheckpoint := int64(-1)
@@ -197,13 +201,13 @@ func Bisect(bench string, a, b Side, every int64) (*Divergence, error) {
 	if start < 0 {
 		start = 0
 	}
-	a.Opt.Flight = sim.NewFlightRecorder(a.Cfg)
-	b.Opt.Flight = sim.NewFlightRecorder(b.Cfg)
-	ra, err = newRunner(a.Cfg, bench, a.Opt)
+	ra.g.Close()
+	rb.g.Close()
+	ra, err = newRunner(a.Cfg, bench, append(optsA, sim.WithFlight(sim.NewFlightRecorder(a.Cfg)))...)
 	if err != nil {
 		return nil, err
 	}
-	rb, err = newRunner(b.Cfg, bench, b.Opt)
+	rb, err = newRunner(b.Cfg, bench, append(optsB, sim.WithFlight(sim.NewFlightRecorder(b.Cfg)))...)
 	if err != nil {
 		return nil, err
 	}

@@ -19,7 +19,7 @@ func checkpointConfig() config.GPUConfig {
 
 func TestCheckpointRunSamplesPeriodically(t *testing.T) {
 	cfg := checkpointConfig()
-	cps, err := CheckpointRun(cfg, "MM", sim.Options{Prefetcher: "caps"}, 1024)
+	cps, err := CheckpointRun(cfg, "MM", 1024, sim.WithPrefetcher("caps"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,8 +39,7 @@ func TestCheckpointRunSamplesPeriodically(t *testing.T) {
 func TestCheckSeriesReproducible(t *testing.T) {
 	cfg := checkpointConfig()
 	for _, pf := range []string{"caps", "none"} {
-		opt := sim.Options{Prefetcher: pf, Scheduler: SchedulerFor(pf)}
-		n, h, err := CheckSeries(cfg, "MM", opt, 1024)
+		n, h, err := CheckSeries(cfg, "MM", 1024, sim.WithPrefetcher(pf), sim.WithScheduler(SchedulerFor(pf)))
 		if err != nil {
 			t.Errorf("%s: %v", pf, err)
 			continue
@@ -59,7 +58,7 @@ func TestBisectPinsSeededPerturbation(t *testing.T) {
 	cfg := checkpointConfig()
 	const perturbAt = 500
 
-	probe, err := sim.New(cfg, mustKernel(t, "MM"), sim.Options{Prefetcher: "caps", PerturbPrefetchAt: perturbAt})
+	probe, err := sim.New(cfg, mustKernel(t, "MM"), sim.WithPrefetcher("caps"), sim.WithPerturbPrefetchAt(perturbAt))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,8 +70,8 @@ func TestBisectPinsSeededPerturbation(t *testing.T) {
 		t.Fatalf("probe perturbation never fired (PerturbedAt=%d)", fired)
 	}
 
-	a := Side{Label: "baseline", Cfg: cfg, Opt: sim.Options{Prefetcher: "caps"}}
-	b := Side{Label: "perturbed", Cfg: cfg, Opt: sim.Options{Prefetcher: "caps", PerturbPrefetchAt: perturbAt}}
+	a := Side{Label: "baseline", Cfg: cfg, Opts: []sim.Option{sim.WithPrefetcher("caps")}}
+	b := Side{Label: "perturbed", Cfg: cfg, Opts: []sim.Option{sim.WithPrefetcher("caps"), sim.WithPerturbPrefetchAt(perturbAt)}}
 	d, err := Bisect("MM", a, b, 1024)
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +101,7 @@ func TestBisectPinsSeededPerturbation(t *testing.T) {
 // Identical sides must produce no divergence (and no error).
 func TestBisectIdenticalSides(t *testing.T) {
 	cfg := checkpointConfig()
-	s := Side{Label: "x", Cfg: cfg, Opt: sim.Options{Prefetcher: "caps"}}
+	s := Side{Label: "x", Cfg: cfg, Opts: []sim.Option{sim.WithPrefetcher("caps")}}
 	d, err := Bisect("MM", s, s, 1024)
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +117,7 @@ func TestBisectIdenticalSides(t *testing.T) {
 func TestStateHashCoversCAPTables(t *testing.T) {
 	cfg := checkpointConfig()
 	mk := func() *sim.GPU {
-		g, err := sim.New(cfg, mustKernel(t, "MM"), sim.Options{Prefetcher: "caps"})
+		g, err := sim.New(cfg, mustKernel(t, "MM"), sim.WithPrefetcher("caps"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,8 +147,8 @@ func TestStateHashCoversCAPTables(t *testing.T) {
 // consumer, not a participant).
 func TestFlightRecorderDoesNotPerturbHash(t *testing.T) {
 	cfg := checkpointConfig()
-	run := func(opt sim.Options) uint64 {
-		g, err := sim.New(cfg, mustKernel(t, "MM"), opt)
+	run := func(opts ...sim.Option) uint64 {
+		g, err := sim.New(cfg, mustKernel(t, "MM"), opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,8 +157,8 @@ func TestFlightRecorderDoesNotPerturbHash(t *testing.T) {
 		}
 		return StateHash(g, g.Stats())
 	}
-	plain := run(sim.Options{Prefetcher: "caps"})
-	recorded := run(sim.Options{Prefetcher: "caps", Flight: sim.NewFlightRecorder(cfg)})
+	plain := run(sim.WithPrefetcher("caps"))
+	recorded := run(sim.WithPrefetcher("caps"), sim.WithFlight(sim.NewFlightRecorder(cfg)))
 	if plain != recorded {
 		t.Errorf("flight recorder changed the state hash: %#x vs %#x", plain, recorded)
 	}

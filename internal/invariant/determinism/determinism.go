@@ -45,12 +45,12 @@ func StateHash(g *sim.GPU, st *stats.Sim) uint64 {
 }
 
 // RunOnce simulates one benchmark to completion and returns its state hash.
-func RunOnce(cfg config.GPUConfig, bench string, opt sim.Options) (uint64, error) {
+func RunOnce(cfg config.GPUConfig, bench string, opts ...sim.Option) (uint64, error) {
 	k, err := kernels.ByAbbr(bench)
 	if err != nil {
 		return 0, err
 	}
-	g, err := sim.New(cfg, k, opt)
+	g, err := sim.New(cfg, k, opts...)
 	if err != nil {
 		return 0, fmt.Errorf("determinism: %s: %w", bench, err)
 	}
@@ -64,19 +64,19 @@ func RunOnce(cfg config.GPUConfig, bench string, opt sim.Options) (uint64, error
 // Check runs the benchmark twice with invariant checking enabled and
 // reports the (identical) hash; a hash mismatch or a sanitizer violation in
 // either run is returned as an error.
-func Check(cfg config.GPUConfig, bench string, opt sim.Options) (uint64, error) {
+func Check(cfg config.GPUConfig, bench string, opts ...sim.Option) (uint64, error) {
 	cfg.CheckInvariants = true
-	h1, err := RunOnce(cfg, bench, opt)
+	h1, err := RunOnce(cfg, bench, opts...)
 	if err != nil {
 		return 0, err
 	}
-	h2, err := RunOnce(cfg, bench, opt)
+	h2, err := RunOnce(cfg, bench, opts...)
 	if err != nil {
 		return 0, err
 	}
 	if h1 != h2 {
 		return 0, fmt.Errorf("determinism: %s/%s: state hash diverged across identical runs: %#x vs %#x",
-			bench, opt.Prefetcher, h1, h2)
+			bench, sim.Build(opts...).Prefetcher, h1, h2)
 	}
 	return h1, nil
 }

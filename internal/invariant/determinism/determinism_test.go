@@ -22,8 +22,7 @@ func TestRunsAreReproducible(t *testing.T) {
 		{"BFS", "caps"},
 		{"MM", "none"},
 	} {
-		opt := sim.Options{Prefetcher: tc.pf, Scheduler: SchedulerFor(tc.pf)}
-		h, err := Check(harnessCfg(), tc.bench, opt)
+		h, err := Check(harnessCfg(), tc.bench, sim.WithPrefetcher(tc.pf), sim.WithScheduler(SchedulerFor(tc.pf)))
 		if err != nil {
 			t.Errorf("%s/%s: %v", tc.bench, tc.pf, err)
 			continue
@@ -36,12 +35,12 @@ func TestRunsAreReproducible(t *testing.T) {
 
 func TestStateHashDistinguishesRuns(t *testing.T) {
 	cfg := harnessCfg()
-	base, err := RunOnce(cfg, "STE", sim.Options{Prefetcher: "none"})
+	base, err := RunOnce(cfg, "STE", sim.WithPrefetcher("none"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.MaxInsts /= 2
-	short, err := RunOnce(cfg, "STE", sim.Options{Prefetcher: "none"})
+	short, err := RunOnce(cfg, "STE", sim.WithPrefetcher("none"))
 	if err != nil {
 		t.Fatal(err)
 	}

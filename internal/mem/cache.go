@@ -391,6 +391,11 @@ func (c *Cache) MSHRsFree() int { return c.cfg.MSHREntries - (len(c.mshrs) - c.p
 // MissQueueLen returns the current depth of the outgoing miss queue.
 func (c *Cache) MissQueueLen() int { return len(c.missQ) }
 
+// MissQueueAt returns the i-th queued miss without popping it. The
+// parallel tick's congestion precheck walks the queue to count each
+// request's destination partition before any SM ticks.
+func (c *Cache) MissQueueAt(i int) *Request { return c.missQ[i] }
+
 // Access presents one request to the cache. On MissNew the request is
 // appended to the miss queue (drain it with PopMiss). On MissMerged the
 // request is parked on the in-flight MSHR and will be returned by Fill.
@@ -468,6 +473,28 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 	c.missQ = append(c.missQ, req) //caps:alloc-ok missQ is preallocated to cfg.MissQueue; the bound check above holds it there
 	return AccessResult{Outcome: MissNew}
 }
+
+// ReplayResFail re-emits the reservation-fail event a full Access would
+// produce for a demand request replayed against a provably fail-bound cache
+// (line absent, not in flight, and either no free demand MSHR — queue=false
+// — or a full miss queue, queue=true, matching Access's check order),
+// without touching cache state. The structural-stall replays call it in
+// place of an Access whose fail outcome is already known, so traces stay
+// bit-identical to a run that presents the doomed request every cycle.
+//
+//caps:hotpath
+func (c *Cache) ReplayResFail(now int64, lineAddr uint64, queue bool) {
+	c.sink.ResFail(now, c.sinkDom, c.sinkID, lineAddr, queue)
+}
+
+// MissQueueFull reports whether the outgoing miss queue is at capacity, in
+// which case a new (unmergeable) miss fails with ResFailQueue.
+func (c *Cache) MissQueueFull() bool { return len(c.missQ) >= c.cfg.MissQueue }
+
+// HasObs reports whether an observability sink is attached. Replay fast
+// paths whose only remaining effect is re-emitting events may skip the
+// emission loop entirely when it is not.
+func (c *Cache) HasObs() bool { return c.sink != nil }
 
 // newEntry returns a recycled (or new) MSHR entry with empty waiters.
 func (c *Cache) newEntry(lineAddr uint64) *mshrEntry {

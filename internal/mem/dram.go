@@ -39,6 +39,24 @@ type DRAMChannel struct {
 	inService []inService
 	busFreeAt int64
 
+	// scanAt caches the earliest cycle the FR-FCFS scan can possibly issue
+	// a command: when a Tick's scan finds every queued request's bank busy,
+	// the next chance is the minimum readyAt among those banks — bank
+	// timings only change when a command issues, and a Push (which may
+	// target a ready bank) resets the cache. Derived state: it only skips
+	// scans that provably pick nothing, so behavior is bit-identical.
+	scanAt int64
+
+	// nextDoneAt caches the earliest in-service completion (MaxInt64 when
+	// none), so Tick can skip the completions scan on cycles where nothing
+	// can mature. Maintained on issue and recomputed whenever the scan
+	// runs. Derived state, bit-identical behavior (see scanAt).
+	nextDoneAt int64
+
+	// doneBuf is the reused backing array for Tick's completed-transfer
+	// result; the caller consumes it before the next Tick.
+	doneBuf []*Request
+
 	// Pre-converted core-cycle timings.
 	extra    int64 // controller pipeline latency per access
 	tRowHit  int64 // tCL
@@ -112,7 +130,9 @@ func (ch *DRAMChannel) Push(now int64, r *Request) bool {
 		return false
 	}
 	b, row := ch.mapAddr(r.LineAddr)
-	ch.queue = append(ch.queue, dramRequest{req: r, arriveAt: now, bank: b, row: row})
+	ch.queue = append(ch.queue, dramRequest{req: r, arriveAt: now, bank: b, row: row}) //caps:alloc-ok bounded by the Full() check; capacity converges to QueueEntries
+
+	ch.scanAt = 0 // the new request's bank may be ready right now
 	return true
 }
 
@@ -120,19 +140,31 @@ func (ch *DRAMChannel) Push(now int64, r *Request) bool {
 // using FR-FCFS (oldest row hit first, then oldest) and returns requests
 // whose data transfer completed this cycle.
 func (ch *DRAMChannel) Tick(now int64) []*Request {
+	// Nothing can mature and nothing can issue: skip both scans.
+	if now < ch.nextDoneAt && (len(ch.queue) == 0 || now < ch.scanAt) {
+		return nil
+	}
+
 	// Collect completed transfers.
-	var done []*Request
+	done := ch.doneBuf[:0]
 	keep := ch.inService[:0]
+	nextDone := int64(maxCycle)
 	for _, s := range ch.inService {
 		if s.finishAt <= now {
-			done = append(done, s.req)
+			done = append(done, s.req) //caps:alloc-ok doneBuf capacity converges to the peak completions per cycle
+
 		} else {
 			keep = append(keep, s)
+			if s.finishAt < nextDone {
+				nextDone = s.finishAt
+			}
 		}
 	}
 	ch.inService = keep
+	ch.doneBuf = done
+	ch.nextDoneAt = nextDone
 
-	if len(ch.queue) == 0 {
+	if len(ch.queue) == 0 || now < ch.scanAt {
 		return done
 	}
 
@@ -152,6 +184,15 @@ func (ch *DRAMChannel) Tick(now int64) []*Request {
 		}
 	}
 	if pick == -1 {
+		// Nothing can issue until the earliest queued bank frees up; cache
+		// that bound so the scans in between are skipped (see scanAt).
+		next := maxCycle
+		for _, q := range ch.queue {
+			if r := ch.banks[q.bank].readyAt; r < next {
+				next = r
+			}
+		}
+		ch.scanAt = next
 		return done
 	}
 
@@ -206,7 +247,37 @@ func (ch *DRAMChannel) Tick(now int64) []*Request {
 	}
 	ch.st.DRAMReads++
 	ch.inService = append(ch.inService, inService{req: q.req, finishAt: finish})
+	if finish < ch.nextDoneAt {
+		ch.nextDoneAt = finish
+	}
 	return done
+}
+
+// NextEventCycle returns the earliest future cycle at which this channel
+// can do any work: the first in-service completion, or the first cycle a
+// queued command's bank becomes ready (the bus only delays data, never
+// command issue). Returns now when work is possible immediately and
+// MaxInt64 when the channel is idle.
+func (ch *DRAMChannel) NextEventCycle(now int64) int64 {
+	next := maxCycle
+	for _, s := range ch.inService {
+		if s.finishAt <= now {
+			return now
+		}
+		if s.finishAt < next {
+			next = s.finishAt
+		}
+	}
+	for _, q := range ch.queue {
+		r := ch.banks[q.bank].readyAt
+		if r <= now {
+			return now
+		}
+		if r < next {
+			next = r
+		}
+	}
+	return next
 }
 
 // Idle reports whether the channel has no queued or in-flight work.

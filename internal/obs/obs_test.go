@@ -37,7 +37,7 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.ResFail(1, DomSM, 0, 0x80, true)
 	s.RowHit(1, 0, 0x80)
 	s.RowMiss(1, 0, 0x80)
-	s.DemandLatency(100)
+	s.DemandLatency(0, 100)
 	s.Attach(nil)
 	s.RunDone(42)
 	if s.Registry() != nil || s.Trace() != nil || s.Snapshot() != nil {
@@ -270,7 +270,7 @@ func TestWriteCSVFullSnapshot(t *testing.T) {
 	s.PrefDrop(1, 0, 0, 7, 0x80, DropSetFull)
 	s.CycleClass(1, 0, CycleMemStructural)
 	s.ResFail(2, DomPart, 0, 0x100, false)
-	s.DemandLatency(42)
+	s.DemandLatency(0, 42)
 	s.RunDone(10)
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, s.Snapshot()); err != nil {

@@ -40,8 +40,12 @@ type chanMetrics struct {
 	rowHit, rowMiss *Counter
 }
 
-// Sink is the per-run observability hub. One Sink serves one GPU; the
-// simulator is single-goroutine per run, so updates are unsynchronized.
+// Sink is the per-run observability hub. One Sink serves one GPU; shared
+// state (counters, histograms, trace, consumers) is only ever touched from
+// the simulation goroutine, so updates are unsynchronized. Under parallel
+// SM ticking (sim.WithWorkers) that contract is preserved by staging: DomSM
+// hooks fired from worker goroutines park events in per-SM lanes (see
+// stage.go) and the single-threaded commit phase replays them in SM order.
 // Every method is safe on a nil *Sink and returns immediately, which is
 // how disabled observability stays within its <=2% budget: hook sites pay
 // one nil check and nothing else.
@@ -51,6 +55,10 @@ type Sink struct {
 	cfg   Config
 	reg   *Registry
 	trace *Trace
+
+	// stage is nil until EnableStaging; serial runs never pay more than
+	// this one pointer check per hook.
+	stage *stageState
 
 	// consumers receive every emitted event in emission order (streaming
 	// profilers; see internal/profile). They hold bounded state of their
@@ -275,8 +283,12 @@ func (s *Sink) CTALaunch(cycle int64, sm, cta int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvCTALaunch, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta)}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].ctaLaunch.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvCTALaunch, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta)})
+	s.emit(e)
 }
 
 // CTAFinish records the last warp of a CTA retiring.
@@ -284,8 +296,12 @@ func (s *Sink) CTAFinish(cycle int64, sm, cta int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvCTAFinish, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta)}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].ctaFinish.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvCTAFinish, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta)})
+	s.emit(e)
 }
 
 // WarpDispatch records a warp context activating.
@@ -293,8 +309,12 @@ func (s *Sink) WarpDispatch(cycle int64, sm, warpSlot, cta int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvWarpDispatch, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].warpDispatch.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvWarpDispatch, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)})
+	s.emit(e)
 }
 
 // WarpStallBegin records a warp entering a memory-wait stall run (it
@@ -305,8 +325,12 @@ func (s *Sink) WarpStallBegin(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvWarpStallBegin, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].warpStallBegin.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvWarpStallBegin, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.emit(e)
 }
 
 // WarpStallEnd records the matching end of a stall run: the warp's last
@@ -315,8 +339,12 @@ func (s *Sink) WarpStallEnd(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvWarpStallEnd, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].warpStallEnd.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvWarpStallEnd, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.emit(e)
 }
 
 // CycleClass attributes one SM cycle to its stall-stack bucket. This is
@@ -325,6 +353,10 @@ func (s *Sink) WarpStallEnd(cycle int64, sm, warpSlot int) {
 // bounded trace buffer never sees it.
 func (s *Sink) CycleClass(cycle int64, sm int, class CycleClass) {
 	if s == nil || !s.smOK(sm) || class >= NumCycleClasses {
+		return
+	}
+	if st := s.stage; st != nil && st.on {
+		s.stageEvent(Event{Cycle: cycle, Kind: EvCycleClass, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Arg: uint8(class)})
 		return
 	}
 	s.sm[sm].cycleClass[class].Inc()
@@ -342,8 +374,12 @@ func (s *Sink) WarpBarrier(cycle int64, sm, warpSlot, cta int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvWarpBarrier, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].warpBarrier.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvWarpBarrier, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta)})
+	s.emit(e)
 }
 
 // WarpFinish records a warp retiring.
@@ -351,8 +387,12 @@ func (s *Sink) WarpFinish(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvWarpFinish, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].warpFinish.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvWarpFinish, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.emit(e)
 }
 
 // ------------------------------------------------- scheduler transitions ----
@@ -362,8 +402,12 @@ func (s *Sink) SchedPromote(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvSchedPromote, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].schedPromote.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvSchedPromote, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.emit(e)
 }
 
 // SchedDemote records a warp leaving the ready queue on a long-latency op.
@@ -371,8 +415,12 @@ func (s *Sink) SchedDemote(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvSchedDemote, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].schedDemote.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvSchedDemote, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.emit(e)
 }
 
 // SchedWakeup records an eager prefetch wake-up promotion (PAS, §V-A).
@@ -380,8 +428,12 @@ func (s *Sink) SchedWakeup(cycle int64, sm, warpSlot int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvSchedWakeup, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].schedWakeup.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvSchedWakeup, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1})
+	s.emit(e)
 }
 
 // ----------------------------------------------------- prefetch lifecycle ----
@@ -391,8 +443,12 @@ func (s *Sink) DistAlloc(cycle int64, sm int, pc uint32) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvDistAlloc, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].distAlloc.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvDistAlloc, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc})
+	s.emit(e)
 }
 
 // PerCTAFill records a CTA's leading warp registering its base-address
@@ -401,8 +457,12 @@ func (s *Sink) PerCTAFill(cycle int64, sm, cta int, pc uint32) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPerCTAFill, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].perCTAFill.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPerCTAFill, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc})
+	s.emit(e)
 }
 
 // PrefCandidate records one generated prefetch candidate entering the SM's
@@ -411,8 +471,12 @@ func (s *Sink) PrefCandidate(cycle int64, sm, warpSlot, cta int, pc uint32, addr
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefCandidate, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefCandidate.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefCandidate, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr})
+	s.emit(e)
 }
 
 // PrefDrop records a candidate discarded before doing useful work; cta is
@@ -421,8 +485,12 @@ func (s *Sink) PrefDrop(cycle int64, sm, cta int, pc uint32, addr uint64, reason
 	if s == nil || !s.smOK(sm) || reason >= numDropReasons {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefDrop, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc, Addr: addr, Arg: uint8(reason)}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefDrop[reason].Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefDrop, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc, Addr: addr, Arg: uint8(reason)})
+	s.emit(e)
 }
 
 // PrefAdmit records a prefetch miss admitted into L1 and sent to memory;
@@ -431,8 +499,12 @@ func (s *Sink) PrefAdmit(cycle int64, sm, warpSlot, cta int, pc uint32, addr uin
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefAdmit, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefAdmit.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefAdmit, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr})
+	s.emit(e)
 }
 
 // PrefFill records a prefetched line installing into L1.
@@ -440,8 +512,12 @@ func (s *Sink) PrefFill(cycle int64, sm, warpSlot int, pc uint32, addr uint64) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefFill, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefFill.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefFill, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, PC: pc, Addr: addr})
+	s.emit(e)
 }
 
 // PrefConsume records the first demand hit on a prefetched line; cta is
@@ -451,9 +527,13 @@ func (s *Sink) PrefConsume(cycle int64, sm, warpSlot, cta int, pc uint32, addr u
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefConsume, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr, Val: distance}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefConsume.Inc()
 	s.prefDist.Observe(distance)
-	s.emit(Event{Cycle: cycle, Kind: EvPrefConsume, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr, Val: distance})
+	s.emit(e)
 }
 
 // PrefLate records a demand access merging into an in-flight prefetch
@@ -462,8 +542,12 @@ func (s *Sink) PrefLate(cycle int64, sm int, pc uint32, addr uint64) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefLate, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefLate.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefLate, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr})
+	s.emit(e)
 }
 
 // PrefEarlyEvict records a prefetched line evicted before any demand use
@@ -472,8 +556,12 @@ func (s *Sink) PrefEarlyEvict(cycle int64, sm int, pc uint32, addr uint64) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvPrefEarlyEvict, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].prefEarlyEvict.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvPrefEarlyEvict, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, PC: pc, Addr: addr})
+	s.emit(e)
 }
 
 // ------------------------------------------------------- memory system ----
@@ -487,6 +575,10 @@ func (s *Sink) MSHRAlloc(cycle int64, dom Domain, track int, addr uint64, prefet
 	var arg uint8
 	if prefetch {
 		arg = 1
+	}
+	e := Event{Cycle: cycle, Kind: EvMSHRAlloc, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr, Arg: arg}
+	if s.stageEvent(e) {
+		return
 	}
 	switch dom {
 	case DomSM:
@@ -502,12 +594,16 @@ func (s *Sink) MSHRAlloc(cycle int64, dom Domain, track int, addr uint64, prefet
 	default:
 		return
 	}
-	s.emit(Event{Cycle: cycle, Kind: EvMSHRAlloc, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr, Arg: arg})
+	s.emit(e)
 }
 
 // MSHRMerge records a request merging into an in-flight MSHR.
 func (s *Sink) MSHRMerge(cycle int64, dom Domain, track int, addr uint64) {
 	if s == nil {
+		return
+	}
+	e := Event{Cycle: cycle, Kind: EvMSHRMerge, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr}
+	if s.stageEvent(e) {
 		return
 	}
 	switch dom {
@@ -524,7 +620,7 @@ func (s *Sink) MSHRMerge(cycle int64, dom Domain, track int, addr uint64) {
 	default:
 		return
 	}
-	s.emit(Event{Cycle: cycle, Kind: EvMSHRMerge, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr})
+	s.emit(e)
 }
 
 // MSHRConvert records a demand merge converting a prefetch-only MSHR into a
@@ -533,8 +629,12 @@ func (s *Sink) MSHRConvert(cycle int64, sm int, addr uint64) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
+	e := Event{Cycle: cycle, Kind: EvMSHRConvert, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Addr: addr}
+	if s.stageEvent(e) {
+		return
+	}
 	s.sm[sm].mshrConvert.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvMSHRConvert, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: -1, Addr: addr})
+	s.emit(e)
 }
 
 // ResFail records a reservation failure (no MSHR, or miss queue full when
@@ -544,6 +644,13 @@ func (s *Sink) ResFail(cycle int64, dom Domain, track int, addr uint64, queueFul
 		return
 	}
 	var arg uint8
+	if queueFull {
+		arg = 1
+	}
+	e := Event{Cycle: cycle, Kind: EvResFail, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr, Arg: arg}
+	if s.stageEvent(e) {
+		return
+	}
 	switch dom {
 	case DomSM:
 		if !s.smOK(track) {
@@ -551,7 +658,6 @@ func (s *Sink) ResFail(cycle int64, dom Domain, track int, addr uint64, queueFul
 		}
 		if queueFull {
 			s.sm[track].resFailQueue.Inc()
-			arg = 1
 		} else {
 			s.sm[track].resFailMSHR.Inc()
 		}
@@ -561,14 +667,13 @@ func (s *Sink) ResFail(cycle int64, dom Domain, track int, addr uint64, queueFul
 		}
 		if queueFull {
 			s.part[track].resFailQueue.Inc()
-			arg = 1
 		} else {
 			s.part[track].resFailMSHR.Inc()
 		}
 	default:
 		return
 	}
-	s.emit(Event{Cycle: cycle, Kind: EvResFail, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Addr: addr, Arg: arg})
+	s.emit(e)
 }
 
 // RowHit records a DRAM row-buffer hit on a channel.
@@ -589,9 +694,14 @@ func (s *Sink) RowMiss(cycle int64, ch int, addr uint64) {
 	s.emit(Event{Cycle: cycle, Kind: EvRowMiss, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr})
 }
 
-// DemandLatency feeds the demand round-trip latency histogram.
-func (s *Sink) DemandLatency(lat int64) {
+// DemandLatency feeds the demand round-trip latency histogram; sm is the
+// observing SM (it addresses the staging lane under parallel ticking — the
+// histogram itself is unlabelled).
+func (s *Sink) DemandLatency(sm int, lat int64) {
 	if s == nil {
+		return
+	}
+	if s.stageLatency(sm, lat) {
 		return
 	}
 	s.demandLat.Observe(lat)

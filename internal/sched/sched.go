@@ -47,6 +47,50 @@ type Scheduler interface {
 	OnWake(slot int) bool
 }
 
+// Quiescer is implemented by schedulers that can prove an idle cycle is a
+// pure no-op: when Quiescent returns true and no warp is eligible, a Pick
+// this cycle would return -1 without mutating any state the determinism
+// hashes cover. The idle fast-forward (sim.WithIdleSkip) may only jump
+// over an SM's cycles while its scheduler is quiescent; schedulers that do
+// not implement the interface are conservatively never skipped.
+type Quiescer interface {
+	Quiescent(v View) bool
+}
+
+// StallRunner is implemented by schedulers that can replay a structurally
+// stalled issue stage without running it. The SM calls BeginStall at the
+// end of a tick whose every Pick either failed or returned a warp whose
+// instruction could not issue (a structural stall that mutates nothing but
+// a stall counter). Under the caller's guarantee that the scheduler's view
+// — the eligibility and blocked sets — stays unchanged, ok=true promises
+// that every subsequent Pick sequence is a fixed orbit: the same slots in
+// the same cyclic order, with scheduler state evolving exactly as
+// StallTick(m) replays for m consecutive Picks. picks=false means every
+// Pick returns -1 (and mutates nothing); picks=true means Picks return
+// slots — the scheduler feeds each distinct slot the orbit can return to
+// StallPickable, and fails the snapshot (ok=false) if any is rejected, so
+// the caller can demand that every pickable warp stalls structurally.
+//
+// The snapshot is derived state: it is valid only until the view changes
+// (a fill, a CTA launch, a warp retiring its last access) and is excluded
+// from HashState — but the cursor mutations StallTick applies are the
+// architectural ones the real Picks would have made, keeping mid-window
+// determinism checkpoints bit-identical to a run that never stalls.
+type StallRunner interface {
+	BeginStall(v StallView) (picks, ok bool)
+	StallTick(m int)
+}
+
+// StallView extends View with the caller's structural-stall predicate:
+// StallPickable reports whether a Pick returning slot would provably
+// stall in execute without mutating anything (for the SM, a load the
+// full LSU queue rejects). A View method rather than a closure argument
+// so BeginStall stays allocation-free and statically analyzable.
+type StallView interface {
+	View
+	StallPickable(slot int) bool
+}
+
 // ---------------------------------------------------------------- LRR ----
 
 // LRR is loose round-robin: scan slots circularly from just after the last
@@ -54,6 +98,13 @@ type Scheduler interface {
 type LRR struct {
 	active []bool
 	next   int
+
+	// stallOrbit/stallCursor cache the pick orbit for the structural-stall
+	// replay (StallRunner): the eligible active slots in cyclic scan order
+	// from next. Derived state, valid only between BeginStall and the next
+	// view change.
+	stallOrbit  []int
+	stallCursor int
 }
 
 // NewLRR creates an LRR scheduler for nslots warp contexts.
@@ -81,6 +132,48 @@ func (s *LRR) Pick(now int64, v View) int {
 		}
 	}
 	return -1
+}
+
+// Quiescent implements Quiescer: a failed LRR Pick advances nothing (the
+// cursor moves only on a successful issue), so LRR is always quiescent.
+func (s *LRR) Quiescent(v View) bool { return true }
+
+// BeginStall implements StallRunner: under a static view, LRR's Picks walk
+// the eligible active slots in cyclic order from the cursor, advancing the
+// cursor past each pick — a fixed orbit.
+func (s *LRR) BeginStall(v StallView) (picks, ok bool) {
+	if s.stallOrbit == nil {
+		s.stallOrbit = make([]int, 0, len(s.active)) //caps:alloc-ok one-time lazy sizing; the orbit never exceeds the active-slot count
+
+	}
+	s.stallOrbit = s.stallOrbit[:0]
+	n := len(s.active)
+	for i := 0; i < n; i++ {
+		slot := (s.next + i) % n
+		if s.active[slot] && v.Eligible(slot) {
+			if !v.StallPickable(slot) {
+				return false, false
+			}
+			s.stallOrbit = append(s.stallOrbit, slot) //caps:alloc-ok stays within the lazily sized capacity above
+
+		}
+	}
+	if len(s.stallOrbit) == 0 {
+		return false, true
+	}
+	s.stallCursor = 0
+	return true, true
+}
+
+// StallTick implements StallRunner: m Picks advance the cursor to just past
+// the m-th orbit slot.
+func (s *LRR) StallTick(m int) {
+	p := len(s.stallOrbit)
+	if p == 0 {
+		return
+	}
+	s.stallCursor = (s.stallCursor + m) % p
+	s.next = (s.stallOrbit[(s.stallCursor+p-1)%p] + 1) % len(s.active)
 }
 
 // OnLongLatency implements Scheduler.
@@ -145,6 +238,31 @@ func (s *GTO) Pick(now int64, v View) int {
 	return best
 }
 
+// Quiescent implements Quiescer: a failed GTO Pick writes the scan result
+// into current, so the scheduler is quiescent only once current has
+// settled at -1 (one stalled tick after the greedy warp lost eligibility).
+func (s *GTO) Quiescent(v View) bool { return s.current < 0 }
+
+// BeginStall implements StallRunner. GTO's greedy rule makes stalled Picks
+// trivially static: with current settled at an eligible slot every Pick
+// returns it without mutation, and with current at -1 after a full failed
+// scan every Pick rescans to the same -1. A current that is set but no
+// longer eligible would mutate on the next Pick, so that case (which
+// cannot arise right after a tick's own Picks settled it) rejects the
+// snapshot.
+func (s *GTO) BeginStall(v StallView) (picks, ok bool) {
+	if s.current < 0 {
+		return false, true
+	}
+	if !v.Eligible(s.current) || !v.StallPickable(s.current) {
+		return false, false
+	}
+	return true, true
+}
+
+// StallTick implements StallRunner: a stalled GTO Pick never moves current.
+func (s *GTO) StallTick(m int) {}
+
 // OnLongLatency implements Scheduler.
 func (s *GTO) OnLongLatency(slot int) {
 	if s.current == slot {
@@ -185,6 +303,16 @@ type TwoLevel struct {
 	// groupCounts is the interleaved variant's per-group occupancy
 	// scratch, preallocated so refill stays off the allocator.
 	groupCounts []int
+
+	// stallOrbit/stallCursor/stallLeading cache the pick orbit for the
+	// structural-stall replay (StallRunner): the ready-queue positions of
+	// the eligible slots in cyclic scan order from rr, or the leading-warp
+	// short-circuit that pins every Pick without moving rr. Derived state,
+	// valid only between BeginStall and the next view change, excluded
+	// from HashState.
+	stallOrbit   []int
+	stallCursor  int
+	stallLeading bool
 
 	// Observability (nil-safe). lastNow is the cycle most recently pushed
 	// via ObsTick (or Pick); OnLongLatency/OnWake have no time parameter,
@@ -355,6 +483,83 @@ func (s *TwoLevel) Pick(now int64, v View) int {
 		}
 	}
 	return -1
+}
+
+// Quiescent implements Quiescer: a two-level Pick with nothing to issue
+// still runs refill, so the scheduler is quiescent only when refill would
+// promote nothing — either the ready queue is full, or no pending warp is
+// promotable. (The round-robin cursor moves only on a successful issue,
+// and lastNow is an event-stamp cache outside the hashed state.)
+func (s *TwoLevel) Quiescent(v View) bool {
+	if len(s.ready) >= s.readySize {
+		return true
+	}
+	for _, slot := range s.pending {
+		if !v.Blocked(slot) {
+			return false
+		}
+	}
+	return true
+}
+
+// BeginStall implements StallRunner. The snapshot requires Quiescent (a
+// per-Pick refill that would promote anything makes the pick sequence
+// depend on pending-queue evolution); past that, either the PAS
+// leading-warp pre-scan pins every Pick to one slot without touching rr,
+// or the Picks walk the eligible ready positions in cyclic order from rr,
+// advancing rr past each pick — a fixed orbit.
+func (s *TwoLevel) BeginStall(v StallView) (picks, ok bool) {
+	if !s.Quiescent(v) {
+		return false, false
+	}
+	s.stallLeading = false
+	if s.leadingFirst {
+		for _, slot := range s.ready {
+			if s.leading[slot] && !s.baseDone[slot] && v.Eligible(slot) {
+				if !v.StallPickable(slot) {
+					return false, false
+				}
+				s.stallLeading = true
+				return true, true
+			}
+		}
+	}
+	if s.stallOrbit == nil {
+		s.stallOrbit = make([]int, 0, s.readySize) //caps:alloc-ok one-time lazy sizing; the orbit never exceeds the ready-queue capacity
+
+	}
+	s.stallOrbit = s.stallOrbit[:0]
+	n := len(s.ready)
+	for i := 0; i < n; i++ {
+		pos := (s.rr + i) % n
+		if v.Eligible(s.ready[pos]) {
+			if !v.StallPickable(s.ready[pos]) {
+				return false, false
+			}
+			s.stallOrbit = append(s.stallOrbit, pos) //caps:alloc-ok stays within the lazily sized capacity above
+
+		}
+	}
+	if len(s.stallOrbit) == 0 {
+		return false, true
+	}
+	s.stallCursor = 0
+	return true, true
+}
+
+// StallTick implements StallRunner: m Picks leave rr just past the m-th
+// orbit position — except in the leading-warp case, where Pick returns
+// before the round-robin scan and rr never moves.
+func (s *TwoLevel) StallTick(m int) {
+	if s.stallLeading {
+		return
+	}
+	p := len(s.stallOrbit)
+	if p == 0 {
+		return
+	}
+	s.stallCursor = (s.stallCursor + m) % p
+	s.rr = (s.stallOrbit[(s.stallCursor+p-1)%p] + 1) % len(s.ready)
 }
 
 // OnLongLatency implements Scheduler: the warp stalled on a long-latency

@@ -34,7 +34,7 @@ func (g *GPU) DumpNow(reason flight.Reason, msg string) *flight.Dump {
 		Reason:       reason,
 		Message:      msg,
 		Cycle:        g.cycle,
-		Instructions: g.st.Instructions,
+		Instructions: g.insts,
 		Bench:        g.kernel.Abbr,
 		Prefetcher:   g.prefName,
 		Scheduler:    string(g.cfg.Scheduler),
@@ -58,7 +58,7 @@ func (g *GPU) emitDump(reason flight.Reason, msg string) {
 // machineState snapshots what a post-mortem needs from every SM: per-warp
 // scheduler state, MSHR occupancy and queue depths at the moment of death.
 func (g *GPU) machineState() *flight.MachineState {
-	ms := &flight.MachineState{Cycle: g.cycle, Instructions: g.st.Instructions}
+	ms := &flight.MachineState{Cycle: g.cycle, Instructions: g.insts}
 	ms.SMs = make([]flight.SMSnapshot, len(g.sms))
 	for i, sm := range g.sms {
 		ms.SMs[i] = sm.snapshot()
@@ -104,6 +104,6 @@ func (sm *SM) snapshot() flight.SMSnapshot {
 }
 
 // PerturbedAt reports the cycle at which the one-shot prefetch perturbation
-// (Options.PerturbPrefetchAt) actually fired on SM 0, or 0 if it has not.
+// (WithPerturbPrefetchAt) actually fired on SM 0, or 0 if it has not.
 // Divergence-localizer tests compare it against the bisected cycle.
 func (g *GPU) PerturbedAt() int64 { return g.sms[0].perturbedAt }

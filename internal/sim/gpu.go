@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"caps/internal/config"
@@ -48,11 +49,32 @@ type GPU struct {
 	nextCTA int
 	cycle   int64
 
+	// insts is the running instruction total (the sum of every Tick's
+	// issued count). It equals st.Instructions after a shard merge, but is
+	// maintained inline so the Run loop's caps, the watchdog and the
+	// flight snapshot never force a merge mid-run.
+	insts int64
+
+	// shards are the per-SM stats shards: SM i and its prefetcher write
+	// shards[i], the serial phases (partitions, DRAM, the GPU itself)
+	// write st directly, and Stats drains the shards into st. Addition is
+	// associative, so totals are bit-identical to the old single struct.
+	shards []stats.Sim
+
 	// dispatchReq queues SMs whose CTA completed and want a new one.
 	dispatchReq []int
 
 	// snk is the run's observability sink (nil when disabled).
 	snk *obs.Sink
+
+	// Parallel-tick state (workers > 1): the lazily started worker pool
+	// and the precheck scratch counting per-partition interconnect demand.
+	workers    int
+	pool       *smPool
+	partDemand []int
+
+	// idleSkip enables the Run-loop idle-cycle fast-forward.
+	idleSkip bool
 
 	// Flight-recorder wiring (nil/zero when not requested).
 	flight   *flight.Recorder
@@ -68,43 +90,6 @@ type GPU struct {
 	dumpReq atomic.Bool
 }
 
-// Options selects the prefetcher and scheduler for a run.
-type Options struct {
-	Prefetcher string // registered prefetcher name ("none", "caps", ...)
-	// Scheduler overrides cfg.Scheduler when non-empty.
-	Scheduler config.SchedulerKind
-	// Tracer observes every demand load (Fig. 1 analysis). Optional.
-	Tracer func(obs *prefetch.Observation)
-	// Obs, when non-nil, receives metrics and (if the sink was built with
-	// tracing) cycle-stamped events from every simulator layer. A nil sink
-	// costs one branch per event site.
-	Obs *obs.Sink
-	// Flight attaches a black-box recorder (see internal/flight): the last
-	// N events per unit, dumped with a machine-state snapshot when the run
-	// dies. When Obs is nil a metrics-only sink is created to carry the
-	// event stream. Use NewFlightRecorder to size one for the config.
-	Flight *flight.Recorder
-	// OnDump receives the black box whenever one is written (violation,
-	// panic, watchdog, dump request, or an explicit DumpNow).
-	OnDump func(*flight.Dump)
-	// ProgressEvery paces the EvProgress beat, the stop/dump-request polls
-	// and the watchdog check, in cycles; rounded up to a power of two.
-	// Zero selects DefaultProgressEvery.
-	ProgressEvery int64
-	// WatchdogCycles aborts the run when no instruction retires for this
-	// many cycles. Zero selects DefaultWatchdogCycles; negative disables
-	// the watchdog.
-	WatchdogCycles int64
-	// InjectViolation, when positive, raises a synthetic invariant
-	// violation once the GPU reaches that cycle — the flight-smoke hook.
-	InjectViolation int64
-	// PerturbPrefetchAt, when positive, arms a one-shot perturbation on
-	// SM 0: the first prefetch candidate enqueued at or after that cycle
-	// has its line address shifted by one line. Divergence-localizer
-	// tests use it to plant a known first-divergent cycle.
-	PerturbPrefetchAt int64
-}
-
 // NewSink builds an observability sink sized for the configuration (one
 // track per SM, memory partition and DRAM channel).
 func NewSink(cfg config.GPUConfig, trace bool, traceCap int) *obs.Sink {
@@ -117,8 +102,11 @@ func NewSink(cfg config.GPUConfig, trace bool, traceCap int) *obs.Sink {
 	})
 }
 
-// New builds a GPU for one kernel run.
-func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
+// New builds a GPU for one kernel run. Configuration arrives as functional
+// options (WithPrefetcher, WithWorkers, ...); the legacy Options struct
+// still satisfies Option during its deprecation window.
+func New(cfg config.GPUConfig, k *kernels.Kernel, opts ...Option) (*GPU, error) {
+	opt := Build(opts...)
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid config: %w", err)
 	}
@@ -160,6 +148,27 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 	if g.watchdog == 0 {
 		g.watchdog = DefaultWatchdogCycles
 	}
+	g.idleSkip = opt.IdleSkip
+	// The tracer hook is one shared closure the staged SM phase cannot
+	// isolate, so it pins the run to the serial tick.
+	g.workers = opt.Workers
+	if g.workers < 1 || opt.Tracer != nil {
+		g.workers = 1
+	}
+	if g.workers > cfg.NumSMs {
+		g.workers = cfg.NumSMs
+	}
+	// Workers beyond the CPUs actually available cannot run concurrently;
+	// they only add barrier hand-offs to every cycle. Results are worker-
+	// count-independent by construction, so the clamp is invisible except
+	// in wall-clock.
+	if p := runtime.GOMAXPROCS(0); g.workers > p {
+		g.workers = p
+	}
+	g.partDemand = make([]int, cfg.NumPartitions)
+	if g.workers > 1 {
+		opt.Obs.EnableStaging()
+	}
 	g.icnt = mem.NewInterconnect(cfg.NumSMs, cfg.NumPartitions, cfg.ICNTQueue, cfg.ICNTLatency, cfg.ICNTWidth)
 
 	g.drams = make([]*mem.DRAMChannel, cfg.DRAM.Channels)
@@ -171,11 +180,16 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 	for i := range g.parts {
 		g.parts[i] = mem.NewPartition(i, cfg, g.drams[i%cfg.DRAM.Channels], g.icnt, st)
 		g.parts[i].AttachObs(opt.Obs)
+		if opt.IdleSkip {
+			g.parts[i].EnableStallReplay()
+		}
 	}
 
 	g.sms = make([]*SM, cfg.NumSMs)
+	g.shards = make([]stats.Sim, cfg.NumSMs)
 	for i := range g.sms {
-		pf, err := prefetch.New(opt.Prefetcher, cfg, st)
+		shard := &g.shards[i]
+		pf, err := prefetch.New(opt.Prefetcher, cfg, shard)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +197,8 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opt Options) (*GPU, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.sms[i] = newSM(i, cfg, k, sc, pf, g.icnt, st, g.requestDispatch)
+		g.sms[i] = newSM(i, cfg, k, sc, pf, g.icnt, shard, g.requestDispatch)
+		g.sms[i].idleSkipOn = opt.IdleSkip
 		g.sms[i].Tracer = opt.Tracer
 		g.sms[i].AttachObs(opt.Obs)
 	}
@@ -250,8 +265,21 @@ func (g *GPU) requestDispatch(smID int) {
 	g.dispatchReq = append(g.dispatchReq, smID)
 }
 
-// Stats exposes the run's counters.
-func (g *GPU) Stats() *stats.Sim { return g.st }
+// Stats exposes the run's counters, draining the per-SM shards into the
+// global struct first so callers always see complete totals. Safe to call
+// mid-run between Steps (shards zero as they drain, so the merge is not
+// double-counted), but not from another goroutine during one.
+func (g *GPU) Stats() *stats.Sim {
+	for i := range g.shards {
+		g.st.AddFrom(&g.shards[i])
+	}
+	return g.st
+}
+
+// Instructions returns the number of warp instructions issued so far
+// without forcing a shard merge: the Run loop's instruction cap, the
+// watchdog and the flight snapshot poll it every cycle.
+func (g *GPU) Instructions() int64 { return g.insts }
 
 // Cycle returns the current simulated cycle.
 func (g *GPU) Cycle() int64 { return g.cycle }
@@ -267,9 +295,24 @@ func (g *GPU) Partitions() []*mem.Partition { return g.parts }
 // internal/invariant); a violating run's statistics are meaningless, so
 // Run aborts on it.
 func (g *GPU) Step() error {
+	if g.idleSkip {
+		if wake := g.idleWake(g.cycle); wake > g.cycle {
+			k := wake - g.cycle
+			g.cycle = wake
+			g.st.Cycles += k
+			for _, sm := range g.sms {
+				sm.accountSkipped(k)
+			}
+			// A jump clamped to the cycle cap must not execute that cycle:
+			// a capped serial run stops after cycle MaxCycle-1.
+			if g.cfg.MaxCycle > 0 && wake >= g.cfg.MaxCycle {
+				return nil
+			}
+		}
+	}
 	if g.injectAt > 0 && g.cycle >= g.injectAt {
 		g.injectAt = 0
-		return invariant.Errorf("inject", g.cycle, "synthetic violation (Options.InjectViolation)")
+		return invariant.Errorf("inject", g.cycle, "synthetic violation (WithInjectViolation)")
 	}
 	now := g.cycle
 	for _, ch := range g.drams {
@@ -284,9 +327,17 @@ func (g *GPU) Step() error {
 			return err
 		}
 	}
-	for _, sm := range g.sms {
-		if _, err := sm.Tick(now); err != nil {
+	if g.workers > 1 {
+		if err := g.stepSMs(now); err != nil {
 			return err
+		}
+	} else {
+		for _, sm := range g.sms {
+			issued, err := sm.Tick(now)
+			g.insts += int64(issued)
+			if err != nil {
+				return err
+			}
 		}
 	}
 	// Demand-driven CTA dispatch for CTAs that completed this cycle.
@@ -341,12 +392,24 @@ func (g *GPU) RequestStop() { g.stopReq.Store(true) }
 // stopping (SIGQUIT semantics). Safe to call from another goroutine.
 func (g *GPU) RequestDump() { g.dumpReq.Store(true) }
 
+// Close releases the worker pool's goroutines. It is idempotent and a
+// no-op for serial GPUs (workers <= 1, the default). Run closes the pool
+// itself; Close matters only for GPUs built with WithWorkers(n > 1) and
+// stepped manually (the determinism harness, lockstep bisection).
+func (g *GPU) Close() {
+	if g.pool != nil {
+		g.pool.stop()
+		g.pool = nil
+	}
+}
+
 // Run executes until the workload drains or a cap is reached. It returns
 // the collected statistics; an error signals an invariant violation, a
 // hang (forward-progress watchdog) or an interrupt (ErrInterrupted). When
 // a flight recorder is attached, violations, hangs, panics and dump
-// requests each produce a black box through Options.OnDump.
+// requests each produce a black box through WithOnDump.
 func (g *GPU) Run() (*stats.Sim, error) {
+	defer g.Close()
 	if g.flight != nil {
 		defer func() {
 			if r := recover(); r != nil {
@@ -364,7 +427,7 @@ func (g *GPU) Run() (*stats.Sim, error) {
 	lastInsts := int64(-1)
 	lastProgress := int64(0)
 	for !g.Done() {
-		if g.cfg.MaxInsts > 0 && g.st.Instructions >= g.cfg.MaxInsts {
+		if g.cfg.MaxInsts > 0 && g.insts >= g.cfg.MaxInsts {
 			break
 		}
 		if g.cfg.MaxCycle > 0 && g.cycle >= g.cfg.MaxCycle {
@@ -372,33 +435,35 @@ func (g *GPU) Run() (*stats.Sim, error) {
 		}
 		if err := g.Step(); err != nil {
 			g.emitDump(flight.ReasonViolation, err.Error())
-			return g.st, err
+			return g.Stats(), err
 		}
 		// The beat: liveness Progress event plus the cross-goroutine
 		// stop/dump request polls (one mask test per cycle otherwise).
+		// Step's idle fast-forward clamps its jumps to the beat boundary,
+		// so the beat fires on the same cycles with or without idle-skip.
 		if g.cycle&g.beatMask == 0 {
 			if g.snk != nil {
-				g.snk.Progress(g.cycle, g.st.Instructions)
+				g.snk.Progress(g.cycle, g.insts)
 			}
 			if g.stopReq.Load() {
-				return g.st, ErrInterrupted
+				return g.Stats(), ErrInterrupted
 			}
 			if g.dumpReq.Swap(false) {
 				g.emitDump(flight.ReasonSignal, "dump requested")
 			}
 		}
-		if g.st.Instructions != lastInsts {
-			lastInsts = g.st.Instructions
+		if g.insts != lastInsts {
+			lastInsts = g.insts
 			lastProgress = g.cycle
 		} else if g.watchdog > 0 && g.cycle-lastProgress > g.watchdog {
 			err := fmt.Errorf("sim: no forward progress for %d cycles at cycle %d (%s)",
 				g.watchdog, g.cycle, g.kernel.Abbr)
 			g.emitDump(flight.ReasonWatchdog, err.Error())
-			return g.st, err
+			return g.Stats(), err
 		}
 	}
 	g.finalAccounting()
-	return g.st, nil
+	return g.Stats(), nil
 }
 
 // finalAccounting collects end-of-run statistics (never-used prefetched

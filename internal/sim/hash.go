@@ -19,6 +19,9 @@ type stateHasher interface {
 // checkpoint sensitive to any divergence in core-side state, not just the
 // end-of-run counters.
 func (sm *SM) HashState(h hash.Hash64) {
+	// The stall replay defers scheduler cursor movement (see stallTicks);
+	// fold the cursor's true position, not its lazy one.
+	sm.flushStallTicks()
 	var buf [8]byte
 	word := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"caps/internal/config"
+	"caps/internal/flight"
+	"caps/internal/obs"
+	"caps/internal/prefetch"
+)
+
+// Option configures one GPU run. Build a simulator with
+//
+//	g, err := sim.New(cfg, kernel,
+//		sim.WithPrefetcher("caps"),
+//		sim.WithWorkers(8),
+//		sim.WithIdleSkip(),
+//		sim.WithObs(snk))
+//
+// Options compose left to right: a later option overrides an earlier one
+// that touches the same knob. The legacy Options struct also implements
+// Option (see its deprecation note), so pre-redesign call sites keep
+// compiling for one release.
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a plain closure to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// Build resolves a list of options into the final Options value. Harnesses
+// (determinism, experiments) use it to inspect what a run was configured
+// with without re-parsing the option list.
+func Build(opts ...Option) Options {
+	var o Options
+	for _, op := range opts {
+		if op != nil {
+			op.apply(&o)
+		}
+	}
+	return o
+}
+
+// Modify returns an option that edits the resolved Options in place. It is
+// the bridge for decorator hooks (experiments.WithSimOptions) that predate
+// the functional-options API and still want struct-level access.
+func Modify(fn func(*Options)) Option {
+	return optionFunc(func(o *Options) {
+		if fn != nil {
+			fn(o)
+		}
+	})
+}
+
+// WithPrefetcher selects a registered prefetcher by name ("none", "caps",
+// "intra", "inter", "lap", "nlp", "orch", ...). Unset defaults to "none".
+func WithPrefetcher(name string) Option {
+	return optionFunc(func(o *Options) { o.Prefetcher = name })
+}
+
+// WithScheduler overrides cfg.Scheduler for this run when non-empty.
+func WithScheduler(k config.SchedulerKind) Option {
+	return optionFunc(func(o *Options) { o.Scheduler = k })
+}
+
+// WithTracer attaches a per-demand-load observation hook (the Fig. 1
+// analysis). A tracer pins the run to the serial tick path: the hook is a
+// single shared closure the parallel SM phase cannot stage, so WithWorkers
+// is ignored while a tracer is set.
+func WithTracer(fn func(obs *prefetch.Observation)) Option {
+	return optionFunc(func(o *Options) { o.Tracer = fn })
+}
+
+// WithObs attaches an observability sink: metrics and (if the sink was
+// built with tracing) cycle-stamped events from every simulator layer. A
+// nil sink costs one branch per event site.
+func WithObs(s *obs.Sink) Option {
+	return optionFunc(func(o *Options) { o.Obs = s })
+}
+
+// WithFlight attaches a black-box flight recorder (see internal/flight):
+// the last N events per unit, dumped with a machine-state snapshot when
+// the run dies. When no sink is attached a metrics-only sink is created to
+// carry the event stream. Use NewFlightRecorder to size one for the config.
+func WithFlight(r *flight.Recorder) Option {
+	return optionFunc(func(o *Options) { o.Flight = r })
+}
+
+// WithOnDump registers the callback that receives every black box the run
+// writes (violation, panic, watchdog, dump request, or explicit DumpNow).
+func WithOnDump(fn func(*flight.Dump)) Option {
+	return optionFunc(func(o *Options) { o.OnDump = fn })
+}
+
+// WithProgressEvery paces the EvProgress beat, the stop/dump-request polls
+// and the watchdog check, in cycles; rounded up to a power of two. Zero
+// selects DefaultProgressEvery. The idle fast-forward clamps its jumps to
+// the same beat so liveness behavior is identical with or without it.
+func WithProgressEvery(cycles int64) Option {
+	return optionFunc(func(o *Options) { o.ProgressEvery = cycles })
+}
+
+// WithWatchdogCycles aborts the run when no instruction retires for this
+// many cycles. Zero selects DefaultWatchdogCycles; negative disables the
+// watchdog.
+func WithWatchdogCycles(cycles int64) Option {
+	return optionFunc(func(o *Options) { o.WatchdogCycles = cycles })
+}
+
+// WithInjectViolation raises a synthetic invariant violation once the GPU
+// reaches the given cycle — the flight-smoke hook.
+func WithInjectViolation(cycle int64) Option {
+	return optionFunc(func(o *Options) { o.InjectViolation = cycle })
+}
+
+// WithPerturbPrefetchAt arms a one-shot perturbation on SM 0: the first
+// prefetch candidate enqueued at or after that cycle has its line address
+// shifted by one line. Divergence-localizer tests use it to plant a known
+// first-divergent cycle.
+func WithPerturbPrefetchAt(cycle int64) Option {
+	return optionFunc(func(o *Options) { o.PerturbPrefetchAt = cycle })
+}
+
+// WithWorkers ticks SMs on n goroutines inside each Step: workers tick
+// disjoint SM shards in parallel, then a single-threaded commit phase
+// drains the staged cross-SM effects (interconnect pushes, obs events,
+// CTA-dispatch requests) in fixed SM order, so state hashes and statistics
+// are bit-identical to the serial tick at any worker count. n is clamped
+// to [1, min(NumSMs, GOMAXPROCS)] — workers beyond the CPUs actually
+// available cannot run concurrently and would only add barrier hand-offs;
+// 1 (the default) keeps the classic serial path with zero overhead. A GPU
+// stepped manually with n > 1 owns a worker pool — call Close when done
+// with it (Run does so automatically).
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *Options) { o.Workers = n })
+}
+
+// WithIdleSkip enables idle-cycle fast-forward (see internal/sim
+// fastforward.go). Per SM, a tick that proves itself a no-op caches a
+// sleep window, and every tick inside it short-circuits past the
+// scheduler scan; whole-GPU, when every SM is asleep and the earliest
+// scheduled memory event — interconnect delivery, L2 pipe maturation,
+// DRAM completion — is k cycles away, the clock jumps those k cycles in
+// one step, bulk-crediting the skipped cycles to the same stall-stack
+// buckets the serial loop would have recorded. Statistics and state
+// hashes are bit-identical to a run without it. The whole-GPU jump
+// disables itself while a per-cycle stream consumer (capsprof) is
+// attached, which needs one EvCycleClass per SM per cycle; the per-SM
+// sleep emits that event each cycle and stays active.
+func WithIdleSkip() Option {
+	return optionFunc(func(o *Options) { o.IdleSkip = true })
+}
+
+// Options is the resolved configuration for one run. New code should use
+// the functional options above; Build turns an option list back into an
+// Options value for inspection.
+//
+// Deprecated: constructing Options directly is a pre-redesign idiom kept
+// for one release. Options implements Option — sim.New(cfg, k,
+// Options{...}) still compiles — with merge semantics: only its non-zero
+// fields override the options accumulated so far.
+type Options struct {
+	Prefetcher string // registered prefetcher name ("none", "caps", ...)
+	// Scheduler overrides cfg.Scheduler when non-empty.
+	Scheduler config.SchedulerKind
+	// Tracer observes every demand load (Fig. 1 analysis). Optional.
+	// Setting it forces Workers to 1 (see WithTracer).
+	Tracer func(obs *prefetch.Observation)
+	// Obs, when non-nil, receives metrics and (if the sink was built with
+	// tracing) cycle-stamped events from every simulator layer. A nil sink
+	// costs one branch per event site.
+	Obs *obs.Sink
+	// Flight attaches a black-box recorder (see internal/flight): the last
+	// N events per unit, dumped with a machine-state snapshot when the run
+	// dies. When Obs is nil a metrics-only sink is created to carry the
+	// event stream. Use NewFlightRecorder to size one for the config.
+	Flight *flight.Recorder
+	// OnDump receives the black box whenever one is written (violation,
+	// panic, watchdog, dump request, or an explicit DumpNow).
+	OnDump func(*flight.Dump)
+	// ProgressEvery paces the EvProgress beat, the stop/dump-request polls
+	// and the watchdog check, in cycles; rounded up to a power of two.
+	// Zero selects DefaultProgressEvery.
+	ProgressEvery int64
+	// WatchdogCycles aborts the run when no instruction retires for this
+	// many cycles. Zero selects DefaultWatchdogCycles; negative disables
+	// the watchdog.
+	WatchdogCycles int64
+	// InjectViolation, when positive, raises a synthetic invariant
+	// violation once the GPU reaches that cycle — the flight-smoke hook.
+	InjectViolation int64
+	// PerturbPrefetchAt, when positive, arms a one-shot perturbation on
+	// SM 0: the first prefetch candidate enqueued at or after that cycle
+	// has its line address shifted by one line. Divergence-localizer
+	// tests use it to plant a known first-divergent cycle.
+	PerturbPrefetchAt int64
+	// Workers is the intra-run SM tick parallelism (see WithWorkers).
+	Workers int
+	// IdleSkip enables idle-cycle fast-forward (see WithIdleSkip).
+	IdleSkip bool
+}
+
+// apply implements Option for the legacy struct: each non-zero field
+// overrides the value accumulated so far, so sim.New(cfg, k, Options{...})
+// behaves exactly as it did before the functional-options redesign while
+// still composing with With* options.
+func (legacy Options) apply(o *Options) {
+	if legacy.Prefetcher != "" {
+		o.Prefetcher = legacy.Prefetcher
+	}
+	if legacy.Scheduler != "" {
+		o.Scheduler = legacy.Scheduler
+	}
+	if legacy.Tracer != nil {
+		o.Tracer = legacy.Tracer
+	}
+	if legacy.Obs != nil {
+		o.Obs = legacy.Obs
+	}
+	if legacy.Flight != nil {
+		o.Flight = legacy.Flight
+	}
+	if legacy.OnDump != nil {
+		o.OnDump = legacy.OnDump
+	}
+	if legacy.ProgressEvery != 0 {
+		o.ProgressEvery = legacy.ProgressEvery
+	}
+	if legacy.WatchdogCycles != 0 {
+		o.WatchdogCycles = legacy.WatchdogCycles
+	}
+	if legacy.InjectViolation != 0 {
+		o.InjectViolation = legacy.InjectViolation
+	}
+	if legacy.PerturbPrefetchAt != 0 {
+		o.PerturbPrefetchAt = legacy.PerturbPrefetchAt
+	}
+	if legacy.Workers != 0 {
+		o.Workers = legacy.Workers
+	}
+	if legacy.IdleSkip {
+		o.IdleSkip = true
+	}
+}

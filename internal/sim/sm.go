@@ -81,6 +81,15 @@ type SM struct {
 	// the next one (demand-driven distribution).
 	onCTADone func(smID int)
 
+	// staged redirects this tick's cross-SM effects into per-SM lanes for
+	// the parallel Step's commit phase: interconnect pushes land in icLane
+	// and CTA-completion dispatch requests are counted in stagedDispatch,
+	// both drained in fixed SM order after the barrier (see parallel.go).
+	// Off (the default) on the serial path, so nothing changes there.
+	staged         bool
+	icLane         []*mem.Request
+	stagedDispatch int
+
 	// memStallEv latches "a memory structural stall happened this cycle"
 	// (LSU replay after a reservation fail, or a full LSU/store queue) so
 	// cycle classification can separate structural stalls from an
@@ -94,6 +103,59 @@ type SM struct {
 	sanComp  string
 	sanSlots []int
 	sanNext  int64
+
+	// idleSkipOn enables the per-SM sleep fast paths (set when the run was
+	// built WithIdleSkip). Two cached verdicts, both derived state that is
+	// recomputed on wake and excluded from state hashes:
+	//
+	// idleUntil caches the skipBound verdict from the last full tick: for
+	// every cycle strictly below it the whole tick pipeline is provably a
+	// no-op unless a fill arrives, so Tick short-circuits right after
+	// acceptResponses. sleepClass is the stall-stack class each slept cycle
+	// records — constant across the window because nothing in its inputs
+	// changes on a no-op cycle.
+	//
+	// issueIdleUntil caches the weaker issueBound verdict (quiescent
+	// scheduler, no warp eligible before that cycle): the memory pipes
+	// still tick — an LSU head replaying reservation fails, stores and
+	// misses draining — but the issue stage is provably a failed Pick, so
+	// Tick skips the scheduler scan and records the stall directly. The
+	// Quiescer contract makes the skipped Pick a true no-op.
+	//
+	// stallUntil caches the structural-stall replay verdict (tryStallReplay):
+	// for every cycle strictly below it the whole tick is the one stall
+	// pattern that dominates memory-saturated phases — the LSU head replays
+	// a reservation fail against a full MSHR file while every warp the
+	// scheduler can pick sits at a load the full LSU queue rejects. Tick
+	// replays that cycle's exact deltas (two counters, the ResFail event,
+	// the stall-cycle and stall-class accounting, and the scheduler-cursor
+	// evolution via sched.StallRunner) in O(1) instead of running the
+	// pipeline. stallPicks distinguishes the flavor where Picks succeed and
+	// fail in execute (IssueWidth extra MemStalls plus cursor movement) from
+	// the one where every Pick returns -1; stallSched is the scheduler's
+	// StallRunner, cached so the replay avoids a per-cycle type assertion.
+	//
+	// All three windows are voided by wake(): any accepted response (fills
+	// free MSHRs, clear waitLoad, and may promote warps), a CTA launch, and
+	// pumpLSU retiring a warp's last outstanding access (the warp becomes
+	// promotable mid-window).
+	// sleepRetryAt backs off the sleep/stall-window search after a failed
+	// attempt: when trySleep establishes no window, re-scanning every
+	// no-issue cycle is pure overhead, so the next attempt waits a few
+	// cycles unless a wake event (which can open a window) clears the
+	// backoff. Purely a wall-clock heuristic — trySleep has no observable
+	// effect, so delaying it cannot change results. Derived state,
+	// excluded from determinism hashes.
+	idleSkipOn     bool
+	idleUntil      int64
+	issueIdleUntil int64
+	sleepClass     obs.CycleClass
+	stallUntil     int64
+	stallPicks     bool
+	stallSched     sched.StallRunner
+	stallSR        sched.StallRunner // sched's StallRunner side, nil if none
+	stallTicks     int
+	sleepRetryAt   int64
 
 	// perturbAt arms the one-shot divergence-test perturbation
 	// (sim.Options.PerturbPrefetchAt): the first prefetch candidate that
@@ -139,6 +201,10 @@ func newSM(id int, cfg config.GPUConfig, k *kernels.Kernel, sc sched.Scheduler,
 	for i := range sm.warps {
 		sm.warps[i].slot = i
 	}
+	// Resolve the scheduler's stall-replay capability once; tryStallReplay
+	// runs on every failed-issue tick and the repeated interface assertion
+	// is measurable there.
+	sm.stallSR, _ = sc.(sched.StallRunner)
 	if cfg.CheckInvariants {
 		sm.sanitize = true
 		sm.sanComp = fmt.Sprintf("SM[%d]", id)
@@ -189,6 +255,7 @@ func (sm *SM) FreeCTASlot() int {
 
 // LaunchCTA places a CTA into the given slot and activates its warps.
 func (sm *SM) LaunchCTA(slot, ctaID int) {
+	sm.wake() // fresh warps can issue immediately: end any sleep window
 	coord := sm.kernel.Grid.Coord(ctaID)
 	sm.ctas[slot] = ctaState{
 		active:    true,
@@ -222,7 +289,14 @@ func (sm *SM) Blocked(slot int) bool {
 	return !w.active || w.finished || w.waitLoad || w.atBarrier
 }
 
-var _ sched.View = (*SM)(nil)
+// StallPickable implements sched.StallView: during a stall-replay
+// snapshot, a Pick returning slot is provably a mutation-free structural
+// stall only when it would hand a load to a full LSU queue.
+func (sm *SM) StallPickable(slot int) bool {
+	return len(sm.lsuQ) >= lsuQueueCap && sm.kernel.Program[sm.warps[slot].pc].Kind == kernels.OpLoad
+}
+
+var _ sched.StallView = (*SM)(nil)
 
 // Busy reports whether the SM still has live warps or in-flight memory.
 func (sm *SM) Busy() bool {
@@ -260,10 +334,70 @@ func (sm *SM) Tick(now int64) (int, error) {
 	if err := sm.acceptResponses(now); err != nil {
 		return 0, err
 	}
+	if now < sm.idleUntil {
+		// Asleep: the last full tick proved (skipBound) that every cycle
+		// before idleUntil is a no-op unless a fill arrives, and
+		// acceptResponses above just cancelled the window if one did. Record
+		// exactly what the full pipeline records on such a cycle — one stall
+		// cycle while warps are live, plus the cached stall-stack class —
+		// and return without touching the queues or the scheduler.
+		if sm.liveWarps > 0 {
+			sm.st.StallCycles++ //caps:shared-sync stats-reduce
+
+		}
+		if sm.snk != nil {
+			sm.snk.CycleClass(now, sm.id, sm.sleepClass)
+		}
+		return 0, nil
+	}
+	if now < sm.stallUntil {
+		// Structural-stall replay: the last full tick proved (tryStallReplay)
+		// that until stallUntil every cycle repeats the same pattern — the
+		// empty store and miss queues stay no-ops, the LSU head's access is
+		// rejected by the full MSHR file, and the issue stage's Picks either
+		// all return warps whose loads the full LSU queue refuses or all
+		// return -1. Apply that cycle's exact deltas without running the
+		// pipeline; acceptResponses above cancelled the window if anything
+		// that could change the pattern arrived.
+		g := sm.lsuQ[0]
+		sm.l1.ReplayResFail(now, g.addrs[g.idx], false)
+		sm.st.ReservationFails++ //caps:shared-sync stats-reduce
+		sm.st.MemStalls++
+		sm.memStallEv = true
+		if sm.stallPicks {
+			sm.st.MemStalls += int64(sm.cfg.IssueWidth) //caps:shared-sync stats-reduce
+
+			// StallTick is associative (the cursor walk is linear in the
+			// pick count), so the per-cycle ticks batch into one deferred
+			// call; flushStallTicks runs it before anything can observe
+			// scheduler state — a full tick, a wake, or a state hash.
+			sm.stallTicks += sm.cfg.IssueWidth
+		}
+		sm.st.StallCycles++ //caps:shared-sync stats-reduce
+
+		if sm.snk != nil {
+			sm.snk.CycleClass(now, sm.id, obs.CycleMemStructural)
+		}
+		return 0, nil
+	}
+	sm.flushStallTicks()
 	sm.drainStores(now)
 	sm.pumpLSU(now)
 	sm.drainMisses(now)
-	issued := sm.issue(now)
+	issued := 0
+	if now < sm.issueIdleUntil {
+		// Issue sleep: the scheduler is quiescent and no warp can become
+		// eligible before issueIdleUntil (pumpLSU above would have voided
+		// the window had it just made one promotable), so issue(now) would
+		// run a failed Pick. Record its only effect — a stall cycle while
+		// warps are live — without the scan.
+		if sm.liveWarps > 0 {
+			sm.st.StallCycles++ //caps:shared-sync stats-reduce
+
+		}
+	} else {
+		issued = sm.issue(now)
+	}
 	if sm.snk != nil {
 		sm.snk.CycleClass(now, sm.id, sm.classifyCycle(issued))
 	}
@@ -274,7 +408,37 @@ func (sm *SM) Tick(now int64) (int, error) {
 			return issued, err
 		}
 	}
+	// Re-evaluate sleep only at a window's edge: while issueIdleUntil still
+	// covers the next cycle the cached verdict stands and the scan would be
+	// pure overhead.
+	if sm.idleSkipOn && issued == 0 && now+1 >= sm.issueIdleUntil && now >= sm.sleepRetryAt {
+		sm.trySleep(now)
+	}
 	return issued, nil
+}
+
+// wake voids the cached sleep and stall-replay windows (see their field
+// comment): the caller just changed state that can make a warp eligible, a
+// scheduler non-quiescent, or the replayed reservation fail succeed.
+func (sm *SM) wake() {
+	sm.flushStallTicks()
+	sm.idleUntil = 0
+	sm.issueIdleUntil = 0
+	sm.stallUntil = 0
+	sm.sleepRetryAt = 0
+}
+
+// flushStallTicks applies the stall-replay pick batches deferred by the
+// frozen tick (see stallTicks) to the scheduler's cursor. Callers run it
+// before any scheduler read: the full tick pipeline, a wake, and the
+// determinism hash.
+//
+//caps:hotpath
+func (sm *SM) flushStallTicks() {
+	if sm.stallTicks > 0 {
+		sm.stallSched.StallTick(sm.stallTicks)
+		sm.stallTicks = 0
+	}
 }
 
 // newRequest returns a zeroed request from the SM's free list, minting a
@@ -312,6 +476,36 @@ func (sm *SM) recycleLSUGroup(g *lsuGroup) {
 	sm.lsuFree = append(sm.lsuFree, g) //caps:alloc-ok free-list capacity converges to lsuQueueCap
 }
 
+// pushToPartition forwards one request toward its memory partition. On the
+// serial path it is a direct interconnect push; during a staged parallel
+// tick the request parks in the SM's commit lane instead and the push is
+// unconditionally accepted — the pre-tick congestion check (icntPrecheck)
+// reserved room for every request this SM could emit this cycle.
+func (sm *SM) pushToPartition(now int64, r *mem.Request) bool {
+	if sm.staged {
+		sm.icLane = append(sm.icLane, r) //caps:alloc-ok commit lane retains capacity; bounded by storeQueueCap + the L1 miss queue
+		return true
+	}
+	return sm.ic.PushToPartition(now, r)
+}
+
+// addIcntDemand accumulates, per partition, the worst-case number of
+// interconnect pushes this SM's next tick can perform: every buffered
+// store, every queued L1 miss, and one new miss from the LSU head access.
+func (sm *SM) addIcntDemand(d []int) {
+	for _, r := range sm.storeQ {
+		d[r.Partition]++
+	}
+	for i, n := 0, sm.l1.MissQueueLen(); i < n; i++ {
+		d[sm.l1.MissQueueAt(i).Partition]++
+	}
+	if len(sm.lsuQ) > 0 {
+		g := sm.lsuQ[0]
+		a := g.addrs[g.idx]
+		d[mem.PartitionOf(a, sm.cfg.PartitionChunkBytes, sm.cfg.NumPartitions)]++
+	}
+}
+
 // acceptResponses drains fills returning from the interconnect.
 //
 //caps:shared-sync stats-reduce
@@ -321,6 +515,9 @@ func (sm *SM) acceptResponses(now int64) error {
 		if r == nil {
 			return nil
 		}
+		// A response changes memory state (MSHR freed, warps may wake):
+		// any sleep window proven before it arrived is void.
+		sm.wake()
 		fill, err := sm.l1.Fill(now, r.LineAddr)
 		if err != nil {
 			return err
@@ -334,7 +531,7 @@ func (sm *SM) acceptResponses(now int64) error {
 			case mem.Demand:
 				sm.st.DemandLatencySum += now - w.IssueCycle
 				sm.st.DemandLatencyCount++
-				sm.snk.DemandLatency(now - w.IssueCycle)
+				sm.snk.DemandLatency(sm.id, now-w.IssueCycle)
 				ws := &sm.warps[w.WarpSlot]
 				if ws.active && ws.outstanding > 0 {
 					ws.outstanding--
@@ -374,7 +571,7 @@ func (sm *SM) acceptResponses(now int64) error {
 func (sm *SM) drainStores(now int64) {
 	for len(sm.storeQ) > 0 {
 		r := sm.storeQ[0]
-		if !sm.ic.PushToPartition(now, r) {
+		if !sm.pushToPartition(now, r) {
 			return
 		}
 		sm.st.CoreToMemRequests++
@@ -421,6 +618,9 @@ func (sm *SM) pumpLSU(now int64) {
 				sm.snk.WarpStallEnd(now, sm.id, g.warp.slot)
 			}
 			g.warp.waitLoad = false
+			// The warp is promotable again — this cycle's issue stage must
+			// see it, so any cached sleep window is void.
+			sm.wake()
 		}
 	case mem.MissNew:
 		sm.st.DemandMisses++
@@ -460,7 +660,7 @@ func (sm *SM) drainMisses(now int64) {
 		if head == nil {
 			return
 		}
-		if !sm.ic.PushToPartition(now, head) {
+		if !sm.pushToPartition(now, head) {
 			return
 		}
 		sm.l1.PopMiss()
@@ -732,7 +932,11 @@ func (sm *SM) finishWarp(w *warpState) {
 		sm.activeCTAs--
 		sm.st.CTAsDone++
 		sm.snk.CTAFinish(sm.nowCache, sm.id, w.ctaID)
-		if sm.onCTADone != nil {
+		if sm.staged {
+			// Parallel tick: the dispatch request is replayed in SM order
+			// by the commit phase, matching the serial dispatchReq order.
+			sm.stagedDispatch++
+		} else if sm.onCTADone != nil {
 			sm.onCTADone(sm.id) //caps:alloc-ok CTA dispatch runs at CTA, not cycle, granularity //caps:shared-sync cta-dispatch
 
 		}

@@ -122,6 +122,29 @@ func (s *Sim) Hash64() uint64 {
 	return h.Sum64()
 }
 
+// AddFrom drains src into s: every int64 counter is added to s's matching
+// field and zeroed in src, so repeated merges never double count. The GPU
+// gives each SM (and its prefetcher) a private shard and drains them into
+// the run total on Stats() — addition is associative and commutative, so
+// the totals are bit-identical to the single shared struct the shards
+// replaced, at any worker count. Reflection keeps the merge in sync with
+// the field set exactly as Hash64 does.
+func (s *Sim) AddFrom(src *Sim) {
+	dv := reflect.ValueOf(s).Elem()
+	sv := reflect.ValueOf(src).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		f := dv.Field(i)
+		if f.Kind() != reflect.Int64 {
+			continue
+		}
+		sf := sv.Field(i)
+		if v := sf.Int(); v != 0 {
+			f.SetInt(f.Int() + v)
+			sf.SetInt(0)
+		}
+	}
+}
+
 // IPC returns instructions per cycle over the whole run.
 func (s *Sim) IPC() float64 {
 	if s.Cycles == 0 {
