@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke bench-json speed-bench check bench
+.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke bench-json speed-bench check bench
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,24 @@ serve-smoke:
 flight-smoke:
 	$(GO) run ./cmd/capscope smoke
 
+# End-to-end host-profiling smoke test: one short parallel run with the
+# wall-clock self-profiler on (capsim -hostprof), the written profile
+# re-validated by `capsprof host -validate` (phase times must sum to the
+# run's wall-clock within the sampling tolerance) and rendered to HTML,
+# then host-diff'd against a second identical run. Wall-clock noise between
+# two short runs is real, so the diff runs with loose thresholds — it
+# gates the machinery (read, compare, context match), not the numbers.
+hostprof-smoke:
+	$(GO) run ./cmd/capsim -bench MM -prefetch caps -insts 50000 \
+		-workers 4 -idle-skip -hostprof /tmp/caps-host-a.json
+	$(GO) run ./cmd/capsim -bench MM -prefetch caps -insts 50000 \
+		-workers 4 -idle-skip -hostprof /tmp/caps-host-b.json
+	$(GO) run ./cmd/capsprof host /tmp/caps-host-a.json -validate
+	$(GO) run ./cmd/capsprof host /tmp/caps-host-a.json \
+		-html /tmp/caps-host-a.html
+	$(GO) run ./cmd/capsprof host-diff /tmp/caps-host-a.json \
+		/tmp/caps-host-b.json -wall 2.0 -util 0.5 -skip 0.5
+
 # Regenerates BENCH_caps.json: headline IPC + prefetch metrics for every
 # benchmark under the CAPS configuration. capsprof diff accepts the file as
 # a baseline, turning the committed numbers into a regression gate.
@@ -85,7 +103,7 @@ speed-bench:
 		-speed-json /tmp/caps-speed.json
 	$(GO) run ./cmd/capsprof speed-diff BENCH_speed.json /tmp/caps-speed.json
 
-check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke
+check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"caps/internal/experiments"
 	"caps/internal/profile"
 	"caps/internal/runstore"
 )
@@ -31,6 +32,7 @@ func cmdServe(args []string) error {
 	dir := storeFlag(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	baselinePath := fs.String("baseline", "BENCH_caps.json", "committed bench baseline (\"\" to disable)")
+	speedPath := fs.String("speed", "BENCH_speed.json", "committed speed report for the host-time panel (\"\" to disable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,8 +56,20 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	var speed *experiments.SpeedReport
+	if *speedPath != "" {
+		if _, statErr := os.Stat(*speedPath); statErr == nil {
+			speed, err = experiments.ReadSpeedReport(*speedPath)
+			if err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "capsd: no speed report at %s, host panel shows stored profiles only\n", *speedPath)
+		}
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", dashboardHandler(store, baseline))
+	mux.Handle("/", dashboardHandler(store, baseline, speed))
 	mux.HandleFunc("/api/runs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, store.List(runstore.Query{All: r.URL.Query().Get("all") == "1"}))
@@ -75,7 +89,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // dashboardHandler renders the run table and the IPC charts from the
 // store's current contents on every request — the store is the source of
 // truth, so a running sweep's newly stored runs appear on refresh.
-func dashboardHandler(store *runstore.Store, baseline *profile.BenchReport) http.Handler {
+func dashboardHandler(store *runstore.Store, baseline *profile.BenchReport, speed *experiments.SpeedReport) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -98,6 +112,7 @@ th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; f
 		fmt.Fprintf(&b, "<p>%d stored run(s) in <code>%s</code></p>\n", len(entries), html.EscapeString(store.Dir()))
 
 		writeIPCCharts(&b, entries, baseline)
+		writeHostPanel(&b, store, entries, speed)
 
 		b.WriteString("<h2>Runs</h2>\n")
 		if len(entries) == 0 {
@@ -188,6 +203,68 @@ func writeIPCCharts(b *strings.Builder, entries []*runstore.Entry, baseline *pro
 			{Name: fmt.Sprintf("paper regular (%.2f)", paperMeanRegular), Color: "#fb8c00", Value: paperMeanRegular},
 			{Name: fmt.Sprintf("paper irregular (%.2f)", paperMeanIrregular), Color: "#8e24aa", Value: paperMeanIrregular},
 		})
+	if err != nil {
+		fmt.Fprintf(b, "<p>chart error: %s</p>\n", html.EscapeString(err.Error()))
+	}
+}
+
+// writeHostPanel renders the host-time panel: per-benchmark executor
+// wall-clock speedup from the committed BENCH_speed.json (serial vs tuned
+// worker count), then worker utilization and per-SM tick-time imbalance of
+// every stored run that carries a host profile (capsweep -hostprof-dir,
+// capsim -hostprof, with -store).
+func writeHostPanel(b *strings.Builder, store *runstore.Store, entries []*runstore.Entry, speed *experiments.SpeedReport) {
+	if speed != nil && len(speed.Entries) > 0 {
+		fmt.Fprintf(b, "<h2>Executor wall-clock speedup (serial &rarr; %d workers, idle-skip=%v)</h2>\n",
+			speed.Workers, speed.IdleSkip)
+		labels := make([]string, len(speed.Entries))
+		vals := make([]float64, len(speed.Entries))
+		for i, e := range speed.Entries {
+			labels[i] = e.Bench
+			vals[i] = e.Speedup
+		}
+		err := profile.WriteBarChartSVG(b, "wall-clock speedup (serial ms / tuned ms)", labels,
+			[]profile.ChartSeries{{Name: "speedup", Color: "#00897b", Values: vals}},
+			[]profile.RefLine{{Name: fmt.Sprintf("aggregate (%.2fx)", speed.Speedup), Color: "#e53935", Value: speed.Speedup}})
+		if err != nil {
+			fmt.Fprintf(b, "<p>chart error: %s</p>\n", html.EscapeString(err.Error()))
+		}
+	}
+
+	// Imbalance histogram over stored host profiles: the bar that sticks up
+	// is the run whose slowest SM holds the whole barrier back — the first
+	// candidate for `capsprof host` inspection.
+	var labels []string
+	var imb, util []float64
+	for _, e := range entries {
+		rec, err := store.Get(e.ID)
+		if err != nil || rec.Host == nil {
+			continue
+		}
+		bd := rec.Host.Breakdown()
+		labels = append(labels, e.Bench+"/"+e.Prefetcher)
+		imb = append(imb, bd.ImbalancePct)
+		mean := 0.0
+		for _, u := range bd.WorkerUtil {
+			mean += u
+		}
+		if n := len(bd.WorkerUtil); n > 0 {
+			mean /= float64(n)
+		}
+		util = append(util, mean*100)
+	}
+	if len(labels) == 0 {
+		if speed == nil {
+			b.WriteString("<p>No host profiles stored — sweep with <code>-hostprof-dir</code> and <code>-store</code> to see the host-time panel.</p>\n")
+		}
+		return
+	}
+	b.WriteString("<h2>Host-time balance of stored runs</h2>\n")
+	err := profile.WriteBarChartSVG(b, "SM tick-time imbalance and mean worker utilization (%)", labels,
+		[]profile.ChartSeries{
+			{Name: "SM imbalance % (max/mean - 1)", Color: "#c44e52", Values: imb},
+			{Name: "mean worker utilization %", Color: "#55a868", Values: util},
+		}, nil)
 	if err != nil {
 		fmt.Fprintf(b, "<p>chart error: %s</p>\n", html.EscapeString(err.Error()))
 	}

@@ -7,6 +7,7 @@
 //	capsim -bench MM -prefetch caps -trace out.json -metrics out.csv
 //	capsim -bench CNV -prefetch caps -profile out.profile.json
 //	capsim -bench MM -prefetch caps -cpuprofile cpu.pprof
+//	capsim -bench MM -prefetch caps -workers 4 -idle-skip -hostprof out.host.json
 //	capsim -list
 package main
 
@@ -27,6 +28,7 @@ import (
 	"caps/internal/energy"
 	"caps/internal/experiments"
 	"caps/internal/flight"
+	"caps/internal/hostprof"
 	"caps/internal/kernels"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
@@ -64,6 +66,7 @@ func run() int {
 		flightOut = flag.String("flight", "", "attach a flight recorder and write its black box (JSONL, see capscope) to this file when the run dies or SIGQUIT arrives")
 		watchdog  = flag.Int64("watchdog", 0, "abort when no instruction retires for this many cycles (0 = default, negative = off)")
 		beat      = flag.Int64("beat", 0, "progress-beat / watchdog-poll period in cycles, rounded to a power of two (0 = default 8192)")
+		hprofOut  = flag.String("hostprof", "", "self-profile the executor's wall-clock (phase/worker/skip attribution) and write the host profile JSON to this file; a text report goes to stderr")
 	)
 	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
@@ -135,6 +138,10 @@ func run() int {
 		col = profile.NewCollector(cfg.NumSMs)
 		snk.Attach(col)
 	}
+	var hprof *hostprof.Profiler
+	if *hprofOut != "" {
+		hprof = hostprof.New(hostprof.DefaultSampleEvery)
+	}
 	runID := fmt.Sprintf("%s-%s-%s", k.Abbr, *pf, cfg.Scheduler)
 	var srv *telemetry.Server
 	if *serveAdr != "" {
@@ -147,10 +154,17 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "capsim: telemetry on http://%s\n", addr)
 		meta := telemetry.RunMeta{ID: runID, Bench: k.Abbr, Prefetcher: *pf,
 			Scheduler: string(cfg.Scheduler), MaxInsts: cfg.MaxInsts}
-		snk.Attach(telemetry.NewRunProgress(srv.Hub(), meta, snk.Registry()))
+		rp := telemetry.NewRunProgress(srv.Hub(), meta, snk.Registry())
+		if hprof != nil {
+			rp.AttachHostProf(hprof)
+		}
+		snk.Attach(rp)
 	}
 	opts := []sim.Option{sim.WithPrefetcher(*pf), sim.WithObs(snk),
 		sim.WithProgressEvery(*beat), sim.WithWatchdogCycles(*watchdog)}
+	if hprof != nil {
+		opts = append(opts, sim.WithHostProf(hprof))
+	}
 	opts = append(opts, sf.SimOptions()...)
 	var dumpPath string
 	if *flightOut != "" {
@@ -262,6 +276,28 @@ func run() int {
 			return 1
 		}
 	}
+	var hostProf *hostprof.Profile
+	if hprof != nil {
+		// g.Run's deferred Close finalized the profiler; an aborted run's
+		// host profile is still written (the wall-clock spent is real), but
+		// only a completed one is validated — partial runs can legitimately
+		// sit outside the sampling-coverage tolerance.
+		hostProf = hprof.Build(k.Abbr, *pf)
+		if !aborted {
+			if err := hostProf.Validate(hostprof.DefaultTolerance); err != nil {
+				fmt.Fprintln(os.Stderr, "capsim: hostprof: accounting invariant violated:", err)
+				return 1
+			}
+		}
+		if err := hostProf.WriteFile(*hprofOut); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: hostprof:", err)
+			return 1
+		}
+		if err := hostProf.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: hostprof:", err)
+			return 1
+		}
+	}
 	if *storeDir != "" {
 		store, err := runstore.Open(*storeDir)
 		if err != nil {
@@ -271,6 +307,9 @@ func run() int {
 		rec := runstore.NewRecord(cfg, k.Abbr, *pf, st, prof)
 		if aborted {
 			rec.MarkAborted(abortReason, dumpPath)
+		}
+		if hostProf != nil {
+			rec.AttachHost(hostProf)
 		}
 		id, dup, err := store.Put(rec)
 		if err != nil {

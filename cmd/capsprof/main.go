@@ -9,6 +9,8 @@
 //	capsprof diff BENCH_caps.json cur.profile.json
 //	capsprof diff BENCH_caps.json BENCH_new.json
 //	capsprof speed-diff BENCH_speed.json BENCH_speed_new.json [-tolerance 0.2]
+//	capsprof host run.host.json [-html report.html] [-profile run.profile.json] [-validate]
+//	capsprof host-diff base.host.json cur.host.json
 //
 // diff exits 1 when any metric regresses past its threshold, 0 otherwise —
 // wire it into CI after a sweep to turn perf eyeballing into a gate.
@@ -42,6 +44,10 @@ func run(args []string) int {
 		return diff(args[1:])
 	case "speed-diff":
 		return speedDiff(args[1:])
+	case "host":
+		return host(args[1:])
+	case "host-diff":
+		return hostDiff(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return 0
@@ -81,7 +87,17 @@ func usage() {
   capsprof speed-diff <base-speed.json> <current-speed.json> [-tolerance frac]
       compare two capsweep -speed-json reports and exit 1 when any
       benchmark's (or the aggregate) serial-vs-tuned speedup fell more
-      than the tolerance fraction below the baseline's
+      than the tolerance fraction below the baseline's; host-context
+      mismatches between the reports are printed as warnings
+
+  capsprof host <run.host.json> [-html out.html] [-profile run.profile.json] [-validate]
+      render a wall-clock self-profile (capsim -hostprof, capsweep
+      -hostprof-dir): phase/worker/skip attribution as text, or a
+      self-contained HTML report; -profile joins the run's CPI stack in
+
+  capsprof host-diff <base.host.json> <current.host.json> [-wall|-phase|-util|-skip frac]
+      compare two host profiles and exit 1 on wall-clock, phase-share,
+      utilization, or skip-efficiency regressions past thresholds
 `)
 }
 
@@ -197,6 +213,9 @@ func speedDiff(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "capsprof:", err)
 		return 1
+	}
+	for _, w := range experiments.HostMismatch(base, cur) {
+		fmt.Printf("warning: host context mismatch: %s\n", w)
 	}
 	msgs := experiments.DiffSpeed(base, cur, *tol)
 	if len(msgs) == 0 {

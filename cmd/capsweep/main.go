@@ -22,6 +22,7 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/experiments"
+	"caps/internal/hostprof"
 	"caps/internal/obs"
 	"caps/internal/profile"
 	"caps/internal/runstore"
@@ -47,6 +48,7 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this address while the sweep runs")
 		storeDir   = flag.String("store", "", "record every completed run (stats + profile) into this run store directory (see capsd)")
 		flightDir  = flag.String("flight-dir", "", "attach a flight recorder to every run; a run that dies leaves <dir>/<run>.flight.jsonl (see capscope)")
+		hprofDir   = flag.String("hostprof-dir", "", "self-profile every run's executor wall-clock and write <dir>/<run>.host.json (see capsprof host)")
 	)
 	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
@@ -156,6 +158,18 @@ func main() {
 		}
 		opts = append(opts, experiments.WithFlight(*flightDir, func(k experiments.RunKey, err error) {
 			fmt.Fprintf(os.Stderr, "capsweep: flight %s: %v\n", k.Name(), err)
+		}))
+	}
+	if *hprofDir != "" {
+		if err := os.MkdirAll(*hprofDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, experiments.WithHostProf(func(k experiments.RunKey, hp *hostprof.Profile) {
+			if err := hp.WriteFile(filepath.Join(*hprofDir, k.Name()+".host.json")); err != nil {
+				fmt.Fprintf(os.Stderr, "capsweep: hostprof %s: %v\n", k.Name(), err)
+				exitCode = 1
+			}
 		}))
 	}
 	suite := experiments.NewSuite(cfg, opts...)

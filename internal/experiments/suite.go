@@ -13,6 +13,7 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/flight"
+	"caps/internal/hostprof"
 	"caps/internal/kernels"
 	"caps/internal/obs"
 	"caps/internal/profile"
@@ -93,6 +94,16 @@ type Suite struct {
 	simOpt  []func(RunKey, *sim.Options)
 	runOpts []sim.Option
 
+	// hostProf (WithHostProf) hands every run a wall-clock self-profiler;
+	// hostDone hooks receive the built profile after a successful run.
+	// hprofs holds each in-flight run's profiler (set before attach hooks so
+	// WithTelemetry can stream live stats); hostProfiles keeps the built
+	// profiles for HostProfile and the run-store attach. Both under mu.
+	hostProf     bool
+	hostDone     []func(RunKey, *hostprof.Profile)
+	hprofs       map[RunKey]*hostprof.Profiler
+	hostProfiles map[RunKey]*hostprof.Profile
+
 	// stopped flips when Interrupt is called; running tracks in-flight
 	// GPUs so the interrupt can reach them.
 	stopped bool
@@ -154,7 +165,11 @@ func WithTelemetry(hub *telemetry.Hub) Option {
 			}
 		}
 		s.attach = append(s.attach, func(k RunKey, snk *obs.Sink) {
-			snk.Attach(telemetry.NewRunProgress(hub, meta(k), snk.Registry()))
+			rp := telemetry.NewRunProgress(hub, meta(k), snk.Registry())
+			if hp := s.hostProfiler(k); hp != nil {
+				rp.AttachHostProf(hp)
+			}
+			snk.Attach(rp)
 		})
 		s.runDone = append(s.runDone, func(k RunKey, snk *obs.Sink, st *stats.Sim) {
 			hub.RunDone(meta(k), st.Cycles, st.Instructions, st.IPC(), snk.Snapshot())
@@ -199,7 +214,11 @@ func WithRunStore(store *runstore.Store, onErr func(RunKey, error)) Option {
 				}
 				p = built
 			}
-			if _, _, err := store.Put(runstore.NewRecord(cfg, k.Bench, k.Prefetch, st, p)); err != nil && onErr != nil {
+			rec := runstore.NewRecord(cfg, k.Bench, k.Prefetch, st, p)
+			if hpr := s.HostProfile(k); hpr != nil {
+				rec.AttachHost(hpr)
+			}
+			if _, _, err := store.Put(rec); err != nil && onErr != nil {
 				onErr(k, err)
 			}
 		})
@@ -219,6 +238,39 @@ func WithRunStore(store *runstore.Store, onErr func(RunKey, error)) Option {
 			}
 		})
 	}
+}
+
+// WithHostProf self-profiles every run's executor wall-clock with an
+// internal/hostprof profiler (sim.WithHostProf): phase, worker, and
+// fast-forward attribution at the default sampling rate. fn — optional —
+// receives each successful run's built profile (capsweep writes it to
+// -hostprof-dir); the profile is also retained for HostProfile. Composes
+// with WithTelemetry (beats gain live host stats) and WithRunStore (stored
+// records carry the host profile). Profiling never feeds back into the
+// simulation: cycles, hashes, and BENCH_caps.json stay bit-identical.
+func WithHostProf(fn func(RunKey, *hostprof.Profile)) Option {
+	return func(s *Suite) {
+		s.hostProf = true
+		if fn != nil {
+			s.hostDone = append(s.hostDone, fn)
+		}
+	}
+}
+
+// HostProfile returns the built host profile of a completed run, or nil if
+// the run hasn't finished or WithHostProf wasn't set.
+func (s *Suite) HostProfile(k RunKey) *hostprof.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hostProfiles[k]
+}
+
+// hostProfiler returns the in-flight run's profiler (nil outside runOnce or
+// without WithHostProf); WithTelemetry uses it to attach live host stats.
+func (s *Suite) hostProfiler(k RunKey) *hostprof.Profiler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hprofs[k]
 }
 
 // WithFlight attaches a flight recorder to every run; a run that dies
@@ -252,11 +304,13 @@ func WithRunOptions(opts ...sim.Option) Option {
 // NewSuite creates a suite over the given base configuration.
 func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
 	s := &Suite{
-		cfg:         cfg,
-		parallelism: runtime.GOMAXPROCS(0),
-		cache:       make(map[RunKey]*stats.Sim),
-		failures:    make(map[RunKey]error),
-		running:     make(map[RunKey]*sim.GPU),
+		cfg:          cfg,
+		parallelism:  runtime.GOMAXPROCS(0),
+		cache:        make(map[RunKey]*stats.Sim),
+		failures:     make(map[RunKey]error),
+		running:      make(map[RunKey]*sim.GPU),
+		hprofs:       make(map[RunKey]*hostprof.Profiler),
+		hostProfiles: make(map[RunKey]*hostprof.Profile),
 	}
 	for _, o := range opts {
 		o(s)
@@ -326,10 +380,24 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 		// metrics sink, no trace buffer.
 		snk = sim.NewSink(s.configFor(k), false, 0)
 	}
+	var hp *hostprof.Profiler
+	if s.hostProf {
+		// Registered before the attach hooks run, so WithTelemetry's
+		// RunProgress can pick the profiler up for live stats.
+		hp = hostprof.New(hostprof.DefaultSampleEvery)
+		s.mu.Lock()
+		s.hprofs[k] = hp
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.hprofs, k)
+			s.mu.Unlock()
+		}()
+	}
 	for _, hook := range s.attach {
 		hook(k, snk)
 	}
-	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk}
+	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk, HostProf: hp}
 	var dumpPath string // set by OnDump (same goroutine, inside g.Run)
 	if s.flightDir != "" {
 		opt.Flight = sim.NewFlightRecorder(s.configFor(k))
@@ -374,6 +442,17 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 			}
 		}
 		return nil, err
+	}
+	if hp != nil {
+		// Build before the runDone hooks so WithRunStore's record sees the
+		// profile. g.Run's deferred Close already finalized the profiler.
+		pr := hp.Build(k.Bench, k.Prefetch)
+		s.mu.Lock()
+		s.hostProfiles[k] = pr
+		s.mu.Unlock()
+		for _, fn := range s.hostDone {
+			fn(k, pr)
+		}
 	}
 	if snk != nil {
 		for _, hook := range s.runDone {

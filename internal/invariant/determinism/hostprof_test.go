@@ -1,0 +1,84 @@
+package determinism
+
+import (
+	"testing"
+
+	"caps/internal/hostprof"
+	"caps/internal/sim"
+)
+
+// The host profiler is pure observation: attaching it must leave the whole
+// architectural story — final state hash, cycle and instruction counts —
+// bit-identical, in every executor configuration (serial, parallel ticking,
+// idle fast-forward). The profile it builds must also satisfy its own
+// accounting invariants.
+func TestHostProfPreservesHashAndValidates(t *testing.T) {
+	cfg := parallelConfig()
+	ensureParallelism(t, 2)
+	for _, tc := range []struct {
+		label string
+		opts  []sim.Option
+	}{
+		{"serial", nil},
+		{"workers=2", []sim.Option{sim.WithWorkers(2)}},
+		{"idle-skip", []sim.Option{sim.WithIdleSkip()}},
+		{"workers=2+idle-skip", []sim.Option{sim.WithWorkers(2), sim.WithIdleSkip()}},
+	} {
+		base := append([]sim.Option{sim.WithPrefetcher("caps"), sim.WithScheduler(SchedulerFor("caps"))}, tc.opts...)
+		plain, err := RunOnce(cfg, "STE", base...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		hp := hostprof.New(hostprof.DefaultSampleEvery)
+		profiled, err := RunOnce(cfg, "STE", append(base[:len(base):len(base)], sim.WithHostProf(hp))...)
+		if err != nil {
+			t.Fatalf("%s profiled: %v", tc.label, err)
+		}
+		if plain != profiled {
+			t.Errorf("%s: host profiler changed the state hash: %#x vs %#x", tc.label, profiled, plain)
+		}
+		pr := hp.Build("STE", "caps")
+		// Generous coverage tolerance: a short CI run samples few steps, so
+		// the extrapolation is noisy; the structural invariants (positive
+		// wall, exact phase sum, no negative phase) are the hard part.
+		if err := pr.Validate(1.0); err != nil {
+			t.Errorf("%s: built profile fails validation: %v", tc.label, err)
+		}
+		if pr.Steps == 0 || pr.SampledSteps == 0 {
+			t.Errorf("%s: profile recorded steps=%d sampled=%d, want both > 0", tc.label, pr.Steps, pr.SampledSteps)
+		}
+	}
+}
+
+// The fast-forward clamp boundaries (progress beat, cycle cap) must leave
+// the periodic checkpoint-hash series bit-identical between a skipping run
+// and a ticking one — with a beat small enough that the beat clamp fires
+// throughout and a cycle cap that cuts the run mid-flight, so both clamps
+// are actually exercised, not just reachable.
+func TestIdleSkipSeriesWithClampsActive(t *testing.T) {
+	cfg := parallelConfig()
+	cfg.MaxInsts = 0
+	cfg.MaxCycle = 12_000 // cap mid-run: the MaxCycle clamp must fire
+	for _, bench := range []string{"STE", "MM"} {
+		base := []sim.Option{sim.WithPrefetcher("caps"), sim.WithScheduler(SchedulerFor("caps"))}
+		ticking, err := CheckpointRun(cfg, bench, 512, base...)
+		if err != nil {
+			t.Fatalf("%s ticking: %v", bench, err)
+		}
+		skipping, err := CheckpointRun(cfg, bench, 512, append(base[:len(base):len(base)], sim.WithIdleSkip())...)
+		if err != nil {
+			t.Fatalf("%s skipping: %v", bench, err)
+		}
+		if len(skipping) != len(ticking) {
+			t.Errorf("%s: %d checkpoints with idle-skip, %d without", bench, len(skipping), len(ticking))
+			continue
+		}
+		for i := range ticking {
+			if skipping[i] != ticking[i] {
+				t.Errorf("%s: checkpoint at cycle %d hashed %#x with idle-skip, %#x without",
+					bench, ticking[i].Cycle, skipping[i].Hash, ticking[i].Hash)
+				break
+			}
+		}
+	}
+}

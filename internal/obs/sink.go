@@ -276,6 +276,19 @@ func (s *Sink) Progress(cycle, instructions int64) {
 	}
 }
 
+// HostTime records the run's wall-clock position in nanoseconds at a
+// liveness beat — emitted just before the beat's Progress event when a
+// host profiler (sim.WithHostProf) is attached, so streaming consumers
+// can pair the simulated clock with the host clock (cycles/sec gauges).
+// Stream-only like Progress, and pure observation: the wall-clock value
+// rides the event stream but never reaches simulator state.
+func (s *Sink) HostTime(cycle, ns int64) {
+	if s == nil || len(s.consumers) == 0 {
+		return
+	}
+	s.emitStream(Event{Cycle: cycle, Kind: EvHostTime, Dom: DomSM, Track: -1, Warp: -1, CTA: -1, Val: ns})
+}
+
 // ---------------------------------------------------- warp/CTA lifecycle ----
 
 // CTALaunch records a CTA being placed on an SM.

@@ -64,6 +64,7 @@ const (
 	EvRowMiss
 	EvCycleClass
 	EvProgress
+	EvHostTime
 
 	numKinds // sentinel
 )
@@ -98,6 +99,7 @@ var kindNames = [numKinds]string{
 	EvRowMiss:        "dram.row_miss",
 	EvCycleClass:     "sm.cycle_class",
 	EvProgress:       "run.progress",
+	EvHostTime:       "run.host_time",
 }
 
 // String implements fmt.Stringer.

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"caps/internal/config"
+	"caps/internal/hostprof"
 	"caps/internal/profile"
 	"caps/internal/stats"
 )
@@ -60,6 +61,13 @@ type Record struct {
 
 	Stats   *stats.Sim       `json:"stats,omitempty"`
 	Profile *profile.Profile `json:"profile,omitempty"`
+
+	// Host is the run's wall-clock self-profile (sim.WithHostProf),
+	// persisted beside the simulated profile so host-time regressions can
+	// be diffed from the history exactly like CPI stacks. Wall-clock varies
+	// run to run, so Host is excluded from the content address — two runs
+	// of the same tree and config still dedup to one record.
+	Host *hostprof.Profile `json:"host_profile,omitempty"`
 }
 
 // NewRecord builds a record from a finished run. profile may be nil (no
@@ -94,6 +102,7 @@ func (r *Record) contentID() string {
 	clone := *r
 	clone.ID = ""
 	clone.CreatedAt = 0
+	clone.Host = nil // wall-clock is not content: identical reruns must dedup
 	data, err := json.Marshal(&clone)
 	if err != nil {
 		// Record is a tree of marshalable values; unreachable, but an
@@ -111,6 +120,13 @@ func (r *Record) MarkAborted(reason, dumpPath string) *Record {
 	r.AbortReason = reason
 	r.FlightDump = dumpPath
 	r.ID = r.contentID()
+	return r
+}
+
+// AttachHost adds the run's host profile. The content address is
+// unchanged (Host is excluded from it), so attaching never re-addresses.
+func (r *Record) AttachHost(hp *hostprof.Profile) *Record {
+	r.Host = hp
 	return r
 }
 

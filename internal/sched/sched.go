@@ -81,6 +81,22 @@ type StallRunner interface {
 	StallTick(m int)
 }
 
+// StallCost tallies the replay work a StallRunner performed on behalf of
+// frozen ticks: Flushes counts the batched StallTick calls, Picks the
+// Pick equivalents they replayed. Pure observation for the hostprof
+// report (the cost of the fast-forward machinery itself); never read by
+// the simulator and excluded from determinism hashes.
+type StallCost struct {
+	Flushes int64
+	Picks   int64
+}
+
+// StallCoster is implemented by StallRunners that account their replay
+// cost. The run harness gathers it once at close (sim.GPU.Close).
+type StallCoster interface {
+	StallCost() StallCost
+}
+
 // StallView extends View with the caller's structural-stall predicate:
 // StallPickable reports whether a Pick returning slot would provably
 // stall in execute without mutating anything (for the SM, a load the
@@ -105,6 +121,7 @@ type LRR struct {
 	// view change.
 	stallOrbit  []int
 	stallCursor int
+	stallCost   StallCost
 }
 
 // NewLRR creates an LRR scheduler for nslots warp contexts.
@@ -168,6 +185,8 @@ func (s *LRR) BeginStall(v StallView) (picks, ok bool) {
 // StallTick implements StallRunner: m Picks advance the cursor to just past
 // the m-th orbit slot.
 func (s *LRR) StallTick(m int) {
+	s.stallCost.Flushes++
+	s.stallCost.Picks += int64(m)
 	p := len(s.stallOrbit)
 	if p == 0 {
 		return
@@ -175,6 +194,9 @@ func (s *LRR) StallTick(m int) {
 	s.stallCursor = (s.stallCursor + m) % p
 	s.next = (s.stallOrbit[(s.stallCursor+p-1)%p] + 1) % len(s.active)
 }
+
+// StallCost implements StallCoster.
+func (s *LRR) StallCost() StallCost { return s.stallCost }
 
 // OnLongLatency implements Scheduler.
 func (s *LRR) OnLongLatency(slot int) {}
@@ -190,6 +212,8 @@ type GTO struct {
 	age     []int64
 	clock   int64
 	current int
+
+	stallCost StallCost
 }
 
 // NewGTO creates a GTO scheduler for nslots warp contexts.
@@ -260,8 +284,15 @@ func (s *GTO) BeginStall(v StallView) (picks, ok bool) {
 	return true, true
 }
 
-// StallTick implements StallRunner: a stalled GTO Pick never moves current.
-func (s *GTO) StallTick(m int) {}
+// StallTick implements StallRunner: a stalled GTO Pick never moves current,
+// so only the replay-cost ledger advances.
+func (s *GTO) StallTick(m int) {
+	s.stallCost.Flushes++
+	s.stallCost.Picks += int64(m)
+}
+
+// StallCost implements StallCoster.
+func (s *GTO) StallCost() StallCost { return s.stallCost }
 
 // OnLongLatency implements Scheduler.
 func (s *GTO) OnLongLatency(slot int) {
@@ -313,6 +344,7 @@ type TwoLevel struct {
 	stallOrbit   []int
 	stallCursor  int
 	stallLeading bool
+	stallCost    StallCost
 
 	// Observability (nil-safe). lastNow is the cycle most recently pushed
 	// via ObsTick (or Pick); OnLongLatency/OnWake have no time parameter,
@@ -551,6 +583,8 @@ func (s *TwoLevel) BeginStall(v StallView) (picks, ok bool) {
 // orbit position — except in the leading-warp case, where Pick returns
 // before the round-robin scan and rr never moves.
 func (s *TwoLevel) StallTick(m int) {
+	s.stallCost.Flushes++
+	s.stallCost.Picks += int64(m)
 	if s.stallLeading {
 		return
 	}
@@ -561,6 +595,9 @@ func (s *TwoLevel) StallTick(m int) {
 	s.stallCursor = (s.stallCursor + m) % p
 	s.rr = (s.stallOrbit[(s.stallCursor+p-1)%p] + 1) % len(s.ready)
 }
+
+// StallCost implements StallCoster.
+func (s *TwoLevel) StallCost() StallCost { return s.stallCost }
 
 // OnLongLatency implements Scheduler: the warp stalled on a long-latency
 // event, so it leaves the ready queue. A leading warp's first long-latency

@@ -117,6 +117,11 @@ func (sm *SM) trySleep(now int64) {
 		if len(sm.lsuQ) == 0 && len(sm.storeQ) == 0 && len(sm.prefQ) == 0 && sm.l1.MissQueueLen() == 0 {
 			sm.idleUntil = b
 			sm.sleepClass = sm.skipClass()
+			if sm.hprof != nil {
+				sm.hprof.FullWindows++
+			}
+		} else if sm.hprof != nil {
+			sm.hprof.IssueWindows++
 		}
 		return
 	}
@@ -198,6 +203,9 @@ func (sm *SM) tryStallReplay(now int64) {
 	sm.stallUntil = bound
 	sm.stallPicks = picks
 	sm.stallSched = sr
+	if sm.hprof != nil {
+		sm.hprof.StallWindows++
+	}
 }
 
 // skipBound reports whether this SM's next tick is provably a no-op and,

@@ -10,6 +10,7 @@ import (
 	// Register the CAPS prefetcher alongside the baselines.
 	_ "caps/internal/core"
 	"caps/internal/flight"
+	"caps/internal/hostprof"
 	"caps/internal/invariant"
 	"caps/internal/kernels"
 	"caps/internal/mem"
@@ -75,6 +76,12 @@ type GPU struct {
 
 	// idleSkip enables the Run-loop idle-cycle fast-forward.
 	idleSkip bool
+
+	// hprof is the optional wall-clock self-profiler (WithHostProf); nil
+	// costs one branch per step. It observes only — no simulator state
+	// reads it back.
+	hprof     *hostprof.Profiler
+	hprofDone bool
 
 	// Flight-recorder wiring (nil/zero when not requested).
 	flight   *flight.Recorder
@@ -169,6 +176,8 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opts ...Option) (*GPU, error) 
 	if g.workers > 1 {
 		opt.Obs.EnableStaging()
 	}
+	g.hprof = opt.HostProf
+	g.hprof.Init(cfg.NumSMs, g.workers, opt.IdleSkip)
 	g.icnt = mem.NewInterconnect(cfg.NumSMs, cfg.NumPartitions, cfg.ICNTQueue, cfg.ICNTLatency, cfg.ICNTWidth)
 
 	g.drams = make([]*mem.DRAMChannel, cfg.DRAM.Channels)
@@ -200,6 +209,7 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opts ...Option) (*GPU, error) 
 		g.sms[i] = newSM(i, cfg, k, sc, pf, g.icnt, shard, g.requestDispatch)
 		g.sms[i].idleSkipOn = opt.IdleSkip
 		g.sms[i].Tracer = opt.Tracer
+		g.sms[i].hprof = g.hprof.SMProf(i)
 		g.sms[i].AttachObs(opt.Obs)
 	}
 	if opt.PerturbPrefetchAt > 0 {
@@ -294,10 +304,20 @@ func (g *GPU) Partitions() []*mem.Partition { return g.parts }
 // the first invariant violation any component detected this cycle (see
 // internal/invariant); a violating run's statistics are meaningless, so
 // Run aborts on it.
+//
+// When a host profiler is attached, sampled steps bill their wall-clock
+// to the hostprof phases at the boundaries marked below: the idle-wake
+// scan and injection check to PhaseOther, the DRAM/partition prologue to
+// PhaseMem, the SM ticks (serial or staged) to PhaseSM, and the commit
+// tail — staged drains, CTA dispatch, cycle bookkeeping — to PhaseCommit.
+// A step that errors out abandons its sample (only EndStep completes one),
+// keeping error paths free of accounting branches.
 func (g *GPU) Step() error {
+	sampled := g.hprof.BeginStep()
 	if g.idleSkip {
 		if wake := g.idleWake(g.cycle); wake > g.cycle {
 			k := wake - g.cycle
+			g.hprof.Jump(k)
 			g.cycle = wake
 			g.st.Cycles += k
 			for _, sm := range g.sms {
@@ -306,6 +326,9 @@ func (g *GPU) Step() error {
 			// A jump clamped to the cycle cap must not execute that cycle:
 			// a capped serial run stops after cycle MaxCycle-1.
 			if g.cfg.MaxCycle > 0 && wake >= g.cfg.MaxCycle {
+				if sampled {
+					g.hprof.EndStep(hostprof.PhaseOther)
+				}
 				return nil
 			}
 		}
@@ -313,6 +336,9 @@ func (g *GPU) Step() error {
 	if g.injectAt > 0 && g.cycle >= g.injectAt {
 		g.injectAt = 0
 		return invariant.Errorf("inject", g.cycle, "synthetic violation (WithInjectViolation)")
+	}
+	if sampled {
+		g.hprof.MarkPhase(hostprof.PhaseOther)
 	}
 	now := g.cycle
 	for _, ch := range g.drams {
@@ -327,17 +353,19 @@ func (g *GPU) Step() error {
 			return err
 		}
 	}
+	if sampled {
+		g.hprof.MarkPhase(hostprof.PhaseMem)
+	}
 	if g.workers > 1 {
 		if err := g.stepSMs(now); err != nil {
 			return err
 		}
 	} else {
-		for _, sm := range g.sms {
-			issued, err := sm.Tick(now)
-			g.insts += int64(issued)
-			if err != nil {
-				return err
-			}
+		if err := g.tickSerial(now); err != nil {
+			return err
+		}
+		if sampled {
+			g.hprof.MarkPhase(hostprof.PhaseSM)
 		}
 	}
 	// Demand-driven CTA dispatch for CTAs that completed this cycle.
@@ -353,6 +381,32 @@ func (g *GPU) Step() error {
 	g.dispatchReq = g.dispatchReq[:0]
 	g.cycle++
 	g.st.Cycles++
+	if sampled {
+		g.hprof.EndStep(hostprof.PhaseCommit)
+	}
+	return nil
+}
+
+// tickSerial runs the SM phase on the caller's goroutine in SM order —
+// the workers==1 path and stepSMs' congestion fallback. On sampled steps
+// each tick's duration is billed to worker 0, keeping per-SM EWMAs
+// comparable across serial and parallel runs.
+func (g *GPU) tickSerial(now int64) error {
+	timed := g.hprof.Sampling()
+	for _, sm := range g.sms {
+		var t0 int64
+		if timed {
+			t0 = g.hprof.Clock()
+		}
+		issued, err := sm.Tick(now)
+		if timed {
+			g.hprof.SMTick(sm.id, 0, g.hprof.Clock()-t0)
+		}
+		g.insts += int64(issued)
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -392,14 +446,26 @@ func (g *GPU) RequestStop() { g.stopReq.Store(true) }
 // stopping (SIGQUIT semantics). Safe to call from another goroutine.
 func (g *GPU) RequestDump() { g.dumpReq.Store(true) }
 
-// Close releases the worker pool's goroutines. It is idempotent and a
-// no-op for serial GPUs (workers <= 1, the default). Run closes the pool
-// itself; Close matters only for GPUs built with WithWorkers(n > 1) and
-// stepped manually (the determinism harness, lockstep bisection).
+// Close releases the worker pool's goroutines and finalizes the host
+// profiler (wall-clock span plus the schedulers' stall-replay cost). It
+// is idempotent and a no-op for serial GPUs without a profiler. Run
+// closes itself; Close matters for GPUs built with WithWorkers(n > 1) or
+// WithHostProf and stepped manually (the determinism harness, lockstep
+// bisection).
 func (g *GPU) Close() {
 	if g.pool != nil {
 		g.pool.stop()
 		g.pool = nil
+	}
+	if g.hprof != nil && !g.hprofDone {
+		g.hprofDone = true
+		g.hprof.Finish()
+		for _, sm := range g.sms {
+			if sc, ok := sm.stallSR.(sched.StallCoster); ok {
+				c := sc.StallCost()
+				g.hprof.AddReplayCost(c.Flushes, c.Picks)
+			}
+		}
 	}
 }
 
@@ -410,6 +476,7 @@ func (g *GPU) Close() {
 // requests each produce a black box through WithOnDump.
 func (g *GPU) Run() (*stats.Sim, error) {
 	defer g.Close()
+	g.hprof.Start()
 	if g.flight != nil {
 		defer func() {
 			if r := recover(); r != nil {
@@ -443,6 +510,9 @@ func (g *GPU) Run() (*stats.Sim, error) {
 		// so the beat fires on the same cycles with or without idle-skip.
 		if g.cycle&g.beatMask == 0 {
 			if g.snk != nil {
+				if g.hprof != nil {
+					g.snk.HostTime(g.cycle, g.hprof.Elapsed())
+				}
 				g.snk.Progress(g.cycle, g.insts)
 			}
 			if g.stopReq.Load() {

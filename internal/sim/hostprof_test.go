@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"caps/internal/hostprof"
+	"caps/internal/kernels"
+)
+
+// BenchmarkHostProfOverhead / BenchmarkNoHostProfOverhead are the gate for
+// the tentpole's overhead budget: the profiled run must stay within 2% of
+// the unprofiled one (compare with benchstat). The profiler's always-on
+// cost is one nil test plus an integer increment per step; the clock is
+// read only on sampled steps (1 in DefaultSampleEvery).
+func BenchmarkHostProfOverhead(b *testing.B) {
+	benchHostProf(b, func() *hostprof.Profiler { return hostprof.New(hostprof.DefaultSampleEvery) })
+}
+func BenchmarkNoHostProfOverhead(b *testing.B) {
+	benchHostProf(b, func() *hostprof.Profiler { return nil })
+}
+
+func benchHostProf(b *testing.B, mk func() *hostprof.Profiler) {
+	cfg := obsConfig()
+	k, err := kernels.ByAbbr("MM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := New(cfg, k, Options{Prefetcher: "caps", HostProf: mk()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHostProfOverhead is the same gate as the benchmark pair in test
+// form, opt-in via CAPS_HOSTPROF_OVERHEAD=1 (wall-clock assertions on
+// shared CI machines flake). The committed budget is 2%; the assertion
+// allows 10% so the test only catches the profiler becoming structurally
+// expensive (a clock read per step, an allocation per sample), not
+// scheduler noise. Min-of-5 keeps one descheduled run from deciding it.
+func TestHostProfOverhead(t *testing.T) {
+	if os.Getenv("CAPS_HOSTPROF_OVERHEAD") == "" {
+		t.Skip("set CAPS_HOSTPROF_OVERHEAD=1 to run the wall-clock overhead gate")
+	}
+	cfg := obsConfig()
+	k, err := kernels.ByAbbr("MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(hp *hostprof.Profiler) time.Duration {
+		g, err := New(cfg, k, Options{Prefetcher: "caps", HostProf: hp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now() //simcheck:allow detlint — wall time is the measurement itself
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start) //simcheck:allow detlint — wall time is the measurement itself
+	}
+	// Interleave the pairs so clock-frequency drift and cache warm-up hit
+	// both sides equally; take the min of each.
+	const rounds = 5
+	base, profiled := time.Duration(1<<63-1), time.Duration(1<<63-1)
+	for i := 0; i < rounds; i++ {
+		if d := run(nil); d < base {
+			base = d
+		}
+		if d := run(hostprof.New(hostprof.DefaultSampleEvery)); d < profiled {
+			profiled = d
+		}
+	}
+	overhead := float64(profiled-base) / float64(base)
+	t.Logf("base %v, profiled %v, overhead %.2f%% (budget 2%%, gate 10%%)", base, profiled, overhead*100)
+	if overhead > 0.10 {
+		t.Errorf("hostprof overhead %.1f%% exceeds the 10%% gate (budget is 2%%)", overhead*100)
+	}
+}
+
+// Attaching a profiler must leave simulated state untouched — same hash,
+// same cycle count — in the serial executor (the parallel configurations
+// are covered by the determinism harness).
+func TestHostProfPreservesSimState(t *testing.T) {
+	cfg := obsConfig()
+	hash := func(hp *hostprof.Profiler) (uint64, int64) {
+		k, err := kernels.ByAbbr("MM")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(cfg, k, Options{Prefetcher: "caps", HostProf: hp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Close()
+		return st.Hash64(), g.Cycle()
+	}
+	h0, c0 := hash(nil)
+	hp := hostprof.New(hostprof.DefaultSampleEvery)
+	h1, c1 := hash(hp)
+	if h1 != h0 || c1 != c0 {
+		t.Errorf("profiled run diverged: hash %#x/%#x cycle %d/%d", h1, h0, c1, c0)
+	}
+	// And the profile the run produced must hold its own invariants.
+	pr := hp.Build("MM", "caps")
+	if err := pr.Validate(1.0); err != nil {
+		t.Errorf("profile from serial run fails validation: %v", err)
+	}
+	if pr.Steps == 0 || pr.WallNS <= 0 {
+		t.Errorf("profile recorded steps=%d wall=%dns, want both > 0", pr.Steps, pr.WallNS)
+	}
+}

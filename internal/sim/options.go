@@ -3,6 +3,7 @@ package sim
 import (
 	"caps/internal/config"
 	"caps/internal/flight"
+	"caps/internal/hostprof"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
 )
@@ -135,6 +136,17 @@ func WithWorkers(n int) Option {
 	return optionFunc(func(o *Options) { o.Workers = n })
 }
 
+// WithHostProf attaches a wall-clock self-profiler (see internal/hostprof):
+// sampled monotonic-clock attribution of host time to the executor's
+// barrier phases, per-worker busy/wait, per-SM tick-duration EWMAs, and
+// the fast-forward window/abort ledger. The profiler observes and never
+// feeds back — statistics, determinism hashes and every report are
+// bit-identical with or without it. Call p.Build after the run (Run
+// finalizes the profiler through Close) for the finished Profile.
+func WithHostProf(p *hostprof.Profiler) Option {
+	return optionFunc(func(o *Options) { o.HostProf = p })
+}
+
 // WithIdleSkip enables idle-cycle fast-forward (see internal/sim
 // fastforward.go). Per SM, a tick that proves itself a no-op caches a
 // sleep window, and every tick inside it short-circuits past the
@@ -198,6 +210,8 @@ type Options struct {
 	Workers int
 	// IdleSkip enables idle-cycle fast-forward (see WithIdleSkip).
 	IdleSkip bool
+	// HostProf attaches a wall-clock self-profiler (see WithHostProf).
+	HostProf *hostprof.Profiler
 }
 
 // apply implements Option for the legacy struct: each non-zero field
@@ -240,5 +254,8 @@ func (legacy Options) apply(o *Options) {
 	}
 	if legacy.IdleSkip {
 		o.IdleSkip = true
+	}
+	if legacy.HostProf != nil {
+		o.HostProf = legacy.HostProf
 	}
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"caps/internal/hostprof"
+)
 
 // Parallel SM ticking. isolint proves SM.Tick writes only SM-owned state
 // except at the annotated sync points (stats-reduce, icnt-queues,
@@ -29,10 +33,17 @@ type smPool struct {
 	errs   []error
 	panics []any
 
+	// hp is the run's host profiler (nil when absent). On sampled steps
+	// each worker times its own ticks: Sampling() is set before the cycle
+	// hand-off (the channel send orders the write), every busy-time slot
+	// is written only by its own worker, and every per-SM EWMA only by the
+	// worker owning that shard, so the pool needs no extra synchronization.
+	hp *hostprof.Profiler
+
 	stopped bool
 }
 
-func newSMPool(sms []*SM, workers int) *smPool {
+func newSMPool(sms []*SM, workers int, hp *hostprof.Profiler) *smPool {
 	p := &smPool{
 		shards: make([][]*SM, workers),
 		start:  make([]chan int64, workers-1),
@@ -40,6 +51,7 @@ func newSMPool(sms []*SM, workers int) *smPool {
 		issued: make([]int, len(sms)),
 		errs:   make([]error, len(sms)),
 		panics: make([]any, len(sms)),
+		hp:     hp,
 	}
 	base, rem := len(sms)/workers, len(sms)%workers
 	idx := 0
@@ -62,7 +74,7 @@ func newSMPool(sms []*SM, workers int) *smPool {
 func (p *smPool) worker(w int) {
 	for now := range p.start[w] {
 		for _, sm := range p.shards[w+1] {
-			p.tickOne(sm, now)
+			p.tickOne(sm, w+1, now)
 		}
 		p.done <- struct{}{}
 	}
@@ -70,12 +82,20 @@ func (p *smPool) worker(w int) {
 
 // tickOne runs one SM tick, capturing its result — and any panic — into
 // the SM's slot so the commit phase can surface them deterministically.
-func (p *smPool) tickOne(sm *SM, now int64) {
+// On sampled steps the tick is timed into worker w's busy slot and the
+// SM's duration EWMA.
+func (p *smPool) tickOne(sm *SM, w int, now int64) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics[sm.id] = r
 		}
 	}()
+	if p.hp.Sampling() {
+		t0 := p.hp.Clock()
+		p.issued[sm.id], p.errs[sm.id] = sm.Tick(now)
+		p.hp.SMTick(sm.id, w, p.hp.Clock()-t0)
+		return
+	}
 	p.issued[sm.id], p.errs[sm.id] = sm.Tick(now)
 }
 
@@ -85,7 +105,7 @@ func (p *smPool) tick(now int64) {
 		ch <- now
 	}
 	for _, sm := range p.shards[0] {
-		p.tickOne(sm, now)
+		p.tickOne(sm, 0, now)
 	}
 	for range p.start {
 		<-p.done
@@ -116,18 +136,17 @@ func (g *GPU) stepSMs(now int64) error {
 	// to the serial tick. The fallback decision is a pure function of
 	// machine state, so it is identical at any worker count.
 	if !g.icntPrecheck() {
-		for _, sm := range g.sms {
-			issued, err := sm.Tick(now)
-			g.insts += int64(issued)
-			if err != nil {
-				return err
-			}
+		if err := g.tickSerial(now); err != nil {
+			return err
+		}
+		if g.hprof.Sampling() {
+			g.hprof.MarkPhase(hostprof.PhaseSM)
 		}
 		return nil
 	}
 
 	if g.pool == nil {
-		g.pool = newSMPool(g.sms, g.workers)
+		g.pool = newSMPool(g.sms, g.workers, g.hprof)
 	}
 	g.snk.StageBegin()
 	for _, sm := range g.sms {
@@ -138,6 +157,9 @@ func (g *GPU) stepSMs(now int64) error {
 		sm.staged = false
 	}
 	g.snk.StageEnd()
+	if g.hprof.Sampling() {
+		g.hprof.MarkPhase(hostprof.PhaseSM)
+	}
 
 	// Commit phase, all on this goroutine, in fixed SM order. A panic in
 	// any worker re-panics here first (lowest SM id wins) so Run's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caps/internal/config"
+	"caps/internal/hostprof"
 	"caps/internal/kernels"
 	"caps/internal/mem"
 	"caps/internal/obs"
@@ -157,6 +158,13 @@ type SM struct {
 	stallTicks     int
 	sleepRetryAt   int64
 
+	// hprof is this SM's always-on fast-forward ledger (nil without
+	// WithHostProf): slept-cycle tallies, windows opened, and per-reason
+	// window aborts. Written only by the goroutine ticking this SM (the
+	// barrier orders the writes), read after the run — pure observation,
+	// excluded from determinism hashes like the windows themselves.
+	hprof *hostprof.SMProf
+
 	// perturbAt arms the one-shot divergence-test perturbation
 	// (sim.Options.PerturbPrefetchAt): the first prefetch candidate that
 	// can actually enqueue at or after that cycle is shifted by one line.
@@ -255,7 +263,7 @@ func (sm *SM) FreeCTASlot() int {
 
 // LaunchCTA places a CTA into the given slot and activates its warps.
 func (sm *SM) LaunchCTA(slot, ctaID int) {
-	sm.wake() // fresh warps can issue immediately: end any sleep window
+	sm.wake(wakeLaunch) // fresh warps can issue immediately: end any sleep window
 	coord := sm.kernel.Grid.Coord(ctaID)
 	sm.ctas[slot] = ctaState{
 		active:    true,
@@ -345,6 +353,9 @@ func (sm *SM) Tick(now int64) (int, error) {
 			sm.st.StallCycles++ //caps:shared-sync stats-reduce
 
 		}
+		if sm.hprof != nil {
+			sm.hprof.FullSleepCycles++
+		}
 		if sm.snk != nil {
 			sm.snk.CycleClass(now, sm.id, sm.sleepClass)
 		}
@@ -375,6 +386,9 @@ func (sm *SM) Tick(now int64) (int, error) {
 		}
 		sm.st.StallCycles++ //caps:shared-sync stats-reduce
 
+		if sm.hprof != nil {
+			sm.hprof.StallReplayCycles++
+		}
 		if sm.snk != nil {
 			sm.snk.CycleClass(now, sm.id, obs.CycleMemStructural)
 		}
@@ -394,6 +408,9 @@ func (sm *SM) Tick(now int64) (int, error) {
 		if sm.liveWarps > 0 {
 			sm.st.StallCycles++ //caps:shared-sync stats-reduce
 
+		}
+		if sm.hprof != nil {
+			sm.hprof.IssueSleepCycles++
 		}
 	} else {
 		issued = sm.issue(now)
@@ -417,10 +434,39 @@ func (sm *SM) Tick(now int64) (int, error) {
 	return issued, nil
 }
 
+// wakeReason tags why a sleep/stall window is being voided, for the
+// hostprof abort ledger: a fill (acceptResponses), a CTA launch, or
+// pumpLSU retiring a warp's last outstanding access.
+type wakeReason uint8
+
+const (
+	wakeFill wakeReason = iota
+	wakeLaunch
+	wakeRetire
+)
+
 // wake voids the cached sleep and stall-replay windows (see their field
 // comment): the caller just changed state that can make a warp eligible, a
-// scheduler non-quiescent, or the replayed reservation fail succeed.
-func (sm *SM) wake() {
+// scheduler non-quiescent, or the replayed reservation fail succeed. A
+// window voided with covered cycles still ahead of it counts as an abort
+// under the wake's reason in the hostprof ledger — the profiling signal
+// for fast-forward windows that cost their scan but never paid out.
+//
+//caps:hotpath
+func (sm *SM) wake(why wakeReason) {
+	if hp := sm.hprof; hp != nil {
+		edge := sm.nowCache + 1
+		if sm.idleUntil > edge || sm.issueIdleUntil > edge || sm.stallUntil > edge {
+			switch why {
+			case wakeFill:
+				hp.AbortFill++
+			case wakeLaunch:
+				hp.AbortLaunch++
+			default:
+				hp.AbortRetire++
+			}
+		}
+	}
 	sm.flushStallTicks()
 	sm.idleUntil = 0
 	sm.issueIdleUntil = 0
@@ -517,7 +563,7 @@ func (sm *SM) acceptResponses(now int64) error {
 		}
 		// A response changes memory state (MSHR freed, warps may wake):
 		// any sleep window proven before it arrived is void.
-		sm.wake()
+		sm.wake(wakeFill)
 		fill, err := sm.l1.Fill(now, r.LineAddr)
 		if err != nil {
 			return err
@@ -620,7 +666,7 @@ func (sm *SM) pumpLSU(now int64) {
 			g.warp.waitLoad = false
 			// The warp is promotable again — this cycle's issue stage must
 			// see it, so any cached sleep window is void.
-			sm.wake()
+			sm.wake(wakeRetire)
 		}
 	case mem.MissNew:
 		sm.st.DemandMisses++

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"caps/internal/hostprof"
 	"caps/internal/obs"
 )
 
@@ -48,12 +49,23 @@ type Progress struct {
 	Aborted     bool   `json:"aborted,omitempty"`
 	AbortReason string `json:"abort_reason,omitempty"`
 	FlightDump  string `json:"flight_dump,omitempty"`
+
+	// Host-time stats, present only while a host profiler (sim.WithHostProf)
+	// feeds the run's RunProgress consumer. Utilization and skip efficiency
+	// are permille integers so the JSON stays float-free like the samples.
+	WallMS             int64 `json:"wall_ms,omitempty"`
+	CyclesPerSec       int64 `json:"cycles_per_sec,omitempty"`
+	WorkerUtilPermille int64 `json:"worker_util_permille,omitempty"`
+	SkipPermille       int64 `json:"skip_permille,omitempty"`
 }
 
-// runState is one run's latest progress and metric snapshot.
+// runState is one run's latest progress and metric snapshot. hostStats
+// marks that the run has published live host-time stats at least once, so
+// MergedSamples knows to synthesize the host gauges for it.
 type runState struct {
-	prog    Progress
-	samples []obs.Sample
+	prog      Progress
+	samples   []obs.Sample
+	hostStats bool
 }
 
 // Hub fans run progress out to HTTP handlers and SSE subscribers. Runs
@@ -77,17 +89,24 @@ func NewHub() *Hub {
 // snapshot and notifies SSE subscribers. The samples slice is retained;
 // pass a fresh snapshot, never a shared buffer.
 func (h *Hub) Publish(meta RunMeta, cycles, instructions int64, samples []obs.Sample) {
+	h.PublishLive(meta, cycles, instructions, nil, samples)
+}
+
+// PublishLive is Publish with optional live host-time stats (nil when the
+// run carries no host profiler). Host stats persist across later publishes
+// without them, so the final done/aborted update keeps the last beat's.
+func (h *Hub) PublishLive(meta RunMeta, cycles, instructions int64, host *hostprof.Live, samples []obs.Sample) {
 	ipc := 0.0
 	if cycles > 0 {
 		ipc = float64(instructions) / float64(cycles)
 	}
-	h.publish(meta, cycles, instructions, ipc, false, "", "", samples)
+	h.publish(meta, cycles, instructions, ipc, false, "", "", host, samples)
 }
 
 // RunDone records a run's final state (authoritative IPC from the run's
 // statistics) and notifies subscribers with a "done" event.
 func (h *Hub) RunDone(meta RunMeta, cycles, instructions int64, ipc float64, samples []obs.Sample) {
-	h.publish(meta, cycles, instructions, ipc, true, "", "", samples)
+	h.publish(meta, cycles, instructions, ipc, true, "", "", nil, samples)
 }
 
 // RunAborted records a run that ended without completing and notifies
@@ -101,10 +120,10 @@ func (h *Hub) RunAborted(meta RunMeta, cycles, instructions int64, reason, dump 
 	if reason == "" {
 		reason = "aborted"
 	}
-	h.publish(meta, cycles, instructions, ipc, true, reason, dump, samples)
+	h.publish(meta, cycles, instructions, ipc, true, reason, dump, nil, samples)
 }
 
-func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, done bool, abortReason, dump string, samples []obs.Sample) {
+func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, done bool, abortReason, dump string, host *hostprof.Live, samples []obs.Sample) {
 	p := Progress{
 		Run:          meta.ID,
 		Bench:        meta.Bench,
@@ -120,7 +139,12 @@ func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, don
 		AbortReason:  abortReason,
 		FlightDump:   dump,
 	}
-	msg := sseMessage(p)
+	if host != nil {
+		p.WallMS = host.WallNS / 1e6
+		p.CyclesPerSec = host.CyclesPerSec
+		p.WorkerUtilPermille = host.WorkerUtilPermille
+		p.SkipPermille = host.SkipPermille
+	}
 
 	h.mu.Lock()
 	st, ok := h.runs[meta.ID]
@@ -129,6 +153,15 @@ func (h *Hub) publish(meta RunMeta, cycles, instructions int64, ipc float64, don
 		h.runs[meta.ID] = st
 		h.order = append(h.order, meta.ID)
 	}
+	if host == nil {
+		// Keep the last beat's host stats through done/aborted updates.
+		p.WallMS = st.prog.WallMS
+		p.CyclesPerSec = st.prog.CyclesPerSec
+		p.WorkerUtilPermille = st.prog.WorkerUtilPermille
+		p.SkipPermille = st.prog.SkipPermille
+	}
+	st.hostStats = st.hostStats || host != nil
+	msg := sseMessage(p)
 	st.prog = p
 	if samples != nil {
 		st.samples = samples
@@ -244,6 +277,14 @@ func (h *Hub) MergedSamples() []obs.Sample {
 			obs.Sample{Name: "caps_run_instructions", Labels: rendered, LabelSet: l, Kind: obs.SampleGauge, Value: st.prog.Instructions},
 			obs.Sample{Name: "caps_run_done", Labels: rendered, LabelSet: l, Kind: obs.SampleGauge, Value: done},
 		)
+		if st.hostStats {
+			out = append(out,
+				obs.Sample{Name: "caps_run_wall_ms", Labels: rendered, LabelSet: l, Kind: obs.SampleGauge, Value: st.prog.WallMS},
+				obs.Sample{Name: "caps_run_cycles_per_sec", Labels: rendered, LabelSet: l, Kind: obs.SampleGauge, Value: st.prog.CyclesPerSec},
+				obs.Sample{Name: "caps_run_worker_util_permille", Labels: rendered, LabelSet: l, Kind: obs.SampleGauge, Value: st.prog.WorkerUtilPermille},
+				obs.Sample{Name: "caps_run_skip_efficiency_permille", Labels: rendered, LabelSet: l, Kind: obs.SampleGauge, Value: st.prog.SkipPermille},
+			)
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
