@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke bench-json speed-bench check bench
+.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke memlens-smoke bench-json speed-bench results check bench
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,21 @@ hostprof-smoke:
 	$(GO) run ./cmd/capsprof host-diff /tmp/caps-host-a.json \
 		/tmp/caps-host-b.json -wall 2.0 -util 0.5 -skip 0.5
 
+# End-to-end memory-observability smoke test: one short CAPS run with the
+# memory-hierarchy profiler on (capsim -memlens; the profile must reconcile
+# exactly against stats.Sim or capsim exits 1), the profile rendered as
+# text and HTML by `capsprof mem`, then mem-diff'd against a second run of
+# the same benchmark with different executor settings — the fold is
+# deterministic and executor-invariant, so the diff must be empty.
+memlens-smoke:
+	$(GO) run ./cmd/capsim -bench BFS -prefetch caps -insts 50000 \
+		-workers 4 -idle-skip -memlens /tmp/caps-mem-a.json 2>/dev/null
+	$(GO) run ./cmd/capsim -bench BFS -prefetch caps -insts 50000 \
+		-memlens /tmp/caps-mem-b.json 2>/dev/null
+	$(GO) run ./cmd/capsprof mem /tmp/caps-mem-a.json
+	$(GO) run ./cmd/capsprof mem /tmp/caps-mem-a.json -html /tmp/caps-mem-a.html
+	$(GO) run ./cmd/capsprof mem-diff /tmp/caps-mem-a.json /tmp/caps-mem-b.json
+
 # Regenerates BENCH_caps.json: headline IPC + prefetch metrics for every
 # benchmark under the CAPS configuration. capsprof diff accepts the file as
 # a baseline, turning the committed numbers into a regression gate.
@@ -103,7 +118,22 @@ speed-bench:
 		-speed-json /tmp/caps-speed.json
 	$(GO) run ./cmd/capsprof speed-diff BENCH_speed.json /tmp/caps-speed.json
 
-check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke
+# Regenerates results_all.txt, the checked-in sweep output EXPERIMENTS.md
+# quotes. The caps match the ones documented there: Tables I–IV and
+# Figures 1/4/10 at the default 1M-instruction cap, Figures 12–15 at a
+# 250k cap, Figure 11 at 250k over a four-benchmark subset. Rerun after
+# any change that moves simulated counters, then update the EXPERIMENTS.md
+# tables that quote it. ≈45 core-minutes.
+results:
+	$(GO) run ./cmd/capsweep -table 1 >  results_all.txt
+	$(GO) run ./cmd/capsweep -table 2 >> results_all.txt
+	$(GO) run ./cmd/capsweep -table 3 >> results_all.txt
+	$(GO) run ./cmd/capsweep -table 4 >> results_all.txt
+	$(GO) run ./cmd/capsweep -fig 1,4,10 >> results_all.txt
+	$(GO) run ./cmd/capsweep -insts 250000 -fig 12,13,14a,14b,15 >> results_all.txt
+	$(GO) run ./cmd/capsweep -insts 250000 -benches CNV,MM,MRQ,BFS -fig 11 >> results_all.txt
+
+check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke memlens-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

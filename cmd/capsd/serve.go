@@ -113,6 +113,7 @@ th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; f
 
 		writeIPCCharts(&b, entries, baseline)
 		writeHostPanel(&b, store, entries, speed)
+		writeMemPanel(&b, store, entries)
 
 		b.WriteString("<h2>Runs</h2>\n")
 		if len(entries) == 0 {
@@ -268,4 +269,73 @@ func writeHostPanel(b *strings.Builder, store *runstore.Store, entries []*runsto
 	if err != nil {
 		fmt.Fprintf(b, "<p>chart error: %s</p>\n", html.EscapeString(err.Error()))
 	}
+}
+
+// memPoint is one stored run on the memory panel's scatter.
+type memPoint struct {
+	bench     string
+	coverage  float64 // prefetch coverage (stats headline)
+	explained float64 // θ/Δ explained share of all warp addresses (memlens)
+}
+
+// writeMemPanel renders the memory panel: a per-benchmark scatter of
+// prefetch coverage against θ/Δ address explainability from every stored
+// CAPS run carrying a memlens profile (capsweep -memlens-dir, capsim
+// -memlens, with -store). The paper's Fig. 6 argument is this plot's
+// diagonal: benchmarks whose loads the affine model explains are the ones
+// a CTA-aware stride prefetcher covers; points falling toward the lower
+// left (BFS, PVR) are the irregular workloads where CAPS has nothing
+// structured to predict.
+func writeMemPanel(b *strings.Builder, store *runstore.Store, entries []*runstore.Entry) {
+	var pts []memPoint
+	for _, e := range entries {
+		if e.Prefetcher != "caps" {
+			continue
+		}
+		rec, err := store.Get(e.ID)
+		if err != nil || rec.Mem == nil {
+			continue
+		}
+		// ExplainedFrac covers only testable (direct) loads; scale by the
+		// direct share so indirect-heavy benchmarks land where a stride
+		// prefetcher actually sees them — with nothing to predict.
+		as := rec.Mem.AddrStructure
+		pts = append(pts, memPoint{bench: e.Bench, coverage: e.Coverage, explained: as.ExplainedFrac * (1 - as.IndirectFrac)})
+	}
+	if len(pts) == 0 {
+		b.WriteString("<p>No memory profiles stored — sweep with <code>-memlens-dir</code> and <code>-store</code> to see the memory panel.</p>\n")
+		return
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].bench < pts[j].bench })
+
+	b.WriteString("<h2>Memory: prefetch coverage vs &theta;/&Delta; explainability</h2>\n")
+	const (
+		w, h           = 640, 420
+		ml, mr, mt, mb = 60, 20, 30, 50 // margins: left, right, top, bottom
+	)
+	pw, ph := float64(w-ml-mr), float64(h-mt-mb)
+	x := func(v float64) float64 { return ml + v*pw }
+	y := func(v float64) float64 { return mt + (1-v)*ph }
+	fmt.Fprintf(b, `<svg class="chart" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif" font-size="11">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<text x="%d" y="18" font-size="13">coverage vs address explainability per benchmark (stored caps runs)</text>`+"\n", ml)
+	// Gridlines and axis labels at 0, 0.25, ... 1 on both axes.
+	for i := 0; i <= 4; i++ {
+		v := float64(i) / 4
+		fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#eee"/>`+"\n", x(0), y(v), x(1), y(v))
+		fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#eee"/>`+"\n", x(v), y(0), x(v), y(1))
+		fmt.Fprintf(b, `<text x="%.0f" y="%.0f" text-anchor="end" fill="#666">%.2f</text>`+"\n", x(0)-6, y(v)+4, v)
+		fmt.Fprintf(b, `<text x="%.0f" y="%.0f" text-anchor="middle" fill="#666">%.2f</text>`+"\n", x(v), y(0)+16, v)
+	}
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#999"/>`+"\n", x(0), y(0), x(1), y(0))
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#999"/>`+"\n", x(0), y(0), x(0), y(1))
+	fmt.Fprintf(b, `<text x="%.0f" y="%d" text-anchor="middle" fill="#333">prefetch coverage</text>`+"\n", x(0.5), h-8)
+	fmt.Fprintf(b, `<text x="14" y="%.0f" text-anchor="middle" fill="#333" transform="rotate(-90 14 %.0f)">&theta;/&Delta; explained fraction</text>`+"\n", y(0.5), y(0.5))
+	for _, p := range pts {
+		cov := math.Min(math.Max(p.coverage, 0), 1)
+		exp := math.Min(math.Max(p.explained, 0), 1)
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#1976d2" fill-opacity="0.8"><title>%s: coverage %.3f, explained %.3f</title></circle>`+"\n",
+			x(cov), y(exp), html.EscapeString(p.bench), p.coverage, p.explained)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" fill="#333">%s</text>`+"\n", x(cov)+6, y(exp)+4, html.EscapeString(p.bench))
+	}
+	b.WriteString("</svg>\n")
 }

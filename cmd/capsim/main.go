@@ -8,6 +8,7 @@
 //	capsim -bench CNV -prefetch caps -profile out.profile.json
 //	capsim -bench MM -prefetch caps -cpuprofile cpu.pprof
 //	capsim -bench MM -prefetch caps -workers 4 -idle-skip -hostprof out.host.json
+//	capsim -bench BFS -prefetch caps -memlens out.mem.json
 //	capsim -list
 package main
 
@@ -30,6 +31,7 @@ import (
 	"caps/internal/flight"
 	"caps/internal/hostprof"
 	"caps/internal/kernels"
+	"caps/internal/memlens"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
 	"caps/internal/profile"
@@ -67,6 +69,7 @@ func run() int {
 		watchdog  = flag.Int64("watchdog", 0, "abort when no instruction retires for this many cycles (0 = default, negative = off)")
 		beat      = flag.Int64("beat", 0, "progress-beat / watchdog-poll period in cycles, rounded to a power of two (0 = default 8192)")
 		hprofOut  = flag.String("hostprof", "", "self-profile the executor's wall-clock (phase/worker/skip attribution) and write the host profile JSON to this file; a text report goes to stderr")
+		mlensOut  = flag.String("memlens", "", "profile the memory hierarchy (θ/Δ address structure, prefetch timeliness, reuse, DRAM locality) and write the memory profile JSON to this file; a text report goes to stderr")
 	)
 	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
@@ -142,6 +145,10 @@ func run() int {
 	if *hprofOut != "" {
 		hprof = hostprof.New(hostprof.DefaultSampleEvery)
 	}
+	var mlens *memlens.Collector
+	if *mlensOut != "" {
+		mlens = memlens.ForConfig(cfg)
+	}
 	runID := fmt.Sprintf("%s-%s-%s", k.Abbr, *pf, cfg.Scheduler)
 	var srv *telemetry.Server
 	if *serveAdr != "" {
@@ -164,6 +171,9 @@ func run() int {
 		sim.WithProgressEvery(*beat), sim.WithWatchdogCycles(*watchdog)}
 	if hprof != nil {
 		opts = append(opts, sim.WithHostProf(hprof))
+	}
+	if mlens != nil {
+		opts = append(opts, sim.WithMemLens(mlens))
 	}
 	opts = append(opts, sf.SimOptions()...)
 	var dumpPath string
@@ -298,6 +308,27 @@ func run() int {
 			return 1
 		}
 	}
+	var memLens *memlens.Profile
+	if mlens != nil {
+		// An aborted run's profile is still written (the folded events are
+		// real observations), but only a completed one must reconcile —
+		// partial runs legitimately have prefetches and stores in flight.
+		memLens = mlens.Build(memlens.Meta{Bench: k.Abbr, Prefetcher: *pf, Cycles: st.Cycles})
+		if !aborted {
+			if err := memLens.Validate(st); err != nil {
+				fmt.Fprintln(os.Stderr, "capsim: memlens: accounting invariant violated:", err)
+				return 1
+			}
+		}
+		if err := memLens.WriteFile(*mlensOut); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: memlens:", err)
+			return 1
+		}
+		if err := memLens.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: memlens:", err)
+			return 1
+		}
+	}
 	if *storeDir != "" {
 		store, err := runstore.Open(*storeDir)
 		if err != nil {
@@ -310,6 +341,9 @@ func run() int {
 		}
 		if hostProf != nil {
 			rec.AttachHost(hostProf)
+		}
+		if memLens != nil {
+			rec.AttachMem(memLens)
 		}
 		id, dup, err := store.Put(rec)
 		if err != nil {

@@ -11,6 +11,8 @@
 //	capsprof speed-diff BENCH_speed.json BENCH_speed_new.json [-tolerance 0.2]
 //	capsprof host run.host.json [-html report.html] [-profile run.profile.json] [-validate]
 //	capsprof host-diff base.host.json cur.host.json
+//	capsprof mem run.mem.json [-html report.html]
+//	capsprof mem-diff base.mem.json cur.mem.json
 //
 // diff exits 1 when any metric regresses past its threshold, 0 otherwise —
 // wire it into CI after a sweep to turn perf eyeballing into a gate.
@@ -48,6 +50,10 @@ func run(args []string) int {
 		return host(args[1:])
 	case "host-diff":
 		return hostDiff(args[1:])
+	case "mem":
+		return mem(args[1:])
+	case "mem-diff":
+		return memDiff(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return 0
@@ -98,6 +104,16 @@ func usage() {
   capsprof host-diff <base.host.json> <current.host.json> [-wall|-phase|-util|-skip frac]
       compare two host profiles and exit 1 on wall-clock, phase-share,
       utilization, or skip-efficiency regressions past thresholds
+
+  capsprof mem <run.mem.json> [-html out.html]
+      render a memory-hierarchy profile (capsim -memlens, capsweep
+      -memlens-dir): θ/Δ address structure per load PC, prefetch
+      timeliness, reuse distance per cache level, DRAM/queue locality
+
+  capsprof mem-diff <base.mem.json> <current.mem.json> [-explained|-accurate|-rowhit|-reuse|-spread abs]
+      compare two memory profiles and exit 1 on explainability,
+      prefetch-accuracy, row-hit-rate, reuse, or bank-spread drops
+      past thresholds
 `)
 }
 
@@ -135,6 +151,10 @@ func report(args []string) int {
 		return 1
 	}
 	fmt.Printf("wrote %s (%s/%s, %d cycles, %d PCs)\n", out, p.Meta.Bench, p.Meta.Prefetcher, p.TotalCycles, len(p.PCs))
+	if p.TruncatedPCs > 0 || p.TruncatedCTAs > 0 {
+		fmt.Fprintf(os.Stderr, "capsprof report: WARNING: ledger cap reached — %d PC and %d CTA events uncounted; per-PC/per-CTA tables understate activity\n",
+			p.TruncatedPCs, p.TruncatedCTAs)
+	}
 	if *jsonOut != "" {
 		if err := p.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "capsprof:", err)

@@ -23,6 +23,7 @@ import (
 	"caps/internal/config"
 	"caps/internal/experiments"
 	"caps/internal/hostprof"
+	"caps/internal/memlens"
 	"caps/internal/obs"
 	"caps/internal/profile"
 	"caps/internal/runstore"
@@ -49,6 +50,7 @@ func main() {
 		storeDir   = flag.String("store", "", "record every completed run (stats + profile) into this run store directory (see capsd)")
 		flightDir  = flag.String("flight-dir", "", "attach a flight recorder to every run; a run that dies leaves <dir>/<run>.flight.jsonl (see capscope)")
 		hprofDir   = flag.String("hostprof-dir", "", "self-profile every run's executor wall-clock and write <dir>/<run>.host.json (see capsprof host)")
+		mlensDir   = flag.String("memlens-dir", "", "profile every run's memory hierarchy and write <dir>/<run>.mem.json (see capsprof mem)")
 	)
 	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
@@ -168,6 +170,18 @@ func main() {
 		opts = append(opts, experiments.WithHostProf(func(k experiments.RunKey, hp *hostprof.Profile) {
 			if err := hp.WriteFile(filepath.Join(*hprofDir, k.Name()+".host.json")); err != nil {
 				fmt.Fprintf(os.Stderr, "capsweep: hostprof %s: %v\n", k.Name(), err)
+				exitCode = 1
+			}
+		}))
+	}
+	if *mlensDir != "" {
+		if err := os.MkdirAll(*mlensDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, experiments.WithMemLens(func(k experiments.RunKey, mp *memlens.Profile) {
+			if err := mp.WriteFile(filepath.Join(*mlensDir, k.Name()+".mem.json")); err != nil {
+				fmt.Fprintf(os.Stderr, "capsweep: memlens %s: %v\n", k.Name(), err)
 				exitCode = 1
 			}
 		}))

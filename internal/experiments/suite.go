@@ -15,6 +15,7 @@ import (
 	"caps/internal/flight"
 	"caps/internal/hostprof"
 	"caps/internal/kernels"
+	"caps/internal/memlens"
 	"caps/internal/obs"
 	"caps/internal/profile"
 	"caps/internal/runstore"
@@ -103,6 +104,14 @@ type Suite struct {
 	hostDone     []func(RunKey, *hostprof.Profile)
 	hprofs       map[RunKey]*hostprof.Profiler
 	hostProfiles map[RunKey]*hostprof.Profile
+
+	// memLens (WithMemLens) hands every run a streaming memory-hierarchy
+	// profiler; memDone hooks receive the built profile after a successful
+	// run, and memProfiles keeps it for MemProfile and the run-store
+	// attach. Under mu.
+	memLens     bool
+	memDone     []func(RunKey, *memlens.Profile)
+	memProfiles map[RunKey]*memlens.Profile
 
 	// stopped flips when Interrupt is called; running tracks in-flight
 	// GPUs so the interrupt can reach them.
@@ -218,6 +227,9 @@ func WithRunStore(store *runstore.Store, onErr func(RunKey, error)) Option {
 			if hpr := s.HostProfile(k); hpr != nil {
 				rec.AttachHost(hpr)
 			}
+			if mp := s.MemProfile(k); mp != nil {
+				rec.AttachMem(mp)
+			}
 			if _, _, err := store.Put(rec); err != nil && onErr != nil {
 				onErr(k, err)
 			}
@@ -255,6 +267,32 @@ func WithHostProf(fn func(RunKey, *hostprof.Profile)) Option {
 			s.hostDone = append(s.hostDone, fn)
 		}
 	}
+}
+
+// WithMemLens profiles every run's memory hierarchy with an
+// internal/memlens collector (sim.WithMemLens): per-load-PC θ/Δ address
+// structure, prefetch timeliness, sampled reuse distances, and
+// DRAM/interconnect locality. fn — optional — receives each successful
+// run's built profile (capsweep writes it to -memlens-dir); the profile
+// is also retained for MemProfile and attached to stored records under
+// WithRunStore. The collector declines the per-cycle class stream, so
+// cycles, hashes, and BENCH_caps.json stay bit-identical — with or
+// without the idle fast-forward.
+func WithMemLens(fn func(RunKey, *memlens.Profile)) Option {
+	return func(s *Suite) {
+		s.memLens = true
+		if fn != nil {
+			s.memDone = append(s.memDone, fn)
+		}
+	}
+}
+
+// MemProfile returns the built memory profile of a completed run, or nil
+// if the run hasn't finished or WithMemLens wasn't set.
+func (s *Suite) MemProfile(k RunKey) *memlens.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memProfiles[k]
 }
 
 // HostProfile returns the built host profile of a completed run, or nil if
@@ -311,6 +349,7 @@ func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
 		running:      make(map[RunKey]*sim.GPU),
 		hprofs:       make(map[RunKey]*hostprof.Profiler),
 		hostProfiles: make(map[RunKey]*hostprof.Profile),
+		memProfiles:  make(map[RunKey]*memlens.Profile),
 	}
 	for _, o := range opts {
 		o(s)
@@ -397,7 +436,11 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 	for _, hook := range s.attach {
 		hook(k, snk)
 	}
-	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk, HostProf: hp}
+	var ml *memlens.Collector
+	if s.memLens {
+		ml = memlens.ForConfig(s.configFor(k))
+	}
+	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk, HostProf: hp, MemLens: ml}
 	var dumpPath string // set by OnDump (same goroutine, inside g.Run)
 	if s.flightDir != "" {
 		opt.Flight = sim.NewFlightRecorder(s.configFor(k))
@@ -452,6 +495,21 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 		s.mu.Unlock()
 		for _, fn := range s.hostDone {
 			fn(k, pr)
+		}
+	}
+	if ml != nil {
+		// Build before the runDone hooks so WithRunStore's record sees the
+		// profile; a fold that fails reconciliation is an instrumentation
+		// bug, surfaced as a run failure rather than stored silently wrong.
+		p := ml.Build(memlens.Meta{Bench: k.Bench, Prefetcher: k.Prefetch, Cycles: st.Cycles})
+		if verr := p.Validate(st); verr != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, verr)
+		}
+		s.mu.Lock()
+		s.memProfiles[k] = p
+		s.mu.Unlock()
+		for _, fn := range s.memDone {
+			fn(k, p)
 		}
 	}
 	if snk != nil {

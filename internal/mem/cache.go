@@ -418,6 +418,7 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 				res.PrefIssueCycle = ln.prefIssueCycle
 				res.PrefPC = ln.prefPC
 			}
+			c.sink.MemAccess(now, c.sinkDom, c.sinkID, req.WarpSlot, -1, req.PC, req.LineAddr, obs.AccessHit, req.Kind == Prefetch)
 			return res
 		}
 	}
@@ -438,6 +439,7 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 			res.PrefPC = e.prefPC
 			c.sink.MSHRConvert(now, c.sinkID, req.LineAddr)
 		}
+		c.sink.MemAccess(now, c.sinkDom, c.sinkID, req.WarpSlot, -1, req.PC, req.LineAddr, obs.AccessMissMerged, req.Kind == Prefetch)
 		return res
 	}
 	// New miss: demand misses need a demand MSHR; at a cache with a
@@ -471,6 +473,7 @@ func (c *Cache) Access(now int64, req *Request) AccessResult {
 	}
 	c.mshrs[req.LineAddr] = e
 	c.missQ = append(c.missQ, req) //caps:alloc-ok missQ is preallocated to cfg.MissQueue; the bound check above holds it there
+	c.sink.MemAccess(now, c.sinkDom, c.sinkID, req.WarpSlot, -1, req.PC, req.LineAddr, obs.AccessMissNew, req.Kind == Prefetch)
 	return AccessResult{Outcome: MissNew}
 }
 

@@ -206,15 +206,15 @@ func (ch *DRAMChannel) Tick(now int64) []*Request {
 	case bk.rowValid && bk.openRow == q.row:
 		access = ch.tRowHit
 		ch.st.DRAMRowHits++
-		ch.sink.RowHit(now, ch.chanID, q.req.LineAddr)
+		ch.sink.RowHit(now, ch.chanID, q.bank, q.req.LineAddr)
 	case bk.rowValid:
 		access = ch.tRowMiss
 		ch.st.DRAMRowMisses++
-		ch.sink.RowMiss(now, ch.chanID, q.req.LineAddr)
+		ch.sink.RowMiss(now, ch.chanID, q.bank, q.req.LineAddr)
 	default:
 		access = ch.tRowOpen
 		ch.st.DRAMRowMisses++
-		ch.sink.RowMiss(now, ch.chanID, q.req.LineAddr)
+		ch.sink.RowMiss(now, ch.chanID, q.bank, q.req.LineAddr)
 	}
 	bk.openRow = q.row
 	bk.rowValid = true

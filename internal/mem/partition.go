@@ -253,6 +253,7 @@ func (p *Partition) access(now int64, r *Request) {
 		// retrying while the channel is full.
 		if p.dram.Push(now, r) {
 			p.st.L2Accesses++
+			p.l2.sink.MemAccess(now, obs.DomPart, p.ID, r.WarpSlot, -1, r.PC, r.LineAddr, obs.AccessStore, false)
 		} else {
 			// A store retry waits on the DRAM channel, not the MSHR file:
 			// the stalled-retry verdict does not cover it, and the frozen

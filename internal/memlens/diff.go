@@ -1,0 +1,120 @@
+package memlens
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thresholds gate a memory-profile comparison (the capsprof mem-diff
+// gate). A regression is reported only past the threshold for its
+// dimension; zero values select the defaults. Memory behavior is
+// deterministic, so the defaults are tighter than the host-profile gate —
+// these dimensions only move when the simulated machine moves.
+type Thresholds struct {
+	// ExplainedAbs flags the θ/Δ explained fraction dropping by more
+	// than this (absolute points).
+	ExplainedAbs float64
+	// AccurateAbs flags the accurate-prefetch share of fills dropping by
+	// more than this.
+	AccurateAbs float64
+	// RowHitAbs flags the DRAM row-buffer hit rate dropping by more
+	// than this.
+	RowHitAbs float64
+	// ReuseFracAbs flags a level's sampled-reuse fraction dropping by
+	// more than this.
+	ReuseFracAbs float64
+	// BankSpreadAbs flags the bank spread (normalized entropy) dropping
+	// by more than this.
+	BankSpreadAbs float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.ExplainedAbs == 0 {
+		t.ExplainedAbs = 0.02
+	}
+	if t.AccurateAbs == 0 {
+		t.AccurateAbs = 0.02
+	}
+	if t.RowHitAbs == 0 {
+		t.RowHitAbs = 0.05
+	}
+	if t.ReuseFracAbs == 0 {
+		t.ReuseFracAbs = 0.05
+	}
+	if t.BankSpreadAbs == 0 {
+		t.BankSpreadAbs = 0.05
+	}
+	return t
+}
+
+// Regression is one gated finding from Diff.
+type Regression struct {
+	Dimension string  `json:"dimension"`
+	Detail    string  `json:"detail"`
+	Base      float64 `json:"base"`
+	Cur       float64 `json:"cur"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%-12s %s (base %.3g, cur %.3g)", r.Dimension, r.Detail, r.Base, r.Cur)
+}
+
+// accurateFrac is accurate consumes over fills — the timeliness headline.
+func accurateFrac(p *Profile) float64 {
+	if p.Timeliness.Fills == 0 {
+		return 0
+	}
+	return float64(p.Timeliness.Consumes) / float64(p.Timeliness.Fills)
+}
+
+func reuseFrac(r ReuseLevel) float64 {
+	if r.Sampled == 0 {
+		return 0
+	}
+	return float64(r.Reused) / float64(r.Sampled)
+}
+
+// Diff compares two memory profiles of the same benchmark and returns
+// the regressions past the thresholds. Only drops gate (an improvement
+// in any dimension passes); dimensions absent on either side — no
+// prefetches, no DRAM traffic — are skipped rather than treated as a
+// regression to zero.
+func Diff(base, cur *Profile, t Thresholds) []Regression {
+	t = t.withDefaults()
+	var regs []Regression
+
+	drop := func(dim, what string, b, c, abs float64) {
+		if b > 0 && b-c > abs && !math.IsNaN(c) {
+			regs = append(regs, Regression{
+				Dimension: dim,
+				Detail:    fmt.Sprintf("%s dropped %.1f points", what, (b-c)*100),
+				Base:      b,
+				Cur:       c,
+			})
+		}
+	}
+
+	if base.AddrStructure.ExplainedFrac > 0 || cur.AddrStructure.ExplainedFrac > 0 {
+		drop("addr", "θ/Δ explained fraction",
+			base.AddrStructure.ExplainedFrac, cur.AddrStructure.ExplainedFrac, t.ExplainedAbs)
+	}
+	if base.Timeliness.Fills > 0 && cur.Timeliness.Fills > 0 {
+		drop("timeliness", "accurate-prefetch share of fills",
+			accurateFrac(base), accurateFrac(cur), t.AccurateAbs)
+	}
+	if base.Locality.RowHits+base.Locality.RowMisses > 0 && cur.Locality.RowHits+cur.Locality.RowMisses > 0 {
+		drop("dram", "row-buffer hit rate",
+			base.Locality.RowHitRate, cur.Locality.RowHitRate, t.RowHitAbs)
+		drop("dram", "bank spread",
+			base.Locality.BankSpread, cur.Locality.BankSpread, t.BankSpreadAbs)
+	}
+	for _, br := range base.Reuse {
+		for _, cr := range cur.Reuse {
+			if br.Level == cr.Level && br.Sampled > 0 && cr.Sampled > 0 {
+				drop("reuse", br.Level+" sampled-reuse fraction",
+					reuseFrac(br), reuseFrac(cr), t.ReuseFracAbs)
+			}
+		}
+	}
+	return regs
+}

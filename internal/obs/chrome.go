@@ -167,6 +167,18 @@ func eventArgs(ev Event) map[string]any {
 		}
 	case EvPrefConsume:
 		args["distance"] = ev.Val
+	case EvLoadIssue:
+		args["warp_in_cta"] = ev.Val
+		args["indirect"] = ev.Arg == 1
+	case EvMemAccess:
+		class, pref := UnpackAccess(ev.Arg)
+		args["outcome"] = class.String()
+		args["prefetch"] = pref
+	case EvRowHit, EvRowMiss:
+		args["bank"] = ev.Arg
+	case EvQueueSample:
+		args["queue"] = QueueKind(ev.Arg).String()
+		args["depth"] = ev.Val
 	case EvCycleClass:
 		args["class"] = CycleClass(ev.Arg).String()
 	}

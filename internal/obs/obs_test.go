@@ -35,8 +35,11 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.MSHRMerge(1, DomPart, 0, 0x80)
 	s.MSHRConvert(1, 0, 0x80)
 	s.ResFail(1, DomSM, 0, 0x80, true)
-	s.RowHit(1, 0, 0x80)
-	s.RowMiss(1, 0, 0x80)
+	s.LoadIssue(1, 0, 0, 0, 1, 1, 0x80, false)
+	s.MemAccess(1, DomSM, 0, 0, 0, 1, 0x80, AccessHit, false)
+	s.QueueSample(1, DomSM, 0, QueueL1MSHR, 3)
+	s.RowHit(1, 0, 0, 0x80)
+	s.RowMiss(1, 0, 0, 0x80)
 	s.DemandLatency(0, 100)
 	s.Attach(nil)
 	s.RunDone(42)
@@ -51,8 +54,21 @@ func TestCountersAndSnapshot(t *testing.T) {
 	s.PrefCandidate(6, 1, 4, 2, 7, 0x2000)
 	s.PrefAdmit(7, 0, 3, 1, 7, 0x1000)
 	s.PrefDrop(8, 1, 2, 7, 0x2000, DropDup)
-	s.RowMiss(9, 0, 0x1000)
+	s.RowMiss(9, 0, 1, 0x1000)
+	s.LoadIssue(9, 0, 3, 1, 0, 7, 0x1000, false)
+	s.MemAccess(10, DomSM, 0, 3, 1, 7, 0x1000, AccessMissNew, false)
+	s.MemAccess(11, DomPart, 0, 3, 1, 7, 0x1000, AccessHit, true)
 	s.RunDone(100)
+
+	if got := s.Registry().SumCounters("load_issue_total"); got != 1 {
+		t.Fatalf("load_issue_total = %d, want 1", got)
+	}
+	if got := s.Registry().SumCounters("l1_access_total"); got != 1 {
+		t.Fatalf("l1_access_total = %d, want 1", got)
+	}
+	if got := s.Registry().SumCounters("l2_access_total"); got != 1 {
+		t.Fatalf("l2_access_total = %d, want 1", got)
+	}
 
 	if got := s.Registry().SumCounters("pref_candidate_total"); got != 2 {
 		t.Fatalf("pref_candidate_total = %d, want 2", got)
@@ -137,7 +153,9 @@ func TestChromeExportValidates(t *testing.T) {
 	s.PrefFill(60, 0, 1, 2, 0x4000)
 	s.WarpStallEnd(70, 0, 1)
 	s.PrefConsume(80, 0, 1, 0, 2, 0x4000, 75)
-	s.RowMiss(30, 0, 0x4000)
+	s.LoadIssue(81, 0, 1, 0, 0, 2, 0x4000, true)
+	s.QueueSample(90, DomSM, 0, QueueL1MSHR, 4)
+	s.RowMiss(30, 0, 2, 0x4000)
 	s.MSHRAlloc(20, DomPart, 0, 0x4000, false)
 
 	var buf bytes.Buffer
@@ -151,11 +169,14 @@ func TestChromeExportValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Events != 12 {
-		t.Fatalf("validated %d events, want 12", sum.Events)
+	if sum.Events != 14 {
+		t.Fatalf("validated %d events, want 14", sum.Events)
 	}
 	if sum.PrefLifecycle != 1 {
 		t.Fatalf("complete prefetch lifecycles = %d, want 1", sum.PrefLifecycle)
+	}
+	if sum.PrefTriples != 1 {
+		t.Fatalf("complete admit→fill→consume triples = %d, want 1", sum.PrefTriples)
 	}
 	if sum.SchedEvents != 1 {
 		t.Fatalf("sched events = %d, want 1", sum.SchedEvents)
@@ -226,6 +247,33 @@ func TestConsumerSeesAllEventsIncludingCycleClass(t *testing.T) {
 	}
 }
 
+// kindConsumer declines every kind outside its want set (obs.KindFilter).
+type kindConsumer struct {
+	collectConsumer
+	want map[Kind]bool
+}
+
+func (k *kindConsumer) WantsKind(kind Kind) bool { return k.want[kind] }
+
+// TestKindFilterSkipsDeclinedKinds pins the per-kind dispatch contract: a
+// KindFilter consumer is dropped from the lists of the kinds it declines
+// (including the per-cycle class stream) and still receives the rest. If
+// declined kinds started arriving again, a selective collector would pay
+// an interface call per EvResFail — the exact cost the filter removes.
+func TestKindFilterSkipsDeclinedKinds(t *testing.T) {
+	s := New(Config{SMs: 1})
+	c := &kindConsumer{want: map[Kind]bool{EvWarpStallBegin: true}}
+	s.Attach(c)
+	s.CTALaunch(0, 0, 0)                // declined
+	s.WarpStallBegin(1, 0, 0)           // wanted
+	s.WarpStallEnd(5, 0, 0)             // declined
+	s.ResFail(6, DomSM, 0, 0x80, false) // declined — the high-rate kind the filter exists for
+	s.CycleClass(7, 0, CycleIssue)      // declined via the same filter
+	if len(c.events) != 1 || c.events[0].Kind != EvWarpStallBegin {
+		t.Fatalf("filtered consumer saw %d events %v, want exactly one EvWarpStallBegin", len(c.events), c.events)
+	}
+}
+
 func TestValidateRejectsEndWithoutBegin(t *testing.T) {
 	doc := `{"traceEvents":[
 		{"name":"warp.stall","cat":"warp","ph":"e","ts":10,"pid":1,"tid":0,"id":"stall-0-0"}
@@ -263,6 +311,8 @@ func TestEnumStringsExhaustive(t *testing.T) {
 	check("Domain", int(numDomains), func(i int) string { return Domain(i).String() })
 	check("DropReason", int(numDropReasons), func(i int) string { return DropReason(i).String() })
 	check("CycleClass", int(NumCycleClasses), func(i int) string { return CycleClass(i).String() })
+	check("AccessClass", int(NumAccessClasses), func(i int) string { return AccessClass(i).String() })
+	check("QueueKind", int(NumQueueKinds), func(i int) string { return QueueKind(i).String() })
 }
 
 func TestWriteCSVFullSnapshot(t *testing.T) {
@@ -270,6 +320,9 @@ func TestWriteCSVFullSnapshot(t *testing.T) {
 	s.PrefDrop(1, 0, 0, 7, 0x80, DropSetFull)
 	s.CycleClass(1, 0, CycleMemStructural)
 	s.ResFail(2, DomPart, 0, 0x100, false)
+	s.LoadIssue(3, 0, 0, 0, 0, 7, 0x80, false)
+	s.MemAccess(3, DomSM, 0, 0, 0, 7, 0x80, AccessMissMerged, false)
+	s.MemAccess(4, DomPart, 0, 0, 0, 7, 0x80, AccessMissNew, true)
 	s.DemandLatency(0, 42)
 	s.RunDone(10)
 	var buf bytes.Buffer
@@ -287,6 +340,9 @@ func TestWriteCSVFullSnapshot(t *testing.T) {
 		`pref_drop_total,"{sm=""0"",reason=""set_full""}",1`,
 		`sm_cycle_class_total,"{sm=""0"",class=""mem_structural""}",1`,
 		`l2_resfail_total,"{part=""0"",kind=""mshr""}",1`,
+		`load_issue_total,"{sm=""0""}",1`,
+		`l1_access_total,"{sm=""0"",outcome=""miss_merged""}",1`,
+		`l2_access_total,"{part=""0"",outcome=""miss_new""}",1`,
 		`demand_latency_cycles_count,"",1`,
 		`sim_cycles,"",10`,
 	}

@@ -27,12 +27,15 @@ type smMetrics struct {
 	cycleClass                             [NumCycleClasses]*Counter
 	mshrAlloc, mshrMerge, mshrConvert      *Counter
 	resFailMSHR, resFailQueue              *Counter
+	loadIssue                              *Counter
+	access                                 [NumAccessClasses]*Counter
 }
 
 // partMetrics is the per-partition (L2 slice) counter block.
 type partMetrics struct {
 	mshrAlloc, mshrMerge      *Counter
 	resFailMSHR, resFailQueue *Counter
+	access                    [NumAccessClasses]*Counter
 }
 
 // chanMetrics is the per-DRAM-channel counter block.
@@ -64,9 +67,13 @@ type Sink struct {
 	// profilers; see internal/profile). They hold bounded state of their
 	// own — the sink never buffers on their behalf. cycleStream is the
 	// subset that wants EvCycleClass (see StreamFilter): the per-SM-per-cycle
-	// firehose is only constructed when someone will fold it.
+	// firehose is only constructed when someone will fold it. byKind holds
+	// the subscriber list per event kind (see KindFilter): emit dispatches
+	// each event only to consumers that will fold its kind, so a collector
+	// ignoring, say, EvResFail never pays an interface call for one.
 	consumers   []Consumer
 	cycleStream []Consumer
+	byKind      [numKinds][]Consumer
 
 	cyclesG   *Gauge
 	prefDist  *Histogram
@@ -93,6 +100,18 @@ type Consumer interface {
 // everything.
 type StreamFilter interface {
 	WantsCycleClass() bool
+}
+
+// KindFilter is an optional Consumer refinement: a consumer that folds
+// only a subset of event kinds declares the subset here, and the sink
+// drops it from the dispatch lists of every kind it declines — the
+// declined kinds then cost it nothing, not even the interface call.
+// Complements StreamFilter, which additionally gates *construction* of
+// the per-cycle EvCycleClass event. WantsKind is consulted once per kind
+// at Attach time and must be pure. Consumers that don't implement the
+// interface receive everything.
+type KindFilter interface {
+	WantsKind(k Kind) bool
 }
 
 // New builds a sink, registering the full per-unit metric set up front so
@@ -139,6 +158,10 @@ func New(cfg Config) *Sink {
 		m.mshrConvert = s.reg.Counter("l1_mshr_convert_total", l)
 		m.resFailMSHR = s.reg.Counter("l1_resfail_total", l, Label{Key: "kind", Value: "mshr"})
 		m.resFailQueue = s.reg.Counter("l1_resfail_total", l, Label{Key: "kind", Value: "queue"})
+		m.loadIssue = s.reg.Counter("load_issue_total", l)
+		for a := AccessClass(0); a < NumAccessClasses; a++ {
+			m.access[a] = s.reg.Counter("l1_access_total", l, Label{Key: "outcome", Value: a.String()})
+		}
 	}
 	s.part = make([]partMetrics, cfg.Partitions)
 	for i := range s.part {
@@ -148,6 +171,9 @@ func New(cfg Config) *Sink {
 		m.mshrMerge = s.reg.Counter("l2_mshr_merge_total", l)
 		m.resFailMSHR = s.reg.Counter("l2_resfail_total", l, Label{Key: "kind", Value: "mshr"})
 		m.resFailQueue = s.reg.Counter("l2_resfail_total", l, Label{Key: "kind", Value: "queue"})
+		for a := AccessClass(0); a < NumAccessClasses; a++ {
+			m.access[a] = s.reg.Counter("l2_access_total", l, Label{Key: "outcome", Value: a.String()})
+		}
 	}
 	s.ch = make([]chanMetrics, cfg.Channels)
 	for i := range s.ch {
@@ -215,8 +241,18 @@ func (s *Sink) Attach(c Consumer) {
 		return
 	}
 	s.consumers = append(s.consumers, c)
+	kf, filtered := c.(KindFilter)
+	for k := Kind(0); k < numKinds; k++ {
+		if !filtered || kf.WantsKind(k) {
+			s.byKind[k] = append(s.byKind[k], c)
+		}
+	}
+	// The per-cycle stream is gated by both refinements: StreamFilter (the
+	// historical opt-out) and KindFilter declining EvCycleClass.
 	if f, ok := c.(StreamFilter); !ok || f.WantsCycleClass() {
-		s.cycleStream = append(s.cycleStream, c)
+		if !filtered || kf.WantsKind(EvCycleClass) {
+			s.cycleStream = append(s.cycleStream, c)
+		}
 	}
 }
 
@@ -228,7 +264,7 @@ func (s *Sink) emit(e Event) {
 	if s.trace != nil {
 		s.trace.Append(e)
 	}
-	for _, c := range s.consumers {
+	for _, c := range s.byKind[e.Kind] {
 		c.Consume(e) //caps:alloc-ok consumers fold events into their own bounded state (profilers, telemetry) //caps:shared-sync obs-consumers
 
 	}
@@ -241,7 +277,7 @@ func (s *Sink) emit(e Event) {
 //
 //caps:hotpath
 func (s *Sink) emitStream(e Event) {
-	for _, c := range s.consumers {
+	for _, c := range s.byKind[e.Kind] {
 		c.Consume(e) //caps:alloc-ok consumers fold events into their own bounded state (profilers, telemetry) //caps:shared-sync obs-consumers
 
 	}
@@ -271,7 +307,7 @@ func (s *Sink) Progress(cycle, instructions int64) {
 		return
 	}
 	s.cyclesG.Set(cycle)
-	if len(s.consumers) > 0 {
+	if len(s.byKind[EvProgress]) > 0 {
 		s.emitStream(Event{Cycle: cycle, Kind: EvProgress, Dom: DomSM, Track: -1, Warp: -1, CTA: -1, Val: instructions})
 	}
 }
@@ -283,7 +319,7 @@ func (s *Sink) Progress(cycle, instructions int64) {
 // Stream-only like Progress, and pure observation: the wall-clock value
 // rides the event stream but never reaches simulator state.
 func (s *Sink) HostTime(cycle, ns int64) {
-	if s == nil || len(s.consumers) == 0 {
+	if s == nil || len(s.byKind[EvHostTime]) == 0 {
 		return
 	}
 	s.emitStream(Event{Cycle: cycle, Kind: EvHostTime, Dom: DomSM, Track: -1, Warp: -1, CTA: -1, Val: ns})
@@ -579,6 +615,68 @@ func (s *Sink) PrefEarlyEvict(cycle int64, sm int, pc uint32, addr uint64) {
 
 // ------------------------------------------------------- memory system ----
 
+// LoadIssue records one executed load-group issue: the warp's PC, its CTA,
+// its warp-within-CTA index (Event.Val) and the group's first line address.
+// This is the address-structure observation stream — everything a θ/Δ
+// decomposition needs (addr ≈ θ(CTA) + Δ·warpInCTA, paper Fig. 6) in one
+// event. indirect marks loads whose address depends on loaded data.
+func (s *Sink) LoadIssue(cycle int64, sm, warpSlot, cta, warpInCTA int, pc uint32, addr uint64, indirect bool) {
+	if s == nil || !s.smOK(sm) {
+		return
+	}
+	var arg uint8
+	if indirect {
+		arg = 1
+	}
+	e := Event{Cycle: cycle, Kind: EvLoadIssue, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr, Val: int64(warpInCTA), Arg: arg}
+	if s.stageEvent(e) {
+		return
+	}
+	s.sm[sm].loadIssue.Inc()
+	s.emit(e)
+}
+
+// MemAccess records one *accepted* cache access (hit, new miss, or merge)
+// at an L1 (DomSM) or L2 (DomPart) cache. Reservation fails are excluded
+// by contract — they emit EvResFail and their stats.Sim counts roll back on
+// replay, so an accepted-only stream reconciles exactly with the Sim
+// totals. High-rate: streams to consumers only, the bounded trace buffer
+// never sees it (EvCycleClass precedent).
+func (s *Sink) MemAccess(cycle int64, dom Domain, track, warpSlot, cta int, pc uint32, addr uint64, class AccessClass, prefetch bool) {
+	if s == nil || class >= NumAccessClasses {
+		return
+	}
+	e := Event{Cycle: cycle, Kind: EvMemAccess, Dom: dom, Track: int16(track), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr, Arg: PackAccess(class, prefetch)}
+	if s.stageEvent(e) {
+		return
+	}
+	switch dom {
+	case DomSM:
+		if !s.smOK(track) {
+			return
+		}
+		s.sm[track].access[class].Inc()
+	case DomPart:
+		if !s.partOK(track) {
+			return
+		}
+		s.part[track].access[class].Inc()
+	default:
+		return
+	}
+	s.emitStream(e)
+}
+
+// QueueSample records one memory-system queue depth (Event.Val) observed at
+// a progress beat. Beats fire on the same cycles with or without idle
+// fast-forward, so sampled occupancy distributions are executor-invariant.
+func (s *Sink) QueueSample(cycle int64, dom Domain, track int, q QueueKind, depth int) {
+	if s == nil || q >= NumQueueKinds {
+		return
+	}
+	s.emit(Event{Cycle: cycle, Kind: EvQueueSample, Dom: dom, Track: int16(track), Warp: -1, CTA: -1, Arg: uint8(q), Val: int64(depth)})
+}
+
 // MSHRAlloc records a new MSHR allocation at an L1 (DomSM) or L2 (DomPart)
 // cache; prefetch marks prefetch-buffer allocations.
 func (s *Sink) MSHRAlloc(cycle int64, dom Domain, track int, addr uint64, prefetch bool) {
@@ -689,22 +787,25 @@ func (s *Sink) ResFail(cycle int64, dom Domain, track int, addr uint64, queueFul
 	s.emit(e)
 }
 
-// RowHit records a DRAM row-buffer hit on a channel.
-func (s *Sink) RowHit(cycle int64, ch int, addr uint64) {
+// RowHit records a DRAM row-buffer hit on a channel; bank is the serviced
+// bank index (Event.Arg), so locality profilers can split hit rates and
+// access spread per bank.
+func (s *Sink) RowHit(cycle int64, ch, bank int, addr uint64) {
 	if s == nil || !s.chanOK(ch) {
 		return
 	}
 	s.ch[ch].rowHit.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvRowHit, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr})
+	s.emit(Event{Cycle: cycle, Kind: EvRowHit, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr, Arg: uint8(bank)})
 }
 
-// RowMiss records a DRAM row activation (row miss or cold row).
-func (s *Sink) RowMiss(cycle int64, ch int, addr uint64) {
+// RowMiss records a DRAM row activation (row miss or cold row) on a
+// channel's bank (Event.Arg).
+func (s *Sink) RowMiss(cycle int64, ch, bank int, addr uint64) {
 	if s == nil || !s.chanOK(ch) {
 		return
 	}
 	s.ch[ch].rowMiss.Inc()
-	s.emit(Event{Cycle: cycle, Kind: EvRowMiss, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr})
+	s.emit(Event{Cycle: cycle, Kind: EvRowMiss, Dom: DomDRAM, Track: int16(ch), Warp: -1, CTA: -1, Addr: addr, Arg: uint8(bank)})
 }
 
 // DemandLatency feeds the demand round-trip latency histogram; sm is the

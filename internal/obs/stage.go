@@ -150,6 +150,11 @@ func (s *Sink) applyEvent(e Event) {
 		s.MSHRConvert(c, t, e.Addr)
 	case EvResFail:
 		s.ResFail(c, e.Dom, t, e.Addr, e.Arg == 1)
+	case EvLoadIssue:
+		s.LoadIssue(c, t, int(e.Warp), int(e.CTA), int(e.Val), e.PC, e.Addr, e.Arg == 1)
+	case EvMemAccess:
+		class, pref := UnpackAccess(e.Arg)
+		s.MemAccess(c, e.Dom, t, int(e.Warp), int(e.CTA), e.PC, e.Addr, class, pref)
 	case EvCycleClass:
 		s.CycleClass(c, t, CycleClass(e.Arg))
 	}

@@ -60,9 +60,12 @@ const (
 	EvMSHRMerge
 	EvMSHRConvert
 	EvResFail
+	EvLoadIssue
+	EvMemAccess
 	EvRowHit
 	EvRowMiss
 	EvCycleClass
+	EvQueueSample
 	EvProgress
 	EvHostTime
 
@@ -95,9 +98,12 @@ var kindNames = [numKinds]string{
 	EvMSHRMerge:      "mshr.merge",
 	EvMSHRConvert:    "mshr.convert",
 	EvResFail:        "mshr.resfail",
+	EvLoadIssue:      "mem.load_issue",
+	EvMemAccess:      "mem.access",
 	EvRowHit:         "dram.row_hit",
 	EvRowMiss:        "dram.row_miss",
 	EvCycleClass:     "sm.cycle_class",
+	EvQueueSample:    "queue.sample",
 	EvProgress:       "run.progress",
 	EvHostTime:       "run.host_time",
 }
@@ -120,12 +126,14 @@ func (k Kind) category() string {
 		return "sched"
 	case k <= EvPrefEarlyEvict:
 		return "pref"
-	case k <= EvResFail:
+	case k <= EvMemAccess:
 		return "mem"
 	case k <= EvRowMiss:
 		return "dram"
 	case k == EvCycleClass:
 		return "cycle"
+	case k == EvQueueSample:
+		return "queue"
 	default:
 		return "run"
 	}
@@ -208,12 +216,102 @@ func (r DropReason) String() string {
 	return fmt.Sprintf("reason(%d)", uint8(r))
 }
 
+// AccessClass classifies an accepted cache access (EvMemAccess). Rejected
+// accesses (reservation fails) are not access classes: they already emit
+// EvResFail and their stats.Sim counts are rolled back, so counting them
+// here would break the exact reconciliation memory profilers depend on.
+type AccessClass uint8
+
+// Accepted-access outcomes. AccessStore marks a store accepted at an L2
+// partition: write-through no-allocate, it bypasses the cache lookup and
+// goes straight to DRAM, yet counts toward the partition's accepted
+// accesses (stats.Sim.L2Accesses) — without it the accepted-access stream
+// could not reconcile exactly on store-heavy benchmarks. The class values
+// must stay below accessPrefBit.
+const (
+	AccessHit        AccessClass = iota // line present
+	AccessMissNew                       // new MSHR allocated, request sent down
+	AccessMissMerged                    // merged into an in-flight MSHR
+	AccessStore                         // store accepted, forwarded past the cache
+
+	NumAccessClasses // sentinel
+)
+
+var accessClassNames = [NumAccessClasses]string{
+	AccessHit:        "hit",
+	AccessMissNew:    "miss_new",
+	AccessMissMerged: "miss_merged",
+	AccessStore:      "store",
+}
+
+// String implements fmt.Stringer.
+func (a AccessClass) String() string {
+	if int(a) < len(accessClassNames) {
+		return accessClassNames[a]
+	}
+	return fmt.Sprintf("access(%d)", uint8(a))
+}
+
+// accessPrefBit marks a prefetch access in a packed EvMemAccess Arg.
+const accessPrefBit = 0x4
+
+// PackAccess encodes an access class plus the demand/prefetch flag into an
+// Event.Arg byte; UnpackAccess reverses it.
+func PackAccess(class AccessClass, prefetch bool) uint8 {
+	b := uint8(class)
+	if prefetch {
+		b |= accessPrefBit
+	}
+	return b
+}
+
+// UnpackAccess decodes an EvMemAccess Arg byte.
+func UnpackAccess(arg uint8) (class AccessClass, prefetch bool) {
+	return AccessClass(arg &^ accessPrefBit), arg&accessPrefBit != 0
+}
+
+// QueueKind names one sampled memory-system queue (EvQueueSample Arg). The
+// samples are taken at the progress beat — cycles the executor visits with
+// or without idle fast-forward — so occupancy percentiles are comparable
+// across executor configurations.
+type QueueKind uint8
+
+// Sampled queues.
+const (
+	QueueL1MSHR    QueueKind = iota // per-SM L1 MSHR occupancy
+	QueueIcntToSM                   // interconnect responses pending toward one SM
+	QueueIcntToPart                 // interconnect requests pending toward one partition
+	QueueL2MSHR                     // per-partition L2 MSHR occupancy
+	QueueDRAM                       // per-channel DRAM scheduler queue depth
+
+	NumQueueKinds // sentinel
+)
+
+var queueKindNames = [NumQueueKinds]string{
+	QueueL1MSHR:     "l1_mshr",
+	QueueIcntToSM:   "icnt_to_sm",
+	QueueIcntToPart: "icnt_to_part",
+	QueueL2MSHR:     "l2_mshr",
+	QueueDRAM:       "dram_queue",
+}
+
+// String implements fmt.Stringer.
+func (q QueueKind) String() string {
+	if int(q) < len(queueKindNames) {
+		return queueKindNames[q]
+	}
+	return fmt.Sprintf("queue(%d)", uint8(q))
+}
+
 // Event is one cycle-stamped trace record. Fields are a compact union:
 // Warp/CTA/PC/Addr are meaningful per Kind and -1/0 otherwise; Arg carries
 // the kind-specific subcode (DropReason for EvPrefDrop, CycleClass for
 // EvCycleClass, 1 for a queue-full reservation fail on EvResFail, request
-// kind for EvMSHRAlloc); Val carries the kind-specific magnitude
-// (prefetch-to-demand distance in cycles for EvPrefConsume).
+// kind for EvMSHRAlloc, packed AccessClass+prefetch bit for EvMemAccess,
+// QueueKind for EvQueueSample, DRAM bank for EvRowHit/EvRowMiss, 1 for an
+// indirect load on EvLoadIssue); Val carries the kind-specific magnitude
+// (prefetch-to-demand distance in cycles for EvPrefConsume, warp-in-CTA
+// index for EvLoadIssue, sampled depth for EvQueueSample).
 type Event struct {
 	Cycle int64
 	Addr  uint64

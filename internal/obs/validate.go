@@ -13,6 +13,7 @@ type TraceSummary struct {
 	SMTracks      int // tracks in the SM process
 	SchedEvents   int // events in the "sched" category
 	PrefLifecycle int // complete candidate→fill→consume lifecycles (by line address)
+	PrefTriples   int // complete admit→fill→consume triples (by line address)
 	StallBegins   int // async stall-run begin events ("warp.stall" ph=b)
 	StallEnds     int // async stall-run end events ("warp.stall" ph=e)
 	Dropped       int64
@@ -56,8 +57,17 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 		sawCandidate = 1 << iota
 		sawFill
 		sawConsume
+		sawAdmit
+		sawAdmitFill
+		sawAdmitConsume
 	)
 	lifecycle := make(map[string]uint8)
+	// Prefetch admission pairing: every pref.fill must land on a line with an
+	// outstanding pref.admit. Admits may legitimately never fill (the MSHR
+	// can convert to demand), but an orphan fill means the emission order is
+	// wrong. The check is strict only on complete traces: once the buffer cap
+	// drops events, the missing admit may simply have been dropped.
+	prefOpen := make(map[string]int)
 	// Stall runs must pair: per async id, an end may only follow an open
 	// begin (ends without begins would render as orphan spans).
 	stallOpen := make(map[string]int)
@@ -96,7 +106,7 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 			continue
 		}
 		switch ev.Name {
-		case kindNames[EvPrefCandidate], kindNames[EvPrefFill], kindNames[EvPrefConsume]:
+		case kindNames[EvPrefCandidate], kindNames[EvPrefAdmit], kindNames[EvPrefFill], kindNames[EvPrefConsume]:
 			var args struct {
 				Addr string `json:"addr"`
 			}
@@ -107,13 +117,27 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 			switch ev.Name {
 			case kindNames[EvPrefCandidate]:
 				st |= sawCandidate
+			case kindNames[EvPrefAdmit]:
+				st |= sawAdmit
+				prefOpen[args.Addr]++
 			case kindNames[EvPrefFill]:
 				if st&sawCandidate != 0 {
 					st |= sawFill
 				}
+				if st&sawAdmit != 0 {
+					st |= sawAdmitFill
+				}
+				if prefOpen[args.Addr] > 0 {
+					prefOpen[args.Addr]--
+				} else if sum.Dropped == 0 {
+					return sum, fmt.Errorf("obs: prefetch fill for %s at ts=%d without an outstanding admit", args.Addr, ev.TS)
+				}
 			case kindNames[EvPrefConsume]:
 				if st&sawFill != 0 {
 					st |= sawConsume
+				}
+				if st&sawAdmitFill != 0 {
+					st |= sawAdmitConsume
 				}
 			}
 			lifecycle[args.Addr] = st
@@ -127,6 +151,9 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 	for _, st := range lifecycle { //simcheck:allow detlint order-insensitive count
 		if st&sawConsume != 0 {
 			sum.PrefLifecycle++
+		}
+		if st&sawAdmitConsume != 0 {
+			sum.PrefTriples++
 		}
 	}
 	return sum, nil

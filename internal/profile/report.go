@@ -36,6 +36,7 @@ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
 table { border-collapse: collapse; width: 100%; }
 th, td { border: 1px solid #ddd; padding: 0.3em 0.6em; text-align: right; }
 th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; }
+.warn { color: #b33; background: #fdecea; padding: 0.4em 0.8em; border-left: 3px solid #b33; }
 .legend span { display: inline-block; margin-right: 1.2em; }
 .legend i { display: inline-block; width: 0.9em; height: 0.9em; margin-right: 0.3em; vertical-align: -0.1em; }
 .stack { margin: 0.2em 0; }
@@ -86,7 +87,7 @@ th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; }
 		b.WriteString("</table>\n")
 	}
 	if p.TruncatedPCs > 0 || p.TruncatedCTAs > 0 {
-		fmt.Fprintf(&b, "<p><em>Ledger cap reached: %d PC and %d CTA events uncounted.</em></p>\n",
+		fmt.Fprintf(&b, "<p class=\"warn\">WARNING: ledger cap reached — %d PC and %d CTA events uncounted; per-PC/per-CTA rows above understate activity (headline metrics are unaffected).</p>\n",
 			p.TruncatedPCs, p.TruncatedCTAs)
 	}
 

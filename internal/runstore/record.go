@@ -27,6 +27,7 @@ import (
 
 	"caps/internal/config"
 	"caps/internal/hostprof"
+	"caps/internal/memlens"
 	"caps/internal/profile"
 	"caps/internal/stats"
 )
@@ -68,6 +69,12 @@ type Record struct {
 	// run to run, so Host is excluded from the content address — two runs
 	// of the same tree and config still dedup to one record.
 	Host *hostprof.Profile `json:"host_profile,omitempty"`
+
+	// Mem is the run's memory-hierarchy profile (sim.WithMemLens). The
+	// fold is deterministic, but whether a collector was attached is not
+	// part of the run's identity — like Host it is excluded from the
+	// content address, so runs with and without profiling dedup together.
+	Mem *memlens.Profile `json:"mem_profile,omitempty"`
 }
 
 // NewRecord builds a record from a finished run. profile may be nil (no
@@ -103,6 +110,7 @@ func (r *Record) contentID() string {
 	clone.ID = ""
 	clone.CreatedAt = 0
 	clone.Host = nil // wall-clock is not content: identical reruns must dedup
+	clone.Mem = nil  // attachment choice is not content either
 	data, err := json.Marshal(&clone)
 	if err != nil {
 		// Record is a tree of marshalable values; unreachable, but an
@@ -127,6 +135,13 @@ func (r *Record) MarkAborted(reason, dumpPath string) *Record {
 // unchanged (Host is excluded from it), so attaching never re-addresses.
 func (r *Record) AttachHost(hp *hostprof.Profile) *Record {
 	r.Host = hp
+	return r
+}
+
+// AttachMem adds the run's memory-hierarchy profile. Like AttachHost it
+// never re-addresses the record.
+func (r *Record) AttachMem(mp *memlens.Profile) *Record {
+	r.Mem = mp
 	return r
 }
 

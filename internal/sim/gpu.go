@@ -138,6 +138,15 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opts ...Option) (*GPU, error) 
 		}
 		opt.Obs.Attach(opt.Flight)
 	}
+	// The memlens collector rides the same stream; it declines the
+	// per-cycle class feed, so attaching it never disables the idle
+	// fast-forward's whole-GPU jump.
+	if opt.MemLens != nil {
+		if opt.Obs == nil {
+			opt.Obs = NewSink(cfg, false, 0)
+		}
+		opt.Obs.Attach(opt.MemLens)
+	}
 	// ORCH is LAP paired with the prefetch-aware grouped scheduler
 	// (Jog ISCA'13); selecting it swaps the two-level scheduler for the
 	// group-interleaved variant.
@@ -514,6 +523,7 @@ func (g *GPU) Run() (*stats.Sim, error) {
 					g.snk.HostTime(g.cycle, g.hprof.Elapsed())
 				}
 				g.snk.Progress(g.cycle, g.insts)
+				g.sampleQueues()
 			}
 			if g.stopReq.Load() {
 				return g.Stats(), ErrInterrupted
@@ -534,6 +544,27 @@ func (g *GPU) Run() (*stats.Sim, error) {
 	}
 	g.finalAccounting()
 	return g.Stats(), nil
+}
+
+// sampleQueues emits one EvQueueSample per memory-system queue: L1 MSHR
+// occupancy and pending interconnect responses per SM, L2 MSHR occupancy
+// and pending interconnect requests per partition, and the command-queue
+// depth per DRAM channel. Run calls it on the progress beat — cycles the
+// executor visits with or without the idle fast-forward — so occupancy
+// percentiles are comparable across executor configurations. It runs
+// outside the staged SM phase, so samples need no staging.
+func (g *GPU) sampleQueues() {
+	for i, sm := range g.sms {
+		g.snk.QueueSample(g.cycle, obs.DomSM, i, obs.QueueL1MSHR, sm.L1().OutstandingMSHRs())
+		g.snk.QueueSample(g.cycle, obs.DomSM, i, obs.QueueIcntToSM, g.icnt.PendingToSM(i))
+	}
+	for i, p := range g.parts {
+		g.snk.QueueSample(g.cycle, obs.DomPart, i, obs.QueueL2MSHR, p.L2().OutstandingMSHRs())
+		g.snk.QueueSample(g.cycle, obs.DomPart, i, obs.QueueIcntToPart, g.icnt.PendingToPartition(i))
+	}
+	for i, ch := range g.drams {
+		g.snk.QueueSample(g.cycle, obs.DomDRAM, i, obs.QueueDRAM, ch.QueueLen())
+	}
 }
 
 // finalAccounting collects end-of-run statistics (never-used prefetched

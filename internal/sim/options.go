@@ -4,6 +4,7 @@ import (
 	"caps/internal/config"
 	"caps/internal/flight"
 	"caps/internal/hostprof"
+	"caps/internal/memlens"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
 )
@@ -147,6 +148,20 @@ func WithHostProf(p *hostprof.Profiler) Option {
 	return optionFunc(func(o *Options) { o.HostProf = p })
 }
 
+// WithMemLens attaches a streaming memory-hierarchy profiler (see
+// internal/memlens): per-load-PC θ/Δ address-structure decomposition,
+// prefetch timeliness histograms, sampled reuse distances per cache
+// level, and DRAM/interconnect locality. The collector rides the obs
+// event stream — when no sink is attached one is created to carry it —
+// and opts out of the per-cycle class stream, so the idle fast-forward's
+// whole-GPU jump stays active and results are bit-identical with or
+// without it. Call c.Build after the run for the finished Profile and
+// Profile.Validate(st) to prove the fold reconciles with the run's
+// statistics. Size the collector with memlens.ForConfig(cfg).
+func WithMemLens(c *memlens.Collector) Option {
+	return optionFunc(func(o *Options) { o.MemLens = c })
+}
+
 // WithIdleSkip enables idle-cycle fast-forward (see internal/sim
 // fastforward.go). Per SM, a tick that proves itself a no-op caches a
 // sleep window, and every tick inside it short-circuits past the
@@ -212,6 +227,9 @@ type Options struct {
 	IdleSkip bool
 	// HostProf attaches a wall-clock self-profiler (see WithHostProf).
 	HostProf *hostprof.Profiler
+	// MemLens attaches a streaming memory-hierarchy profiler (see
+	// WithMemLens).
+	MemLens *memlens.Collector
 }
 
 // apply implements Option for the legacy struct: each non-zero field
@@ -257,5 +275,8 @@ func (legacy Options) apply(o *Options) {
 	}
 	if legacy.HostProf != nil {
 		o.HostProf = legacy.HostProf
+	}
+	if legacy.MemLens != nil {
+		o.MemLens = legacy.MemLens
 	}
 }

@@ -861,6 +861,7 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 			w.pc++
 			return true
 		}
+		sm.snk.LoadIssue(now, sm.id, w.slot, w.ctaID, w.warpInCTA, pcOf(in.Load), addrs[0], spec.Indirect)
 		obs := prefetch.Observation{
 			Now:         now,
 			SMID:        sm.id,
