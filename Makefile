@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke memlens-smoke bench-json speed-bench results check bench
+.PHONY: build lint test race race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke memlens-smoke schedlens-smoke bench-json speed-bench results check bench
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,23 @@ memlens-smoke:
 	$(GO) run ./cmd/capsprof mem /tmp/caps-mem-a.json -html /tmp/caps-mem-a.html
 	$(GO) run ./cmd/capsprof mem-diff /tmp/caps-mem-a.json /tmp/caps-mem-b.json
 
+# End-to-end scheduler-observability smoke test: the same CAPS run twice
+# with the scheduler/CTA profiler on (capsim -schedlens; the profile must
+# reconcile exactly against stats.Sim or capsim exits 1) under different
+# executor settings — parallel + idle-skip vs serial. Every schedlens
+# emission fires at an executor-invariant state transition, so the two
+# profiles must be byte-identical (cmp), not merely diff-clean; the text
+# and HTML renderings and the sched-diff gate run on top of that.
+schedlens-smoke:
+	$(GO) run ./cmd/capsim -bench BFS -prefetch caps -insts 50000 \
+		-workers 4 -idle-skip -schedlens /tmp/caps-sched-a.json 2>/dev/null
+	$(GO) run ./cmd/capsim -bench BFS -prefetch caps -insts 50000 \
+		-schedlens /tmp/caps-sched-b.json 2>/dev/null
+	cmp /tmp/caps-sched-a.json /tmp/caps-sched-b.json
+	$(GO) run ./cmd/capsprof sched /tmp/caps-sched-a.json
+	$(GO) run ./cmd/capsprof sched /tmp/caps-sched-a.json -html /tmp/caps-sched-a.html
+	$(GO) run ./cmd/capsprof sched-diff /tmp/caps-sched-a.json /tmp/caps-sched-b.json
+
 # Regenerates BENCH_caps.json: headline IPC + prefetch metrics for every
 # benchmark under the CAPS configuration. capsprof diff accepts the file as
 # a baseline, turning the committed numbers into a regression gate.
@@ -133,7 +150,7 @@ results:
 	$(GO) run ./cmd/capsweep -insts 250000 -fig 12,13,14a,14b,15 >> results_all.txt
 	$(GO) run ./cmd/capsweep -insts 250000 -benches CNV,MM,MRQ,BFS -fig 11 >> results_all.txt
 
-check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke memlens-smoke
+check: build lint test race-smoke determinism trace-smoke profile-smoke serve-smoke flight-smoke hostprof-smoke memlens-smoke schedlens-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

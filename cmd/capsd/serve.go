@@ -114,6 +114,7 @@ th { background: #f5f5f5; } td:first-child, th:first-child { text-align: left; f
 		writeIPCCharts(&b, entries, baseline)
 		writeHostPanel(&b, store, entries, speed)
 		writeMemPanel(&b, store, entries)
+		writeSchedPanel(&b, store, entries)
 
 		b.WriteString("<h2>Runs</h2>\n")
 		if len(entries) == 0 {
@@ -336,6 +337,89 @@ func writeMemPanel(b *strings.Builder, store *runstore.Store, entries []*runstor
 		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#1976d2" fill-opacity="0.8"><title>%s: coverage %.3f, explained %.3f</title></circle>`+"\n",
 			x(cov), y(exp), html.EscapeString(p.bench), p.coverage, p.explained)
 		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" fill="#333">%s</text>`+"\n", x(cov)+6, y(exp)+4, html.EscapeString(p.bench))
+	}
+	b.WriteString("</svg>\n")
+}
+
+// schedPoint is one stored run on the scheduler panel's scatter.
+type schedPoint struct {
+	bench   string
+	eff     float64 // leading-warp effectiveness (schedlens)
+	speedup float64 // caps cycles vs the stored none baseline
+}
+
+// writeSchedPanel renders the scheduler panel: a per-benchmark scatter of
+// leading-warp effectiveness against the CAPS-over-none speedup from
+// every stored CAPS run carrying a schedlens profile (capsweep
+// -schedlens-dir, capsim -schedlens, with -store). The paper's Section
+// III argument is this plot's diagonal: benchmarks whose θ/Δ bases are
+// established by the designated leading warp are the ones where CAPS's
+// prediction tables stay warm and the speedup materializes; a benchmark
+// whose bases keep re-anchoring (BFS) sits low on both axes.
+func writeSchedPanel(b *strings.Builder, store *runstore.Store, entries []*runstore.Entry) {
+	noneCycles := map[string]int64{}
+	for _, e := range entries {
+		if e.Prefetcher == "none" && e.Cycles > 0 {
+			noneCycles[e.Bench] = e.Cycles
+		}
+	}
+	var pts []schedPoint
+	maxSpeed := 1.0
+	for _, e := range entries {
+		if e.Prefetcher != "caps" || e.Cycles <= 0 {
+			continue
+		}
+		rec, err := store.Get(e.ID)
+		if err != nil || rec.Sched == nil {
+			continue
+		}
+		base, ok := noneCycles[e.Bench]
+		if !ok {
+			continue
+		}
+		p := schedPoint{bench: e.Bench,
+			eff:     rec.Sched.LeadingWarp.Effectiveness,
+			speedup: float64(base) / float64(e.Cycles)}
+		if p.speedup > maxSpeed {
+			maxSpeed = p.speedup
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		b.WriteString("<p>No scheduler profiles stored — sweep with <code>-schedlens-dir</code> and <code>-store</code> (plus a <code>none</code> baseline) to see the scheduler panel.</p>\n")
+		return
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].bench < pts[j].bench })
+	top := math.Ceil(maxSpeed*4) / 4 // y axis snaps to the next quarter
+
+	b.WriteString("<h2>Scheduler: leading-warp effectiveness vs CAPS speedup</h2>\n")
+	const (
+		w, h           = 640, 420
+		ml, mr, mt, mb = 60, 20, 30, 50 // margins: left, right, top, bottom
+	)
+	pw, ph := float64(w-ml-mr), float64(h-mt-mb)
+	x := func(v float64) float64 { return ml + v*pw }
+	y := func(v float64) float64 { return mt + (1-v/top)*ph }
+	fmt.Fprintf(b, `<svg class="chart" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif" font-size="11">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<text x="%d" y="18" font-size="13">leading-warp effectiveness vs speedup over none per benchmark (stored caps runs)</text>`+"\n", ml)
+	for i := 0; i <= 4; i++ {
+		v := float64(i) / 4
+		fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#eee"/>`+"\n", x(0), y(v*top), x(1), y(v*top))
+		fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#eee"/>`+"\n", x(v), y(0), x(v), y(top))
+		fmt.Fprintf(b, `<text x="%.0f" y="%.0f" text-anchor="end" fill="#666">%.2f</text>`+"\n", x(0)-6, y(v*top)+4, v*top)
+		fmt.Fprintf(b, `<text x="%.0f" y="%.0f" text-anchor="middle" fill="#666">%.2f</text>`+"\n", x(v), y(0)+16, v)
+	}
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#999"/>`+"\n", x(0), y(0), x(1), y(0))
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#999"/>`+"\n", x(0), y(0), x(0), y(top))
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#fbb" stroke-dasharray="4 3"/>`+"\n", x(0), y(1), x(1), y(1))
+	fmt.Fprintf(b, `<text x="%.0f" y="%d" text-anchor="middle" fill="#333">leading-warp effectiveness (θ/Δ bases from the designated leading warp)</text>`+"\n", x(0.5), h-8)
+	fmt.Fprintf(b, `<text x="14" y="%.0f" text-anchor="middle" fill="#333" transform="rotate(-90 14 %.0f)">cycles speedup over none</text>`+"\n", y(top/2), y(top/2))
+	for _, p := range pts {
+		eff := math.Min(math.Max(p.eff, 0), 1)
+		sp := math.Min(math.Max(p.speedup, 0), top)
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#388e3c" fill-opacity="0.8"><title>%s: effectiveness %.3f, speedup %.3f</title></circle>`+"\n",
+			x(eff), y(sp), html.EscapeString(p.bench), p.eff, p.speedup)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" fill="#333">%s</text>`+"\n", x(eff)+6, y(sp)+4, html.EscapeString(p.bench))
 	}
 	b.WriteString("</svg>\n")
 }

@@ -9,6 +9,7 @@
 //	capsim -bench MM -prefetch caps -cpuprofile cpu.pprof
 //	capsim -bench MM -prefetch caps -workers 4 -idle-skip -hostprof out.host.json
 //	capsim -bench BFS -prefetch caps -memlens out.mem.json
+//	capsim -bench BFS -prefetch caps -sched pas -schedlens out.sched.json
 //	capsim -list
 package main
 
@@ -37,6 +38,7 @@ import (
 	"caps/internal/profile"
 	"caps/internal/runstore"
 	"caps/internal/sched"
+	"caps/internal/schedlens"
 	"caps/internal/sim"
 	"caps/internal/telemetry"
 )
@@ -70,6 +72,7 @@ func run() int {
 		beat      = flag.Int64("beat", 0, "progress-beat / watchdog-poll period in cycles, rounded to a power of two (0 = default 8192)")
 		hprofOut  = flag.String("hostprof", "", "self-profile the executor's wall-clock (phase/worker/skip attribution) and write the host profile JSON to this file; a text report goes to stderr")
 		mlensOut  = flag.String("memlens", "", "profile the memory hierarchy (θ/Δ address structure, prefetch timeliness, reuse, DRAM locality) and write the memory profile JSON to this file; a text report goes to stderr")
+		slensOut  = flag.String("schedlens", "", "profile scheduler and CTA decisions (CTA timelines, pick outcomes, CAP/DIST table dynamics, leading-warp effectiveness) and write the scheduler profile JSON to this file; a text report goes to stderr")
 	)
 	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
@@ -149,6 +152,10 @@ func run() int {
 	if *mlensOut != "" {
 		mlens = memlens.ForConfig(cfg)
 	}
+	var slens *schedlens.Collector
+	if *slensOut != "" {
+		slens = schedlens.ForConfig(cfg)
+	}
 	runID := fmt.Sprintf("%s-%s-%s", k.Abbr, *pf, cfg.Scheduler)
 	var srv *telemetry.Server
 	if *serveAdr != "" {
@@ -174,6 +181,9 @@ func run() int {
 	}
 	if mlens != nil {
 		opts = append(opts, sim.WithMemLens(mlens))
+	}
+	if slens != nil {
+		opts = append(opts, sim.WithSchedLens(slens))
 	}
 	opts = append(opts, sf.SimOptions()...)
 	var dumpPath string
@@ -329,6 +339,27 @@ func run() int {
 			return 1
 		}
 	}
+	var schedLens *schedlens.Profile
+	if slens != nil {
+		// Same contract as memlens: an aborted run's profile is written,
+		// only a completed one must reconcile.
+		schedLens = slens.Build(schedlens.Meta{Bench: k.Abbr, Prefetcher: *pf,
+			Scheduler: string(cfg.Scheduler), Cycles: st.Cycles})
+		if !aborted {
+			if err := schedLens.Validate(st); err != nil {
+				fmt.Fprintln(os.Stderr, "capsim: schedlens: accounting invariant violated:", err)
+				return 1
+			}
+		}
+		if err := schedLens.WriteFile(*slensOut); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: schedlens:", err)
+			return 1
+		}
+		if err := schedLens.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "capsim: schedlens:", err)
+			return 1
+		}
+	}
 	if *storeDir != "" {
 		store, err := runstore.Open(*storeDir)
 		if err != nil {
@@ -344,6 +375,9 @@ func run() int {
 		}
 		if memLens != nil {
 			rec.AttachMem(memLens)
+		}
+		if schedLens != nil {
+			rec.AttachSched(schedLens)
 		}
 		id, dup, err := store.Put(rec)
 		if err != nil {

@@ -13,6 +13,8 @@
 //	capsprof host-diff base.host.json cur.host.json
 //	capsprof mem run.mem.json [-html report.html]
 //	capsprof mem-diff base.mem.json cur.mem.json
+//	capsprof sched run.sched.json [-html report.html]
+//	capsprof sched-diff base.sched.json cur.sched.json
 //
 // diff exits 1 when any metric regresses past its threshold, 0 otherwise —
 // wire it into CI after a sweep to turn perf eyeballing into a gate.
@@ -54,6 +56,10 @@ func run(args []string) int {
 		return mem(args[1:])
 	case "mem-diff":
 		return memDiff(args[1:])
+	case "sched":
+		return sched(args[1:])
+	case "sched-diff":
+		return schedDiff(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return 0
@@ -114,6 +120,16 @@ func usage() {
       compare two memory profiles and exit 1 on explainability,
       prefetch-accuracy, row-hit-rate, reuse, or bank-spread drops
       past thresholds
+
+  capsprof sched <run.sched.json> [-html out.html]
+      render a scheduler/CTA-decision profile (capsim -schedlens,
+      capsweep -schedlens-dir): CTA lifetime timelines, pick-outcome
+      provenance, CAP/DIST table dynamics, leading-warp effectiveness
+
+  capsprof sched-diff <base.sched.json> <current.sched.json> [-effectiveness|-promoted|-ctahit|-disthit|-balance abs]
+      compare two scheduler profiles and exit 1 on leading-warp
+      effectiveness, promotion-fraction, table-hit-rate, or CTA-balance
+      drops past thresholds
 `)
 }
 

@@ -27,6 +27,7 @@ import (
 	"caps/internal/obs"
 	"caps/internal/profile"
 	"caps/internal/runstore"
+	"caps/internal/schedlens"
 	"caps/internal/sim"
 	"caps/internal/stats"
 	"caps/internal/telemetry"
@@ -51,6 +52,7 @@ func main() {
 		flightDir  = flag.String("flight-dir", "", "attach a flight recorder to every run; a run that dies leaves <dir>/<run>.flight.jsonl (see capscope)")
 		hprofDir   = flag.String("hostprof-dir", "", "self-profile every run's executor wall-clock and write <dir>/<run>.host.json (see capsprof host)")
 		mlensDir   = flag.String("memlens-dir", "", "profile every run's memory hierarchy and write <dir>/<run>.mem.json (see capsprof mem)")
+		slensDir   = flag.String("schedlens-dir", "", "profile every run's scheduler/CTA decisions and write <dir>/<run>.sched.json (see capsprof sched)")
 	)
 	sf := experiments.AddSimFlags(flag.CommandLine)
 	flag.Parse()
@@ -182,6 +184,18 @@ func main() {
 		opts = append(opts, experiments.WithMemLens(func(k experiments.RunKey, mp *memlens.Profile) {
 			if err := mp.WriteFile(filepath.Join(*mlensDir, k.Name()+".mem.json")); err != nil {
 				fmt.Fprintf(os.Stderr, "capsweep: memlens %s: %v\n", k.Name(), err)
+				exitCode = 1
+			}
+		}))
+	}
+	if *slensDir != "" {
+		if err := os.MkdirAll(*slensDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "capsweep:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, experiments.WithSchedLens(func(k experiments.RunKey, sp *schedlens.Profile) {
+			if err := sp.WriteFile(filepath.Join(*slensDir, k.Name()+".sched.json")); err != nil {
+				fmt.Fprintf(os.Stderr, "capsweep: schedlens %s: %v\n", k.Name(), err)
 				exitCode = 1
 			}
 		}))

@@ -164,26 +164,35 @@ func (c *CAPS) lookupOrAllocDist(now int64, pc uint32) *distEntry {
 		e := &c.dist[i]
 		if e.valid && e.pc == pc {
 			e.lastUse = now
+			c.sink.TableOp(now, c.smID, -1, pc, obslib.TableDistHit)
 			return e
 		}
 		if free == nil && !e.valid {
 			free = e
 		}
 	}
+	reclaimed := false
 	if free == nil {
 		// Reclaim a shut-down entry; never evict a live striding load.
 		for i := range c.dist {
 			if c.dist[i].disabled {
 				free = &c.dist[i]
+				reclaimed = true
 				break
 			}
 		}
 	}
 	if free == nil {
+		c.sink.TableOp(now, c.smID, -1, pc, obslib.TableDistFull)
 		return nil
 	}
 	*free = distEntry{pc: pc, valid: true, lastUse: now}
 	c.sink.DistAlloc(now, c.smID, pc)
+	if reclaimed {
+		c.sink.TableOp(now, c.smID, -1, pc, obslib.TableDistReclaim)
+	} else {
+		c.sink.TableOp(now, c.smID, -1, pc, obslib.TableDistFill)
+	}
 	return free
 }
 
@@ -209,6 +218,11 @@ func (c *CAPS) insertPerCTA(now int64, obs *prefetch.Observation) *perCTAEntry {
 			victim = i
 		}
 	}
+	if tbl[victim].valid {
+		// A live entry for another PC loses its slot: an aliasing collision
+		// under the paper's four-entry CAP budget.
+		c.sink.TableOp(now, c.smID, tbl[victim].ctaID, tbl[victim].pc, obslib.TableCTAEvict)
+	}
 	base := append(tbl[victim].base[:0], obs.Addrs...) //caps:alloc-ok base capacity is retained by the table row and bounded by PrefetchMaxAccesses
 	tbl[victim] = perCTAEntry{
 		pc:        obs.PC,
@@ -223,6 +237,7 @@ func (c *CAPS) insertPerCTA(now int64, obs *prefetch.Observation) *perCTAEntry {
 		lastUse:   now,
 	}
 	c.sink.PerCTAFill(now, c.smID, obs.CTAID, obs.PC)
+	c.sink.TableOp(now, c.smID, obs.CTAID, obs.PC, obslib.TableCTAFill)
 	return &tbl[victim]
 }
 
@@ -252,6 +267,9 @@ func (c *CAPS) onLoad(obs *prefetch.Observation, out []prefetch.Candidate) []pre
 		return out // not one of the targeted loads
 	}
 	pe := c.lookupPerCTA(obs.CTASlot, obs.PC)
+	if pe != nil {
+		c.sink.TableOp(obs.Now, c.smID, pe.ctaID, pe.pc, obslib.TableCTAHit)
+	}
 
 	switch {
 	case pe == nil:
@@ -302,6 +320,7 @@ func (c *CAPS) onLoad(obs *prefetch.Observation, out []prefetch.Candidate) []pre
 			stride, ok := strideBetween(pe.base, obs.Addrs, dw)
 			if !ok {
 				pe.valid = false
+				c.sink.TableOp(obs.Now, c.smID, pe.ctaID, pe.pc, obslib.TableCTAInvalidate)
 				return out
 			}
 			de.stride = stride
@@ -324,13 +343,16 @@ func (c *CAPS) onLoad(obs *prefetch.Observation, out []prefetch.Candidate) []pre
 		if pe.iter == obs.Iter {
 			if predictsExactly(pe.base, obs.Addrs, dw, de.stride) {
 				c.st.PrefVerifyOK++
+				c.sink.TableOp(obs.Now, c.smID, pe.ctaID, pe.pc, obslib.TableVerifyOK)
 			} else {
 				c.st.PrefVerifyBad++
+				c.sink.TableOp(obs.Now, c.smID, pe.ctaID, pe.pc, obslib.TableVerifyBad)
 				if de.mispredict < 255 {
 					de.mispredict++
 				}
-				if int(de.mispredict) > c.cfg.MispredictThreshold {
+				if int(de.mispredict) > c.cfg.MispredictThreshold && !de.disabled {
 					de.disabled = true
+					c.sink.TableOp(obs.Now, c.smID, -1, pe.pc, obslib.TableDistDisable)
 				}
 			}
 		}
@@ -372,6 +394,7 @@ func (c *CAPS) generateMasked(now int64, pe *perCTAEntry, de *distEntry, allow u
 				TargetWarpSlot: pe.warpBase + w,
 				TargetCTAID:    pe.ctaID,
 				GenCycle:       now,
+				SeedWarp:       pe.leadWarp,
 			})
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"caps/internal/obs"
 	"caps/internal/profile"
 	"caps/internal/runstore"
+	"caps/internal/schedlens"
 	"caps/internal/sim"
 	"caps/internal/stats"
 	"caps/internal/telemetry"
@@ -112,6 +113,14 @@ type Suite struct {
 	memLens     bool
 	memDone     []func(RunKey, *memlens.Profile)
 	memProfiles map[RunKey]*memlens.Profile
+
+	// schedLens (WithSchedLens) hands every run a streaming scheduler/CTA-
+	// decision profiler; schedDone hooks receive the built profile after a
+	// successful run, and schedProfiles keeps it for SchedProfile and the
+	// run-store attach. Under mu.
+	schedLens     bool
+	schedDone     []func(RunKey, *schedlens.Profile)
+	schedProfiles map[RunKey]*schedlens.Profile
 
 	// stopped flips when Interrupt is called; running tracks in-flight
 	// GPUs so the interrupt can reach them.
@@ -230,6 +239,9 @@ func WithRunStore(store *runstore.Store, onErr func(RunKey, error)) Option {
 			if mp := s.MemProfile(k); mp != nil {
 				rec.AttachMem(mp)
 			}
+			if sp := s.SchedProfile(k); sp != nil {
+				rec.AttachSched(sp)
+			}
 			if _, _, err := store.Put(rec); err != nil && onErr != nil {
 				onErr(k, err)
 			}
@@ -295,6 +307,32 @@ func (s *Suite) MemProfile(k RunKey) *memlens.Profile {
 	return s.memProfiles[k]
 }
 
+// WithSchedLens profiles every run's scheduler and CTA decisions with an
+// internal/schedlens collector (sim.WithSchedLens): CTA lifetime
+// timelines, PickOutcome decision provenance, CAP/DIST table dynamics and
+// leading-warp effectiveness. fn — optional — receives each successful
+// run's built profile (capsweep writes it to -schedlens-dir); the profile
+// is also retained for SchedProfile and attached to stored records under
+// WithRunStore. The collector declines the per-cycle class stream, so
+// cycles, hashes, and BENCH_caps.json stay bit-identical — with or
+// without the idle fast-forward.
+func WithSchedLens(fn func(RunKey, *schedlens.Profile)) Option {
+	return func(s *Suite) {
+		s.schedLens = true
+		if fn != nil {
+			s.schedDone = append(s.schedDone, fn)
+		}
+	}
+}
+
+// SchedProfile returns the built scheduler profile of a completed run, or
+// nil if the run hasn't finished or WithSchedLens wasn't set.
+func (s *Suite) SchedProfile(k RunKey) *schedlens.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schedProfiles[k]
+}
+
 // HostProfile returns the built host profile of a completed run, or nil if
 // the run hasn't finished or WithHostProf wasn't set.
 func (s *Suite) HostProfile(k RunKey) *hostprof.Profile {
@@ -342,14 +380,15 @@ func WithRunOptions(opts ...sim.Option) Option {
 // NewSuite creates a suite over the given base configuration.
 func NewSuite(cfg config.GPUConfig, opts ...Option) *Suite {
 	s := &Suite{
-		cfg:          cfg,
-		parallelism:  runtime.GOMAXPROCS(0),
-		cache:        make(map[RunKey]*stats.Sim),
-		failures:     make(map[RunKey]error),
-		running:      make(map[RunKey]*sim.GPU),
-		hprofs:       make(map[RunKey]*hostprof.Profiler),
-		hostProfiles: make(map[RunKey]*hostprof.Profile),
-		memProfiles:  make(map[RunKey]*memlens.Profile),
+		cfg:           cfg,
+		parallelism:   runtime.GOMAXPROCS(0),
+		cache:         make(map[RunKey]*stats.Sim),
+		failures:      make(map[RunKey]error),
+		running:       make(map[RunKey]*sim.GPU),
+		hprofs:        make(map[RunKey]*hostprof.Profiler),
+		hostProfiles:  make(map[RunKey]*hostprof.Profile),
+		memProfiles:   make(map[RunKey]*memlens.Profile),
+		schedProfiles: make(map[RunKey]*schedlens.Profile),
 	}
 	for _, o := range opts {
 		o(s)
@@ -440,7 +479,11 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 	if s.memLens {
 		ml = memlens.ForConfig(s.configFor(k))
 	}
-	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk, HostProf: hp, MemLens: ml}
+	var sl *schedlens.Collector
+	if s.schedLens {
+		sl = schedlens.ForConfig(s.configFor(k))
+	}
+	opt := sim.Options{Prefetcher: k.Prefetch, Obs: snk, HostProf: hp, MemLens: ml, SchedLens: sl}
 	var dumpPath string // set by OnDump (same goroutine, inside g.Run)
 	if s.flightDir != "" {
 		opt.Flight = sim.NewFlightRecorder(s.configFor(k))
@@ -509,6 +552,21 @@ func (s *Suite) runOnce(k RunKey) (*stats.Sim, error) {
 		s.memProfiles[k] = p
 		s.mu.Unlock()
 		for _, fn := range s.memDone {
+			fn(k, p)
+		}
+	}
+	if sl != nil {
+		// Same contract as memlens: build before the runDone hooks, and a
+		// fold that fails reconciliation is an instrumentation bug.
+		p := sl.Build(schedlens.Meta{Bench: k.Bench, Prefetcher: k.Prefetch,
+			Scheduler: string(s.configFor(k).Scheduler), Cycles: st.Cycles})
+		if verr := p.Validate(st); verr != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", k.Bench, k.Prefetch, verr)
+		}
+		s.mu.Lock()
+		s.schedProfiles[k] = p
+		s.mu.Unlock()
+		for _, fn := range s.schedDone {
 			fn(k, p)
 		}
 	}

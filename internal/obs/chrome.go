@@ -123,6 +123,23 @@ func WriteChromeTraceEvents(w io.Writer, cfg Config, events []Event, dropped int
 			} else {
 				ce.Ph = "e"
 			}
+		// CTA lifetimes export as async-nestable spans keyed by (SM, CTA):
+		// the launch phase opens the span, retire closes it, and the
+		// intermediate phases (first-issue, base-established, drain) stay
+		// instants nested inside the span on the same id.
+		case EvCTAPhase:
+			ce.Name = "cta.lifetime"
+			ce.ID = fmt.Sprintf("cta-%d-%d", ev.Track, ev.CTA)
+			switch CTAPhase(ev.Arg) {
+			case CTAPhaseLaunch:
+				ce.S = ""
+				ce.Ph = "b"
+			case CTAPhaseRetire:
+				ce.S = ""
+				ce.Ph = "e"
+			default:
+				ce.Name = "cta.phase"
+			}
 		}
 		if err := emit(ce); err != nil {
 			return err
@@ -167,6 +184,10 @@ func eventArgs(ev Event) map[string]any {
 		}
 	case EvPrefConsume:
 		args["distance"] = ev.Val
+	case EvPrefCandidate:
+		if ev.Val >= 0 {
+			args["seed_warp"] = ev.Val
+		}
 	case EvLoadIssue:
 		args["warp_in_cta"] = ev.Val
 		args["indirect"] = ev.Arg == 1
@@ -181,6 +202,12 @@ func eventArgs(ev Event) map[string]any {
 		args["depth"] = ev.Val
 	case EvCycleClass:
 		args["class"] = CycleClass(ev.Arg).String()
+	case EvPickOutcome:
+		args["outcome"] = PickOutcome(ev.Arg).String()
+	case EvCTAPhase:
+		args["phase"] = CTAPhase(ev.Arg).String()
+	case EvTableOp:
+		args["op"] = TableOp(ev.Arg).String()
 	}
 	return args
 }

@@ -22,9 +22,12 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.SchedPromote(1, 0, 0)
 	s.SchedDemote(1, 0, 0)
 	s.SchedWakeup(1, 0, 0)
+	s.PickOutcome(1, 0, 0, PickLeadingPromoted)
+	s.CTAPhase(1, 0, 0, CTAPhaseLaunch)
+	s.TableOp(1, 0, 0, 1, TableDistFill)
 	s.DistAlloc(1, 0, 1)
 	s.PerCTAFill(1, 0, 0, 1)
-	s.PrefCandidate(1, 0, 0, 0, 1, 0x80)
+	s.PrefCandidate(1, 0, 0, 0, 1, 0x80, -1)
 	s.PrefDrop(1, 0, 0, 1, 0x80, DropStale)
 	s.PrefAdmit(1, 0, 0, 0, 1, 0x80)
 	s.PrefFill(1, 0, 0, 1, 0x80)
@@ -50,8 +53,8 @@ func TestNilSinkIsSafe(t *testing.T) {
 
 func TestCountersAndSnapshot(t *testing.T) {
 	s := New(Config{SMs: 2, Partitions: 1, Channels: 1})
-	s.PrefCandidate(5, 0, 3, 1, 7, 0x1000)
-	s.PrefCandidate(6, 1, 4, 2, 7, 0x2000)
+	s.PrefCandidate(5, 0, 3, 1, 7, 0x1000, 0)
+	s.PrefCandidate(6, 1, 4, 2, 7, 0x2000, 2)
 	s.PrefAdmit(7, 0, 3, 1, 7, 0x1000)
 	s.PrefDrop(8, 1, 2, 7, 0x2000, DropDup)
 	s.RowMiss(9, 0, 1, 0x1000)
@@ -147,7 +150,7 @@ func TestChromeExportValidates(t *testing.T) {
 	s.WarpDispatch(0, 0, 0, 0)
 	s.WarpStallBegin(2, 0, 1)
 	s.SchedDemote(3, 0, 0)
-	s.PrefCandidate(4, 0, 1, 0, 2, 0x4000)
+	s.PrefCandidate(4, 0, 1, 0, 2, 0x4000, -1)
 	s.PrefAdmit(5, 0, 1, 0, 2, 0x4000)
 	s.MSHRAlloc(5, DomSM, 0, 0x4000, true)
 	s.PrefFill(60, 0, 1, 2, 0x4000)
@@ -313,12 +316,18 @@ func TestEnumStringsExhaustive(t *testing.T) {
 	check("CycleClass", int(NumCycleClasses), func(i int) string { return CycleClass(i).String() })
 	check("AccessClass", int(NumAccessClasses), func(i int) string { return AccessClass(i).String() })
 	check("QueueKind", int(NumQueueKinds), func(i int) string { return QueueKind(i).String() })
+	check("PickOutcome", NumPickOutcomes, func(i int) string { return PickOutcome(i).String() })
+	check("CTAPhase", NumCTAPhases, func(i int) string { return CTAPhase(i).String() })
+	check("TableOp", NumTableOps, func(i int) string { return TableOp(i).String() })
 }
 
 func TestWriteCSVFullSnapshot(t *testing.T) {
 	s := New(Config{SMs: 1, Partitions: 1, Channels: 1})
 	s.PrefDrop(1, 0, 0, 7, 0x80, DropSetFull)
 	s.CycleClass(1, 0, CycleMemStructural)
+	s.PickOutcome(1, 0, 2, PickDemoteLongLatency)
+	s.CTAPhase(1, 0, 0, CTAPhaseFirstIssue)
+	s.TableOp(1, 0, -1, 7, TableDistFill)
 	s.ResFail(2, DomPart, 0, 0x100, false)
 	s.LoadIssue(3, 0, 0, 0, 0, 7, 0x80, false)
 	s.MemAccess(3, DomSM, 0, 0, 0, 7, 0x80, AccessMissMerged, false)
@@ -339,6 +348,9 @@ func TestWriteCSVFullSnapshot(t *testing.T) {
 	wantRows := []string{
 		`pref_drop_total,"{sm=""0"",reason=""set_full""}",1`,
 		`sm_cycle_class_total,"{sm=""0"",class=""mem_structural""}",1`,
+		`sched_pick_total,"{sm=""0"",outcome=""demote_longlat""}",1`,
+		`cta_phase_total,"{sm=""0"",phase=""first_issue""}",1`,
+		`caps_table_op_total,"{sm=""0"",op=""dist_fill""}",1`,
 		`l2_resfail_total,"{part=""0"",kind=""mshr""}",1`,
 		`load_issue_total,"{sm=""0""}",1`,
 		`l1_access_total,"{sm=""0"",outcome=""miss_merged""}",1`,
@@ -353,6 +365,73 @@ func TestWriteCSVFullSnapshot(t *testing.T) {
 	}
 	if len(lines) != len(s.Snapshot())+1 {
 		t.Fatalf("CSV has %d data rows, snapshot has %d samples", len(lines)-1, len(s.Snapshot()))
+	}
+}
+
+// TestChromeExportSchedLensKinds pins the decision-observability trace
+// surface: CTA lifetimes render as paired async spans (intermediate phases
+// as instants on the same id), pick outcomes and table operations carry
+// their enum names in args, and the validator's table census accepts the
+// fill-before-hit order the CAPS engine guarantees.
+func TestChromeExportSchedLensKinds(t *testing.T) {
+	s := New(Config{SMs: 1, Trace: true})
+	s.CTAPhase(0, 0, 3, CTAPhaseLaunch)
+	s.CTAPhase(1, 0, 3, CTAPhaseFirstIssue)
+	s.PickOutcome(2, 0, 1, PickLeadingPromoted)
+	s.TableOp(3, 0, -1, 7, TableDistFill)
+	s.TableOp(4, 0, -1, 7, TableDistHit)
+	s.TableOp(5, 0, 3, 7, TableCTAFill)
+	s.TableOp(6, 0, 3, 7, TableCTAHit)
+	s.CTAPhase(9, 0, 3, CTAPhaseDrain)
+	s.CTAPhase(10, 0, 3, CTAPhaseRetire)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CTASpans != 1 {
+		t.Fatalf("complete CTA spans = %d, want 1", sum.CTASpans)
+	}
+	if sum.TableOps != 4 {
+		t.Fatalf("table ops = %d, want 4", sum.TableOps)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"outcome":"leading_promoted"`,
+		`"phase":"first_issue"`,
+		`"op":"cta_hit"`,
+		`"id":"cta-0-3"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateRejectsRetireWithoutLaunch(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"cta.lifetime","cat":"warp","ph":"e","ts":10,"pid":1,"tid":0,"id":"cta-0-3"}
+	]}`
+	if _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+		t.Fatal("CTA retire without a launch accepted")
+	}
+}
+
+// TestValidateRejectsTableHitBeforeFill pins the census rule: a table hit,
+// eviction or disable may only follow the fill that seeded the entry.
+func TestValidateRejectsTableHitBeforeFill(t *testing.T) {
+	s := New(Config{SMs: 1, Trace: true})
+	s.TableOp(1, 0, 5, 7, TableCTAHit) // no preceding cta_fill for (0,5,7)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("table hit before its fill accepted")
 	}
 }
 

@@ -21,6 +21,9 @@ type smMetrics struct {
 	warpStallBegin, warpStallEnd           *Counter
 	schedPromote, schedDemote, schedWakeup *Counter
 	distAlloc, perCTAFill                  *Counter
+	pickOutcome                            [numPickOutcomes]*Counter
+	ctaPhase                               [numCTAPhases]*Counter
+	tableOp                                [numTableOps]*Counter
 	prefCandidate, prefAdmit, prefFill     *Counter
 	prefConsume, prefLate, prefEarlyEvict  *Counter
 	prefDrop                               [numDropReasons]*Counter
@@ -141,6 +144,15 @@ func New(cfg Config) *Sink {
 		m.schedWakeup = s.reg.Counter("sched_wakeup_total", l)
 		m.distAlloc = s.reg.Counter("caps_dist_alloc_total", l)
 		m.perCTAFill = s.reg.Counter("caps_percta_fill_total", l)
+		for o := PickOutcome(0); o < numPickOutcomes; o++ {
+			m.pickOutcome[o] = s.reg.Counter("sched_pick_total", l, Label{Key: "outcome", Value: o.String()})
+		}
+		for p := CTAPhase(0); p < numCTAPhases; p++ {
+			m.ctaPhase[p] = s.reg.Counter("cta_phase_total", l, Label{Key: "phase", Value: p.String()})
+		}
+		for o := TableOp(0); o < numTableOps; o++ {
+			m.tableOp[o] = s.reg.Counter("caps_table_op_total", l, Label{Key: "op", Value: o.String()})
+		}
 		m.prefCandidate = s.reg.Counter("pref_candidate_total", l)
 		m.prefAdmit = s.reg.Counter("pref_admit_total", l)
 		m.prefFill = s.reg.Counter("pref_fill_total", l)
@@ -485,6 +497,53 @@ func (s *Sink) SchedWakeup(cycle int64, sm, warpSlot int) {
 	s.emit(e)
 }
 
+// PickOutcome records one classified scheduler decision (see the
+// obs.PickOutcome taxonomy). Emitted at state-transition sites only —
+// refills, demotions, wake-ups — never from raw Pick calls, so counts are
+// identical across executor configurations (the fast-forward windows elide
+// Pick calls but never transitions).
+func (s *Sink) PickOutcome(cycle int64, sm, warpSlot int, o PickOutcome) {
+	if s == nil || !s.smOK(sm) || o >= numPickOutcomes {
+		return
+	}
+	e := Event{Cycle: cycle, Kind: EvPickOutcome, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: -1, Arg: uint8(o)}
+	if s.stageEvent(e) {
+		return
+	}
+	s.sm[sm].pickOutcome[o].Inc()
+	s.emit(e)
+}
+
+// CTAPhase records one CTA lifetime transition (launch → first-issue →
+// base-established → drain → retire). Each phase fires at most once per
+// CTA.
+func (s *Sink) CTAPhase(cycle int64, sm, cta int, p CTAPhase) {
+	if s == nil || !s.smOK(sm) || p >= numCTAPhases {
+		return
+	}
+	e := Event{Cycle: cycle, Kind: EvCTAPhase, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), Arg: uint8(p)}
+	if s.stageEvent(e) {
+		return
+	}
+	s.sm[sm].ctaPhase[p].Inc()
+	s.emit(e)
+}
+
+// TableOp records one CAPS prediction-table operation on the DIST (per-PC)
+// or CAP (per-CTA) table; cta is -1 for DIST ops, pc is the load PC that
+// keyed the entry.
+func (s *Sink) TableOp(cycle int64, sm, cta int, pc uint32, op TableOp) {
+	if s == nil || !s.smOK(sm) || op >= numTableOps {
+		return
+	}
+	e := Event{Cycle: cycle, Kind: EvTableOp, Dom: DomSM, Track: int16(sm), Warp: -1, CTA: int32(cta), PC: pc, Arg: uint8(op)}
+	if s.stageEvent(e) {
+		return
+	}
+	s.sm[sm].tableOp[op].Inc()
+	s.emit(e)
+}
+
 // ----------------------------------------------------- prefetch lifecycle ----
 
 // DistAlloc records a CAPS DIST table entry allocation for a load PC.
@@ -515,12 +574,15 @@ func (s *Sink) PerCTAFill(cycle int64, sm, cta int, pc uint32) {
 }
 
 // PrefCandidate records one generated prefetch candidate entering the SM's
-// prefetch queue path.
-func (s *Sink) PrefCandidate(cycle int64, sm, warpSlot, cta int, pc uint32, addr uint64) {
+// prefetch queue path. seedWarp is the warp-in-CTA whose observation
+// anchored the prediction (Candidate.SeedWarp; -1 when the prefetcher has
+// no anchor concept) and rides in Val for schedlens' leading-warp
+// attribution.
+func (s *Sink) PrefCandidate(cycle int64, sm, warpSlot, cta int, pc uint32, addr uint64, seedWarp int) {
 	if s == nil || !s.smOK(sm) {
 		return
 	}
-	e := Event{Cycle: cycle, Kind: EvPrefCandidate, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr}
+	e := Event{Cycle: cycle, Kind: EvPrefCandidate, Dom: DomSM, Track: int16(sm), Warp: int32(warpSlot), CTA: int32(cta), PC: pc, Addr: addr, Val: int64(seedWarp)}
 	if s.stageEvent(e) {
 		return
 	}

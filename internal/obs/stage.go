@@ -124,12 +124,18 @@ func (s *Sink) applyEvent(e Event) {
 		s.SchedDemote(c, t, int(e.Warp))
 	case EvSchedWakeup:
 		s.SchedWakeup(c, t, int(e.Warp))
+	case EvPickOutcome:
+		s.PickOutcome(c, t, int(e.Warp), PickOutcome(e.Arg))
+	case EvCTAPhase:
+		s.CTAPhase(c, t, int(e.CTA), CTAPhase(e.Arg))
+	case EvTableOp:
+		s.TableOp(c, t, int(e.CTA), e.PC, TableOp(e.Arg))
 	case EvDistAlloc:
 		s.DistAlloc(c, t, e.PC)
 	case EvPerCTAFill:
 		s.PerCTAFill(c, t, int(e.CTA), e.PC)
 	case EvPrefCandidate:
-		s.PrefCandidate(c, t, int(e.Warp), int(e.CTA), e.PC, e.Addr)
+		s.PrefCandidate(c, t, int(e.Warp), int(e.CTA), e.PC, e.Addr, int(e.Val))
 	case EvPrefDrop:
 		s.PrefDrop(c, t, int(e.CTA), e.PC, e.Addr, DropReason(e.Arg))
 	case EvPrefAdmit:

@@ -68,6 +68,9 @@ const (
 	EvQueueSample
 	EvProgress
 	EvHostTime
+	EvPickOutcome
+	EvCTAPhase
+	EvTableOp
 
 	numKinds // sentinel
 )
@@ -106,6 +109,9 @@ var kindNames = [numKinds]string{
 	EvQueueSample:    "queue.sample",
 	EvProgress:       "run.progress",
 	EvHostTime:       "run.host_time",
+	EvPickOutcome:    "sched.pick",
+	EvCTAPhase:       "cta.phase",
+	EvTableOp:        "caps.table",
 }
 
 // String implements fmt.Stringer.
@@ -134,6 +140,12 @@ func (k Kind) category() string {
 		return "cycle"
 	case k == EvQueueSample:
 		return "queue"
+	case k == EvPickOutcome:
+		return "sched"
+	case k == EvCTAPhase:
+		return "warp"
+	case k == EvTableOp:
+		return "pref"
 	default:
 		return "run"
 	}
@@ -301,6 +313,148 @@ func (q QueueKind) String() string {
 		return queueKindNames[q]
 	}
 	return fmt.Sprintf("queue(%d)", uint8(q))
+}
+
+// PickOutcome classifies one scheduler decision (EvPickOutcome Arg). The
+// outcomes are emitted at state-transition sites — queue refills, long-
+// latency demotions, wake-ups — which the executor visits identically with
+// or without the idle/stall fast-forward, never from raw Pick calls the
+// fast-forward windows elide; that keeps per-outcome counts bit-identical
+// across executor configurations.
+type PickOutcome uint8
+
+// Scheduler decision outcomes.
+const (
+	// PickLeadingPromoted: a refill front-inserted the CTA's leading warp
+	// ahead of the ready queue (PAS leading-warp promotion taken).
+	PickLeadingPromoted PickOutcome = iota
+	// PickLeadingBypassed: the leading warp entered the ready queue in
+	// plain order because its θ/Δ base is already established.
+	PickLeadingBypassed
+	// PickDemoteLongLatency: a ready warp was demoted to the pending queue
+	// on a long-latency (blocking) load.
+	PickDemoteLongLatency
+	// PickDemoteDisplaced: a wake-up into a full ready queue displaced the
+	// newest non-leading ready warp back to pending.
+	PickDemoteDisplaced
+	// PickWakeupData: a data-return wake-up moved a pending warp to ready.
+	PickWakeupData
+	// PickWakeupEager: PAS promoted a pending warp ahead of its data
+	// return (the paper's eager wake-up; reconciles WakeupPromotions).
+	PickWakeupEager
+	// PickAgeInversion: GTO abandoned its greedy warp — the next pick
+	// falls back to the oldest ready warp (an age inversion).
+	PickAgeInversion
+
+	numPickOutcomes // sentinel
+)
+
+// NumPickOutcomes exposes the outcome count so consumers can size
+// per-outcome aggregates without a map.
+const NumPickOutcomes = int(numPickOutcomes)
+
+var pickOutcomeNames = [numPickOutcomes]string{
+	PickLeadingPromoted:   "leading_promoted",
+	PickLeadingBypassed:   "leading_bypassed",
+	PickDemoteLongLatency: "demote_longlat",
+	PickDemoteDisplaced:   "demote_displaced",
+	PickWakeupData:        "wakeup_data",
+	PickWakeupEager:       "wakeup_eager",
+	PickAgeInversion:      "age_inversion",
+}
+
+// String implements fmt.Stringer.
+func (o PickOutcome) String() string {
+	if int(o) < len(pickOutcomeNames) {
+		return pickOutcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// CTAPhase marks one transition in a CTA's lifetime (EvCTAPhase Arg):
+// launch → first-issue → leading-warp-base-established → drain → retire.
+// Each phase fires at most once per CTA, at sites the executor visits
+// identically with or without the fast-forward windows.
+type CTAPhase uint8
+
+// CTA lifetime phases.
+const (
+	CTAPhaseLaunch     CTAPhase = iota // CTA assigned to an SM slot
+	CTAPhaseFirstIssue                 // first instruction issued by any of its warps
+	CTAPhaseBaseReady                  // leading warp's first blocking load issued (θ/Δ base)
+	CTAPhaseDrain                      // first warp finished; the CTA is draining
+	CTAPhaseRetire                     // last warp finished; the slot frees
+
+	numCTAPhases // sentinel
+)
+
+// NumCTAPhases exposes the phase count so consumers can size per-phase
+// aggregates without a map.
+const NumCTAPhases = int(numCTAPhases)
+
+var ctaPhaseNames = [numCTAPhases]string{
+	CTAPhaseLaunch:     "launch",
+	CTAPhaseFirstIssue: "first_issue",
+	CTAPhaseBaseReady:  "base_ready",
+	CTAPhaseDrain:      "drain",
+	CTAPhaseRetire:     "retire",
+}
+
+// String implements fmt.Stringer.
+func (p CTAPhase) String() string {
+	if int(p) < len(ctaPhaseNames) {
+		return ctaPhaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// TableOp classifies one CAPS prediction-table operation (EvTableOp Arg)
+// on the per-PC DIST table or the per-CTA CAP table: fills, hits,
+// evictions/reclaims (aliasing collisions), capacity rejections,
+// verification outcomes and misprediction disables.
+type TableOp uint8
+
+// CAP/DIST table operations.
+const (
+	TableDistFill     TableOp = iota // DIST entry allocated for a new PC
+	TableDistHit                     // DIST lookup matched the PC
+	TableDistReclaim                 // disabled DIST entry reclaimed for a new PC (aliasing)
+	TableDistFull                    // DIST allocation rejected: table full
+	TableDistDisable                 // mispredict streak crossed the threshold; entry disabled
+	TableVerifyOK                    // CAP address verification matched
+	TableVerifyBad                   // CAP address verification mismatched
+	TableCTAFill                     // CAP (PerCTA) entry filled for a CTA/PC
+	TableCTAHit                      // CAP lookup matched the CTA/PC
+	TableCTAEvict                    // CAP LRU eviction of a live entry (aliasing collision)
+	TableCTAInvalidate               // CAP entry invalidated on stride-detection failure
+
+	numTableOps // sentinel
+)
+
+// NumTableOps exposes the op count so consumers can size per-op
+// aggregates without a map.
+const NumTableOps = int(numTableOps)
+
+var tableOpNames = [numTableOps]string{
+	TableDistFill:      "dist_fill",
+	TableDistHit:       "dist_hit",
+	TableDistReclaim:   "dist_reclaim",
+	TableDistFull:      "dist_full",
+	TableDistDisable:   "dist_disable",
+	TableVerifyOK:      "verify_ok",
+	TableVerifyBad:     "verify_bad",
+	TableCTAFill:       "cta_fill",
+	TableCTAHit:        "cta_hit",
+	TableCTAEvict:      "cta_evict",
+	TableCTAInvalidate: "cta_invalidate",
+}
+
+// String implements fmt.Stringer.
+func (o TableOp) String() string {
+	if int(o) < len(tableOpNames) {
+		return tableOpNames[o]
+	}
+	return fmt.Sprintf("tableop(%d)", uint8(o))
 }
 
 // Event is one cycle-stamped trace record. Fields are a compact union:

@@ -16,6 +16,8 @@ type TraceSummary struct {
 	PrefTriples   int // complete admit→fill→consume triples (by line address)
 	StallBegins   int // async stall-run begin events ("warp.stall" ph=b)
 	StallEnds     int // async stall-run end events ("warp.stall" ph=e)
+	CTASpans      int // complete CTA lifetime spans ("cta.lifetime" b/e pairs)
+	TableOps      int // CAPS table-operation events ("caps.table")
 	Dropped       int64
 }
 
@@ -71,6 +73,16 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 	// Stall runs must pair: per async id, an end may only follow an open
 	// begin (ends without begins would render as orphan spans).
 	stallOpen := make(map[string]int)
+	// CTA lifetime spans must pair the same way: a retire ("e") may only
+	// follow an open launch ("b") on its async id. Strict only on complete
+	// traces — once the buffer cap drops events, the launch may simply have
+	// been dropped.
+	ctaOpen := make(map[string]int)
+	// Table-operation census: every hit/eviction/disable on a CAPS table
+	// entry must follow the fill (or reclaim) that seeded it — DIST entries
+	// keyed per (track, pc), CAP entries per (track, cta, pc). Strict only
+	// on complete traces, like the prefetch admit→fill pairing.
+	tableSeeded := make(map[string]bool)
 
 	for _, ev := range doc.TraceEvents {
 		if ev.Ph == "M" {
@@ -102,6 +114,53 @@ func ValidateChromeTrace(r io.Reader) (TraceSummary, error) {
 				stallOpen[ev.ID]--
 			default:
 				return sum, fmt.Errorf("obs: stall run id=%q: unexpected phase %q", ev.ID, ev.Ph)
+			}
+			continue
+		}
+		if ev.Name == "cta.lifetime" {
+			switch ev.Ph {
+			case "b":
+				ctaOpen[ev.ID]++
+			case "e":
+				if ctaOpen[ev.ID] <= 0 {
+					if sum.Dropped == 0 {
+						return sum, fmt.Errorf("obs: CTA span id=%q: retire at ts=%d without a matching launch", ev.ID, ev.TS)
+					}
+					continue
+				}
+				ctaOpen[ev.ID]--
+				sum.CTASpans++
+			default:
+				return sum, fmt.Errorf("obs: CTA span id=%q: unexpected phase %q", ev.ID, ev.Ph)
+			}
+			continue
+		}
+		if ev.Name == kindNames[EvTableOp] {
+			sum.TableOps++
+			var args struct {
+				Op  string `json:"op"`
+				PC  uint32 `json:"pc"`
+				CTA int32  `json:"cta"`
+			}
+			args.CTA = -1
+			if err := json.Unmarshal(ev.Args, &args); err != nil {
+				continue
+			}
+			distKey := fmt.Sprintf("d-%d-%d", ev.TID, args.PC)
+			ctaKey := fmt.Sprintf("c-%d-%d-%d", ev.TID, args.CTA, args.PC)
+			switch args.Op {
+			case TableDistFill.String(), TableDistReclaim.String():
+				tableSeeded[distKey] = true
+			case TableDistHit.String(), TableDistDisable.String():
+				if !tableSeeded[distKey] && sum.Dropped == 0 {
+					return sum, fmt.Errorf("obs: table op %s for pc=%d at ts=%d before its DIST fill", args.Op, args.PC, ev.TS)
+				}
+			case TableCTAFill.String():
+				tableSeeded[ctaKey] = true
+			case TableCTAHit.String(), TableCTAEvict.String(), TableCTAInvalidate.String():
+				if !tableSeeded[ctaKey] && sum.Dropped == 0 {
+					return sum, fmt.Errorf("obs: table op %s for cta=%d pc=%d at ts=%d before its CAP fill", args.Op, args.CTA, args.PC, ev.TS)
+				}
 			}
 			continue
 		}

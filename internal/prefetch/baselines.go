@@ -72,6 +72,7 @@ func (p *Intra) OnLoad(obs *Observation) []Candidate {
 			TargetWarpSlot: obs.WarpSlot,
 			TargetCTAID:    obs.CTAID,
 			GenCycle:       obs.Now,
+			SeedWarp:       -1,
 		})
 	}
 	p.scratch = out
@@ -144,6 +145,7 @@ func (p *Inter) OnLoad(obs *Observation) []Candidate {
 			TargetWarpSlot: obs.WarpSlot + d,
 			TargetCTAID:    -1, // warp-slot arithmetic is CTA-oblivious
 			GenCycle:       obs.Now,
+			SeedWarp:       -1,
 		})
 	}
 	p.scratch = out
@@ -216,7 +218,7 @@ func (*NLP) OnLoad(*Observation) []Candidate { return nil }
 
 // OnMiss implements Prefetcher.
 func (p *NLP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
-	p.out[0] = Candidate{Addr: lineAddr + lineBytes, PC: pc, TargetWarpSlot: -1, TargetCTAID: -1, GenCycle: now}
+	p.out[0] = Candidate{Addr: lineAddr + lineBytes, PC: pc, TargetWarpSlot: -1, TargetCTAID: -1, GenCycle: now, SeedWarp: -1}
 	return p.out[:]
 }
 
@@ -301,6 +303,7 @@ func (p *LAP) OnMiss(now int64, lineAddr uint64, pc uint32) []Candidate {
 				TargetWarpSlot: -1,
 				TargetCTAID:    -1,
 				GenCycle:       now,
+				SeedWarp:       -1,
 			})
 		}
 	}

@@ -37,6 +37,13 @@ type Candidate struct {
 	TargetWarpSlot int   // warp the data is bound to; -1 when unknown
 	TargetCTAID    int   // CTA the prediction was made for; -1 when unknown
 	GenCycle       int64 // cycle the candidate was generated (staleness TTL)
+	// SeedWarp is the warp-in-CTA index whose observation anchored the
+	// θ/Δ base this candidate was predicted from (CAPS: the PerCTA
+	// entry's leading warp — 0 when the CTA's designated leading warp
+	// seeded it, >0 after a re-anchor by a trailing warp). -1 when the
+	// prefetcher has no anchor concept (the baselines). Observer-only
+	// provenance for schedlens; excluded from the determinism hash.
+	SeedWarp int
 }
 
 // Prefetcher is the per-SM prefetch engine interface.

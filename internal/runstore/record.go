@@ -29,6 +29,7 @@ import (
 	"caps/internal/hostprof"
 	"caps/internal/memlens"
 	"caps/internal/profile"
+	"caps/internal/schedlens"
 	"caps/internal/stats"
 )
 
@@ -75,6 +76,11 @@ type Record struct {
 	// part of the run's identity — like Host it is excluded from the
 	// content address, so runs with and without profiling dedup together.
 	Mem *memlens.Profile `json:"mem_profile,omitempty"`
+
+	// Sched is the run's scheduler/CTA-decision profile
+	// (sim.WithSchedLens). Deterministic like Mem and likewise excluded
+	// from the content address.
+	Sched *schedlens.Profile `json:"sched_profile,omitempty"`
 }
 
 // NewRecord builds a record from a finished run. profile may be nil (no
@@ -111,6 +117,7 @@ func (r *Record) contentID() string {
 	clone.CreatedAt = 0
 	clone.Host = nil // wall-clock is not content: identical reruns must dedup
 	clone.Mem = nil  // attachment choice is not content either
+	clone.Sched = nil
 	data, err := json.Marshal(&clone)
 	if err != nil {
 		// Record is a tree of marshalable values; unreachable, but an
@@ -142,6 +149,13 @@ func (r *Record) AttachHost(hp *hostprof.Profile) *Record {
 // never re-addresses the record.
 func (r *Record) AttachMem(mp *memlens.Profile) *Record {
 	r.Mem = mp
+	return r
+}
+
+// AttachSched adds the run's scheduler/CTA-decision profile. Like
+// AttachHost it never re-addresses the record.
+func (r *Record) AttachSched(sp *schedlens.Profile) *Record {
+	r.Sched = sp
 	return r
 }
 

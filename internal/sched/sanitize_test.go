@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"caps/internal/config"
 	"caps/internal/invariant"
 )
 
@@ -49,6 +50,58 @@ func TestSanitizerCatchesLostSlot(t *testing.T) {
 	s.OnActivate(5, false)
 	s.OnFinish(5) // dequeued everywhere, but the SM still lists it live
 	wantSchedViolation(t, s.CheckInvariants(4, []int{5}), "missing from both queues")
+}
+
+// TestOnlyPASActsOnLeadingMark pins the OnActivate contract down across
+// the whole registry: the leading flag is advisory provenance that every
+// seed scheduler except PAS must ignore. Each registered scheduler is run
+// twice over an identical all-eligible warp population — once with no
+// leading mark, once with one slot marked leading — and the two pick
+// sequences are compared. PAS must diverge (it front-loads the leading
+// warp until the CTA base address is computed); LRR, GTO and the plain
+// two-level variants must produce bit-identical schedules, so a future
+// scheduler that quietly starts keying off the mark fails here before it
+// can silently change baseline results.
+func TestOnlyPASActsOnLeadingMark(t *testing.T) {
+	cfg := config.Default()
+	const slots, picks = 12, 48
+	pickSeq := func(t *testing.T, name string, leadSlot int) []int {
+		t.Helper()
+		s, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := newFakeView()
+		for i := 0; i < slots; i++ {
+			s.OnActivate(i, i == leadSlot)
+		}
+		seq := make([]int, 0, picks)
+		for c := 0; c < picks; c++ {
+			seq = append(seq, s.Pick(int64(c), v))
+		}
+		return seq
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			unmarked := pickSeq(t, name, -1)
+			marked := pickSeq(t, name, 5)
+			differs := false
+			for i := range unmarked {
+				if unmarked[i] != marked[i] {
+					differs = true
+					break
+				}
+			}
+			if name == "pas" && !differs {
+				t.Errorf("pas ignored the leading mark: pick sequence identical with and without it\n  %v", marked)
+			}
+			if name != "pas" && differs {
+				t.Errorf("%s is leading-sensitive (only pas may act on OnActivate's leading flag):\n  unmarked %v\n  marked   %v",
+					name, unmarked, marked)
+			}
+		})
+	}
 }
 
 func TestSanitizerCatchesReadyOverflow(t *testing.T) {

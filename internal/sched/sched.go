@@ -33,7 +33,9 @@ type View interface {
 type Scheduler interface {
 	Name() string
 	// OnActivate registers a warp context; leading marks the CTA's
-	// leading warp (used by PAS).
+	// leading warp. Only PAS (TwoLevel with leadingFirst) acts on the
+	// mark — LRR, GTO and the plain two-level variants silently ignore
+	// leading and schedule the warp like any other.
 	OnActivate(slot int, leading bool)
 	// OnFinish removes a warp context.
 	OnFinish(slot int)
@@ -214,6 +216,13 @@ type GTO struct {
 	current int
 
 	stallCost StallCost
+
+	// Observability (nil-safe): greedy-warp abandonments emit an
+	// age-inversion outcome. lastNow mirrors TwoLevel's event-stamp cache
+	// (OnLongLatency has no time parameter).
+	sink    *obs.Sink
+	smID    int
+	lastNow int64
 }
 
 // NewGTO creates a GTO scheduler for nslots warp contexts.
@@ -227,6 +236,17 @@ func NewGTO(nslots int) *GTO {
 
 // Name implements Scheduler.
 func (s *GTO) Name() string { return "gto" }
+
+// AttachObs connects the scheduler to an observability sink; smID names the
+// trace track its age-inversion events land on.
+func (s *GTO) AttachObs(sink *obs.Sink, smID int) {
+	s.sink = sink
+	s.smID = smID
+}
+
+// ObsTick publishes the current cycle for event stamping (see
+// TwoLevel.ObsTick).
+func (s *GTO) ObsTick(now int64) { s.lastNow = now }
 
 // OnActivate implements Scheduler.
 func (s *GTO) OnActivate(slot int, leading bool) {
@@ -294,10 +314,12 @@ func (s *GTO) StallTick(m int) {
 // StallCost implements StallCoster.
 func (s *GTO) StallCost() StallCost { return s.stallCost }
 
-// OnLongLatency implements Scheduler.
+// OnLongLatency implements Scheduler: abandoning the greedy warp is GTO's
+// age inversion — the next Pick falls back to the oldest eligible warp.
 func (s *GTO) OnLongLatency(slot int) {
 	if s.current == slot {
 		s.current = -1
+		s.sink.PickOutcome(s.lastNow, s.smID, slot, obs.PickAgeInversion)
 	}
 }
 
@@ -476,12 +498,18 @@ func (s *TwoLevel) refill(v View) {
 		s.pending = s.pending[:len(s.pending)-1]
 		s.sink.SchedPromote(s.lastNow, s.smID, slot)
 		if s.leadingFirst && s.leading[slot] && !s.baseDone[slot] {
+			s.sink.PickOutcome(s.lastNow, s.smID, slot, obs.PickLeadingPromoted)
 			// Front-insert in place: the old prepend built a fresh slice
 			// on every leading-warp promotion.
 			s.ready = append(s.ready, 0) //caps:alloc-ok ready queue capacity converges to readySize
 			copy(s.ready[1:], s.ready)
 			s.ready[0] = slot
 		} else {
+			if s.leadingFirst && s.leading[slot] {
+				// A leading warp past its base-address computation refills
+				// in plain round-robin order: the PAS priority was bypassed.
+				s.sink.PickOutcome(s.lastNow, s.smID, slot, obs.PickLeadingBypassed)
+			}
 			s.ready = append(s.ready, slot) //caps:alloc-ok ready queue capacity converges to readySize
 		}
 	}
@@ -612,6 +640,7 @@ func (s *TwoLevel) OnLongLatency(slot int) {
 		return
 	}
 	s.sink.SchedDemote(s.lastNow, s.smID, slot)
+	s.sink.PickOutcome(s.lastNow, s.smID, slot, obs.PickDemoteLongLatency)
 	s.pending = append(s.pending, slot) //caps:alloc-ok pending queue capacity converges to the SM's warp-slot count
 }
 
@@ -638,6 +667,7 @@ func (s *TwoLevel) OnWake(slot int) bool {
 		copy(s.ready[victimIdx:], s.ready[victimIdx+1:])
 		s.ready = s.ready[:len(s.ready)-1]
 		s.sink.SchedDemote(s.lastNow, s.smID, victim)
+		s.sink.PickOutcome(s.lastNow, s.smID, victim, obs.PickDemoteDisplaced)
 		s.pending = append(s.pending, victim) //caps:alloc-ok pending queue capacity converges to the SM's warp-slot count
 	}
 	s.ready = append(s.ready, slot) //caps:alloc-ok ready queue capacity converges to readySize

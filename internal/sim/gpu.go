@@ -147,6 +147,15 @@ func New(cfg config.GPUConfig, k *kernels.Kernel, opts ...Option) (*GPU, error) 
 		}
 		opt.Obs.Attach(opt.MemLens)
 	}
+	// The schedlens collector shares the same sink (trace, memlens and
+	// schedlens compose on one stream); it too declines the per-cycle
+	// class feed.
+	if opt.SchedLens != nil {
+		if opt.Obs == nil {
+			opt.Obs = NewSink(cfg, false, 0)
+		}
+		opt.Obs.Attach(opt.SchedLens)
+	}
 	// ORCH is LAP paired with the prefetch-aware grouped scheduler
 	// (Jog ISCA'13); selecting it swaps the two-level scheduler for the
 	// group-interleaved variant.

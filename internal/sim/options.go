@@ -7,6 +7,7 @@ import (
 	"caps/internal/memlens"
 	"caps/internal/obs"
 	"caps/internal/prefetch"
+	"caps/internal/schedlens"
 )
 
 // Option configures one GPU run. Build a simulator with
@@ -162,6 +163,21 @@ func WithMemLens(c *memlens.Collector) Option {
 	return optionFunc(func(o *Options) { o.MemLens = c })
 }
 
+// WithSchedLens attaches a streaming scheduler/CTA-decision profiler (see
+// internal/schedlens): per-CTA lifetime timelines, scheduler decision
+// provenance (PickOutcome counters), CAP/DIST prediction-table dynamics
+// and leading-warp effectiveness. Like memlens it rides the obs event
+// stream — sharing the auto-created sink with any other attached
+// consumer — and opts out of the per-cycle class stream, so the idle
+// fast-forward's whole-GPU jump stays active and results are
+// bit-identical with or without it. Call c.Build after the run for the
+// finished Profile and Profile.Validate(st) to prove the fold reconciles
+// with the run's statistics. Size the collector with
+// schedlens.ForConfig(cfg).
+func WithSchedLens(c *schedlens.Collector) Option {
+	return optionFunc(func(o *Options) { o.SchedLens = c })
+}
+
 // WithIdleSkip enables idle-cycle fast-forward (see internal/sim
 // fastforward.go). Per SM, a tick that proves itself a no-op caches a
 // sleep window, and every tick inside it short-circuits past the
@@ -230,6 +246,9 @@ type Options struct {
 	// MemLens attaches a streaming memory-hierarchy profiler (see
 	// WithMemLens).
 	MemLens *memlens.Collector
+	// SchedLens attaches a streaming scheduler/CTA-decision profiler (see
+	// WithSchedLens).
+	SchedLens *schedlens.Collector
 }
 
 // apply implements Option for the legacy struct: each non-zero field
@@ -278,5 +297,8 @@ func (legacy Options) apply(o *Options) {
 	}
 	if legacy.MemLens != nil {
 		o.MemLens = legacy.MemLens
+	}
+	if legacy.SchedLens != nil {
+		o.SchedLens = legacy.SchedLens
 	}
 }

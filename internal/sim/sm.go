@@ -275,6 +275,7 @@ func (sm *SM) LaunchCTA(slot, ctaID int) {
 	}
 	sm.pref.OnCTALaunch(slot)
 	sm.snk.CTALaunch(sm.nowCache, sm.id, ctaID)
+	sm.snk.CTAPhase(sm.nowCache, sm.id, ctaID, obs.CTAPhaseLaunch)
 	for w := 0; w < sm.warpsPerCTA; w++ {
 		ws := &sm.warps[slot*sm.warpsPerCTA+w]
 		ws.reset(slot, ctaID, coord, w, len(sm.kernel.Loads))
@@ -584,6 +585,9 @@ func (sm *SM) acceptResponses(now int64) error {
 					if ws.outstanding == 0 {
 						if ws.waitLoad {
 							sm.snk.WarpStallEnd(now, sm.id, ws.slot)
+							// The data return unblocks the warp: it is
+							// promotable again on the next refill.
+							sm.snk.PickOutcome(now, sm.id, ws.slot, obs.PickWakeupData)
 						}
 						ws.waitLoad = false
 					}
@@ -597,6 +601,7 @@ func (sm *SM) acceptResponses(now int64) error {
 						if sm.sched.OnWake(w.WarpSlot) {
 							sm.st.WakeupPromotions++
 							sm.snk.SchedWakeup(now, sm.id, w.WarpSlot)
+							sm.snk.PickOutcome(now, sm.id, w.WarpSlot, obs.PickWakeupEager)
 						}
 					}
 				}
@@ -726,6 +731,14 @@ func (sm *SM) issue(now int64) int {
 		}
 		if sm.execute(now, &sm.warps[slot]) {
 			issued++
+			// First successful issue of the CTA's residency: the launch →
+			// first-issue gap is scheduler queueing delay (schedlens). The
+			// stall fast-forwards only elide cycles where nothing issues,
+			// so this transition is never skipped.
+			if cta := &sm.ctas[sm.warps[slot].ctaSlot]; !cta.firstIssued {
+				cta.firstIssued = true
+				sm.snk.CTAPhase(now, sm.id, cta.ctaID, obs.CTAPhaseFirstIssue)
+			}
 		}
 	}
 	if issued > 0 {
@@ -891,6 +904,9 @@ func (sm *SM) execute(now int64, w *warpState) bool {
 			w.waitLoad = true
 			sm.snk.WarpStallBegin(now, sm.id, w.slot)
 			sm.sched.OnLongLatency(w.slot)
+			if w.warpInCTA == 0 {
+				sm.markBaseReady(now, w)
+			}
 		}
 		w.pc++
 
@@ -961,6 +977,17 @@ func (sm *SM) genAddrs(dst []uint64, w *warpState, loadIdx int, iter int64) []ui
 	return out
 }
 
+// markBaseReady records the CTA lifetime phase where the leading warp's
+// first blocking load establishes the CTA's base address (the θ/Δ seed,
+// paper Fig. 8b). Once per residency; a helper because execute's OpLoad
+// case shadows the obs package with its Observation local.
+func (sm *SM) markBaseReady(now int64, w *warpState) {
+	if cta := &sm.ctas[w.ctaSlot]; !cta.baseReady {
+		cta.baseReady = true
+		sm.snk.CTAPhase(now, sm.id, w.ctaID, obs.CTAPhaseBaseReady)
+	}
+}
+
 // finishWarp retires a warp; when the whole CTA is done the GPU is told so
 // it can dispatch the next CTA to this SM (demand-driven distribution).
 //
@@ -973,12 +1000,19 @@ func (sm *SM) finishWarp(w *warpState) {
 	sm.sched.OnFinish(w.slot)
 	sm.snk.WarpFinish(sm.nowCache, sm.id, w.slot)
 	cta := &sm.ctas[w.ctaSlot]
+	if !cta.draining {
+		// First warp retirement: the CTA enters its drain phase — the
+		// drain → retire gap is tail-warp imbalance (schedlens).
+		cta.draining = true
+		sm.snk.CTAPhase(sm.nowCache, sm.id, w.ctaID, obs.CTAPhaseDrain)
+	}
 	cta.warpsLeft--
 	if cta.warpsLeft == 0 {
 		cta.active = false
 		sm.activeCTAs--
 		sm.st.CTAsDone++
 		sm.snk.CTAFinish(sm.nowCache, sm.id, w.ctaID)
+		sm.snk.CTAPhase(sm.nowCache, sm.id, w.ctaID, obs.CTAPhaseRetire)
 		if sm.staged {
 			// Parallel tick: the dispatch request is replayed in SM order
 			// by the commit phase, matching the serial dispatchReq order.
@@ -1010,7 +1044,7 @@ func (sm *SM) enqueuePrefetch(now int64, c prefetch.Candidate) {
 			sm.perturbedAt = now
 		}
 	}
-	sm.snk.PrefCandidate(now, sm.id, c.TargetWarpSlot, c.TargetCTAID, c.PC, c.Addr)
+	sm.snk.PrefCandidate(now, sm.id, c.TargetWarpSlot, c.TargetCTAID, c.PC, c.Addr, c.SeedWarp)
 	if sm.prefIn[c.Addr] {
 		sm.st.PrefDropped++
 		sm.st.PrefDropDup++

@@ -76,4 +76,12 @@ type ctaState struct {
 	warpCount  int
 	warpsLeft  int
 	barrierCnt int
+
+	// CTA lifetime phase marks (schedlens): dedup flags so each phase
+	// event fires once per residency. Reset by LaunchCTA's struct
+	// assignment; observer-only state, excluded from determinism hashes
+	// (SM.HashState never folds ctaState).
+	firstIssued bool
+	baseReady   bool
+	draining    bool
 }
